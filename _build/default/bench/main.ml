@@ -1,0 +1,303 @@
+(* Benchmark harness: one Bechamel test per row of DESIGN.md's
+   experiment index (E1–E9 paper artifacts, B1–B5 scaling rows).
+
+   The paper has no performance evaluation, so there are no
+   paper-vs-measured numbers to match; these benches measure OUR
+   implementation and back the shape claims recorded in EXPERIMENTS.md
+   (near-linear congruence closure, dictionary-passing overhead vs the
+   explicit-argument and monomorphic baselines, scaling in refinement
+   depth / model count / where width).
+
+   Run:  dune exec bench/main.exe            (full, ~1 min)
+         BENCH_QUOTA=0.05 dune exec bench/main.exe   (quick smoke)
+
+   Output: one line per bench (ns/run from an OLS fit against run
+   count), grouped by experiment id, followed by a deterministic
+   step-count table for the dictionary-overhead experiment (B3). *)
+
+open Bechamel
+open Toolkit
+module C = Fg_core
+module F = Fg_systemf
+
+let quota =
+  match Sys.getenv_opt "BENCH_QUOTA" with
+  | Some s -> ( try float_of_string s with _ -> 0.5)
+  | None -> 0.5
+
+(* ---------------------------------------------------------------- *)
+(* Workload constructors (precomputed outside the timed region)      *)
+
+let fg_parse src = C.Parser.exp_of_string src
+let fg_check ast = ignore (C.Check.typecheck ast)
+let fg_translate ast = C.Check.translate ast
+
+let staged_pipeline name src =
+  Test.make ~name (Staged.stage (fun () -> ignore (C.Pipeline.run src)))
+
+let staged_typecheck name src =
+  let ast = fg_parse src in
+  Test.make ~name (Staged.stage (fun () -> fg_check ast))
+
+let staged_translate name src =
+  let ast = fg_parse src in
+  Test.make ~name (Staged.stage (fun () -> ignore (fg_translate ast)))
+
+let staged_parse name src =
+  Test.make ~name (Staged.stage (fun () -> ignore (fg_parse src)))
+
+let staged_f_eval name f =
+  Test.make ~name (Staged.stage (fun () -> ignore (F.Eval.run f)))
+
+let staged_fg_interp name ast =
+  Test.make ~name (Staged.stage (fun () -> ignore (C.Interp.run_program ast)))
+
+(* ---------------------------------------------------------------- *)
+(* E1/E2/E3/E4: paper figures through the pipeline                   *)
+
+let fig_tests =
+  [
+    staged_pipeline "fig1/square_fg" C.Corpus.fig1_square.source;
+    staged_pipeline "fig1/square_higher_order"
+      C.Corpus.fig1_square_higher_order.source;
+    staged_pipeline "fig3/sum_systemf" C.Corpus.fig3_sum.source;
+    staged_pipeline "fig5/accumulate" C.Corpus.fig5_accumulate.source;
+    staged_pipeline "fig6/overlap" C.Corpus.fig6_overlap.source;
+    staged_pipeline "fig7/dict_shape" C.Corpus.fig5_accumulate.source;
+  ]
+
+(* E3 decomposed: where does the pipeline spend its time? *)
+let phase_tests =
+  let src = C.Corpus.merge_example.source in
+  let ast = fg_parse src in
+  let f = fg_translate ast in
+  [
+    staged_parse "phase/parse(merge)" src;
+    staged_typecheck "phase/typecheck(merge)" src;
+    staged_translate "phase/translate(merge)" src;
+    Test.make ~name:"phase/f_typecheck(merge)"
+      (Staged.stage (fun () -> ignore (F.Typecheck.typecheck f)));
+    staged_f_eval "phase/f_eval(merge)" f;
+    staged_fg_interp "phase/fg_interp(merge)" ast;
+  ]
+
+(* E6/E7: the theorem harness itself *)
+let theorem_tests =
+  let fig5 = fg_parse C.Corpus.fig5_accumulate.source in
+  let merge = fg_parse C.Corpus.merge_example.source in
+  [
+    Test.make ~name:"thm1/translate_check(fig5)"
+      (Staged.stage (fun () -> ignore (C.Theorems.check_translation fig5)));
+    Test.make ~name:"thm2/assoc_check(merge)"
+      (Staged.stage (fun () -> ignore (C.Theorems.check_translation merge)));
+  ]
+
+(* B1: typechecking cost vs program size *)
+let scale_typecheck_tests =
+  List.concat_map
+    (fun n ->
+      [
+        staged_typecheck
+          (Printf.sprintf "scale/typecheck_let_chain_%03d" n)
+          (C.Genprog.let_chain n);
+      ])
+    [ 5; 20; 80 ]
+  @ List.map
+      (fun n ->
+        staged_typecheck
+          (Printf.sprintf "scale/typecheck_many_models_%03d" n)
+          (C.Genprog.many_models n))
+      [ 10; 40; 160 ]
+  @ List.map
+      (fun n ->
+        staged_typecheck
+          (Printf.sprintf "scale/typecheck_wide_where_%02d" n)
+          (C.Genprog.wide_where n))
+      [ 2; 8; 32 ]
+
+(* B5: refinement depth (dictionary nesting) and diamonds *)
+let scale_refine_tests =
+  List.map
+    (fun n ->
+      staged_typecheck
+        (Printf.sprintf "scale/refine_depth_%02d" n)
+        (C.Genprog.refinement_chain n))
+    [ 2; 8; 32 ]
+  @ List.map
+      (fun n ->
+        staged_typecheck
+          (Printf.sprintf "scale/refine_diamond_%02d" n)
+          (C.Genprog.refinement_diamond n))
+      [ 2; 4; 8 ]
+
+(* B4/E8: congruence closure scaling *)
+let eq_tests =
+  List.map
+    (fun n ->
+      staged_typecheck
+        (Printf.sprintf "eq/congruence_chain_%03d" n)
+        (C.Genprog.same_type_chain n))
+    [ 4; 16; 64 ]
+  @ List.map
+      (fun n ->
+        staged_typecheck
+          (Printf.sprintf "eq/assoc_chain_%02d" n)
+          (C.Genprog.assoc_chain n))
+      [ 2; 8; 24 ]
+  @
+  (* raw equality queries on a chain of assumptions *)
+  let raw n =
+    let eq =
+      List.fold_left
+        (fun eq i ->
+          C.Equality.assume eq
+            (C.Ast.TVar (Printf.sprintf "t%d" i))
+            (C.Ast.TVar (Printf.sprintf "t%d" (i + 1))))
+        C.Equality.empty
+        (List.init n (fun i -> i))
+    in
+    let a = C.Ast.TVar "t0" and b = C.Ast.TVar (Printf.sprintf "t%d" n) in
+    Test.make ~name:(Printf.sprintf "eq/raw_query_%03d" n)
+      (Staged.stage (fun () ->
+           (* includes closure (re)build: fresh context each run *)
+           let eq = C.Equality.assume eq a a in
+           ignore (C.Equality.equal eq a b)))
+  in
+  [ raw 8; raw 64; raw 256 ]
+
+(* B6: parameterized-model resolution — dictionary chains of depth n,
+   and implicit-instantiation inference overhead *)
+let extension_tests =
+  List.map
+    (fun n ->
+      staged_typecheck
+        (Printf.sprintf "ext/param_model_depth_%02d" n)
+        (C.Genprog.param_depth n))
+    [ 1; 4; 10 ]
+  @ [
+      staged_typecheck "ext/implicit_calls_40"
+        (C.Genprog.implicit_calls ~implicit:true 40);
+      staged_typecheck "ext/explicit_calls_40"
+        (C.Genprog.implicit_calls ~implicit:false 40);
+    ]
+
+(* B7: the FG-level libraries as end-to-end workloads *)
+let library_tests =
+  let sort_src n =
+    let l = C.Prelude.int_list (List.init n (fun i -> (i * 7919) mod 100)) in
+    C.Prelude.wrap (Printf.sprintf "insertion_sort(%s)" l)
+  in
+  let graph_src n =
+    (* a path graph of n vertices; reachability end to end *)
+    let adj = C.Graph_lib.adj (List.init n (fun i -> (i, if i + 1 < n then [ i + 1 ] else []))) in
+    C.Graph_lib.wrap
+      (Printf.sprintf "reachable[list (int * list int)](%s, 0, %d)" adj (n - 1))
+  in
+  let matmul_src n =
+    let m = C.Matrix_lib.int_matrix (List.init n (fun i -> List.init n (fun j -> i + j))) in
+    C.Matrix_lib.wrap (Printf.sprintf "using arith in mat_mul[int](%s, %s)" m m)
+  in
+  [
+    staged_pipeline "lib/sort_20" (sort_src 20);
+    staged_pipeline "lib/graph_reach_12" (graph_src 12);
+    staged_pipeline "lib/matmul_4x4" (matmul_src 4);
+  ]
+
+(* B3: dictionary-passing overhead — FG translation vs System F with
+   explicit operation arguments vs monomorphic code, on the same
+   accumulate workload *)
+let overhead_n = 60
+
+let overhead_programs =
+  let fg_ast = fg_parse (C.Genprog.accumulate_workload overhead_n) in
+  let translated = fg_translate fg_ast in
+  let higher_order =
+    F.Parser.exp_of_string (C.Genprog.accumulate_workload_systemf overhead_n)
+  in
+  let mono =
+    F.Parser.exp_of_string (C.Genprog.accumulate_workload_mono overhead_n)
+  in
+  (fg_ast, translated, higher_order, mono)
+
+let overhead_tests =
+  let fg_ast, translated, higher_order, mono = overhead_programs in
+  [
+    staged_f_eval "overhead/dict_translated" translated;
+    staged_f_eval "overhead/explicit_args" higher_order;
+    staged_f_eval "overhead/monomorphic" mono;
+    staged_fg_interp "overhead/fg_direct" fg_ast;
+  ]
+
+(* ---------------------------------------------------------------- *)
+(* Runner                                                            *)
+
+let all_tests =
+  fig_tests @ phase_tests @ theorem_tests @ scale_typecheck_tests
+  @ scale_refine_tests @ eq_tests @ extension_tests @ library_tests
+  @ overhead_tests
+
+let run_benchmarks () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second quota)
+      ~stabilize:true ~compaction:false ()
+  in
+  let grouped = Test.make_grouped ~name:"fg" ~fmt:"%s %s" all_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols (Instance.monotonic_clock) raw in
+  results
+
+let print_results results =
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Fmt.pr "%-40s %14s %10s@." "benchmark" "ns/run" "r^2";
+  Fmt.pr "%s@." (String.make 66 '-');
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Fmt.str "%14.1f" e
+        | _ -> Fmt.str "%14s" "-"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Fmt.str "%10.4f" r
+        | None -> Fmt.str "%10s" "-"
+      in
+      Fmt.pr "%-40s %s %s@." name est r2)
+    rows
+
+(* Deterministic step counts for B3: the instrumentation the paper's
+   translation invites — how many beta steps does dictionary passing
+   add? *)
+let print_step_counts () =
+  let fg_ast, translated, higher_order, mono = overhead_programs in
+  let _, s_tr = F.Eval.run translated in
+  let _, s_ho = F.Eval.run higher_order in
+  let _, s_mono = F.Eval.run mono in
+  let _, s_fg = C.Interp.run_program fg_ast in
+  Fmt.pr "@.B3 dictionary-passing overhead (accumulate over %d elements)@."
+    overhead_n;
+  Fmt.pr "%s@." (String.make 66 '-');
+  Fmt.pr "%-40s %10s %12s@." "variant" "beta steps" "vs mono";
+  List.iter
+    (fun (name, steps) ->
+      Fmt.pr "%-40s %10d %11.2fx@." name steps
+        (float_of_int steps /. float_of_int s_mono))
+    [
+      ("monomorphic System F", s_mono);
+      ("explicit operation arguments (Fig 3)", s_ho);
+      ("FG translation (dictionary passing)", s_tr);
+      ("FG direct interpreter", s_fg);
+    ]
+
+let () =
+  Fmt.pr "FG benchmark harness (quota %.2fs per test)@." quota;
+  Fmt.pr "%s@.@." (String.make 66 '=');
+  let results = run_benchmarks () in
+  print_results results;
+  print_step_counts ()

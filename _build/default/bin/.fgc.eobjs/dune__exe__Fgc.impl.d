@@ -1,0 +1,1 @@
+bin/fgc.ml: Arg Buffer Cmd Cmdliner Fg_core Fg_systemf Fg_util Fmt List Repl Term

@@ -1,0 +1,1 @@
+bin/repl.ml: Buffer Fg_core Fg_systemf Fg_util Fmt In_channel List String

@@ -1,0 +1,314 @@
+(* fgc: the System FG command-line driver.
+
+   Subcommands:
+     check      type check a program, print its FG type
+     translate  print the System F translation (optionally its type)
+     run        run the full pipeline and print the value
+     verify     check the translation-preserves-typing theorem
+     corpus     list or run the built-in paper corpus
+     eq         decide a same-type query under assumptions
+
+   Programs are read from a file argument or from stdin ("-"). *)
+
+open Cmdliner
+module C = Fg_core
+module F = Fg_systemf
+
+let read_input = function
+  | "-" ->
+      let b = Buffer.create 4096 in
+      (try
+         while true do
+           Buffer.add_channel b stdin 4096
+         done
+       with End_of_file -> ());
+      ("<stdin>", Buffer.contents b)
+  | path ->
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      (path, s)
+
+let handle f =
+  try
+    f ();
+    0
+  with Fg_util.Diag.Error d ->
+    Fmt.epr "%a@." Fg_util.Diag.pp d;
+    1
+
+(* ---------------------------------------------------------------- *)
+(* Common arguments                                                  *)
+
+let expr_arg =
+  let doc = "Give the program inline instead of reading a file." in
+  Arg.(value & opt (some string) None & info [ "e"; "expr" ] ~docv:"SRC" ~doc)
+
+let global_flag =
+  let doc =
+    "Use global (Haskell-style) model resolution: overlapping models \
+     anywhere in the program are rejected.  The default is the paper's \
+     lexically scoped resolution."
+  in
+  Arg.(value & flag & info [ "global-models" ] ~doc)
+
+let resolution_of_flag g =
+  if g then C.Resolution.Global else C.Resolution.Lexical
+
+let with_prelude_flag =
+  let doc = "Wrap the program in the standard prelude (concepts, models \
+             for int/bool/list int, and the generic algorithms)." in
+  Arg.(value & flag & info [ "p"; "prelude" ] ~doc)
+
+let get_source file expr with_prelude =
+  let name, src =
+    match expr with Some s -> ("<expr>", s) | None -> read_input file
+  in
+  (name, if with_prelude then C.Prelude.wrap src else src)
+
+(* ---------------------------------------------------------------- *)
+(* check                                                             *)
+
+let check_cmd =
+  let run file expr global with_prelude =
+    handle (fun () ->
+        let name, src = get_source file expr with_prelude in
+        let ty =
+          C.Pipeline.typecheck ~file:name
+            ~resolution:(resolution_of_flag global) src
+        in
+        Fmt.pr "%a@." C.Pretty.pp_ty ty)
+  in
+  let file =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
+           ~doc:"Input program file ('-' for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Type check an FG program and print its type")
+    Term.(const run $ file $ expr_arg $ global_flag $ with_prelude_flag)
+
+(* ---------------------------------------------------------------- *)
+(* translate                                                         *)
+
+let translate_cmd =
+  let run file expr global with_prelude show_type =
+    handle (fun () ->
+        let name, src = get_source file expr with_prelude in
+        let f =
+          C.Pipeline.translate ~file:name
+            ~resolution:(resolution_of_flag global) src
+        in
+        Fmt.pr "%a@." F.Pretty.pp_exp f;
+        if show_type then
+          Fmt.pr "// : %a@." F.Pretty.pp_ty (F.Typecheck.typecheck f))
+  in
+  let file =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
+           ~doc:"Input program file ('-' for stdin).")
+  in
+  let show_type =
+    Arg.(value & flag
+         & info [ "t"; "type" ] ~doc:"Also print the System F type.")
+  in
+  Cmd.v
+    (Cmd.info "translate"
+       ~doc:"Translate an FG program to System F (dictionary passing)")
+    Term.(
+      const run $ file $ expr_arg $ global_flag $ with_prelude_flag
+      $ show_type)
+
+(* ---------------------------------------------------------------- *)
+(* run                                                               *)
+
+let run_cmd =
+  let run file expr global with_prelude verbose =
+    handle (fun () ->
+        let name, src = get_source file expr with_prelude in
+        let out =
+          C.Pipeline.run ~file:name ~resolution:(resolution_of_flag global)
+            src
+        in
+        if verbose then begin
+          Fmt.pr "type        : %a@." C.Pretty.pp_ty out.fg_ty;
+          Fmt.pr "value       : %a@." C.Interp.pp_flat out.value;
+          Fmt.pr "direct steps: %d@." out.direct_steps;
+          Fmt.pr "trans steps : %d@." out.translated_steps;
+          Fmt.pr "theorem     : %s@."
+            (if out.theorem_holds then "holds" else "VIOLATED")
+        end
+        else Fmt.pr "%a@." C.Interp.pp_flat out.value)
+  in
+  let file =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
+           ~doc:"Input program file ('-' for stdin).")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ]
+             ~doc:"Print the type, step counts and theorem status too.")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run the full pipeline: check, translate, verify the theorem, \
+          evaluate both directly and via the translation, and print the \
+          (agreeing) value")
+    Term.(
+      const run $ file $ expr_arg $ global_flag $ with_prelude_flag $ verbose)
+
+(* ---------------------------------------------------------------- *)
+(* elaborate                                                         *)
+
+let elaborate_cmd =
+  let run file expr global with_prelude =
+    handle (fun () ->
+        let name, src = get_source file expr with_prelude in
+        let ast = C.Parser.exp_of_string ~file:name src in
+        let _, elaborated, _ =
+          C.Check.elaborate ~resolution:(resolution_of_flag global) ast
+        in
+        Fmt.pr "%a@." C.Pretty.pp_exp elaborated)
+  in
+  let file =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
+           ~doc:"Input program file ('-' for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "elaborate"
+       ~doc:
+         "Print the elaborated FG program (implicit instantiations made \
+          explicit, member defaults filled in)")
+    Term.(const run $ file $ expr_arg $ global_flag $ with_prelude_flag)
+
+(* ---------------------------------------------------------------- *)
+(* verify                                                            *)
+
+let verify_cmd =
+  let run file expr global with_prelude =
+    handle (fun () ->
+        let name, src = get_source file expr with_prelude in
+        let ast = C.Parser.exp_of_string ~file:name src in
+        let report =
+          C.Theorems.check_translation
+            ~resolution:(resolution_of_flag global) ast
+        in
+        Fmt.pr "FG type          : %a@." C.Pretty.pp_ty report.fg_ty;
+        Fmt.pr "translated type  : %a@." F.Pretty.pp_ty report.expected_f_ty;
+        Fmt.pr "System F assigns : %a@." F.Pretty.pp_ty report.f_ty;
+        Fmt.pr "theorem          : holds@.")
+  in
+  let file =
+    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
+           ~doc:"Input program file ('-' for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check the paper's Theorems 1/2 on this program: the translation \
+          type checks in System F at the translated type")
+    Term.(const run $ file $ expr_arg $ global_flag $ with_prelude_flag)
+
+(* ---------------------------------------------------------------- *)
+(* corpus                                                            *)
+
+let corpus_cmd =
+  let run name_opt =
+    handle (fun () ->
+        match name_opt with
+        | None ->
+            List.iter
+              (fun (e : C.Corpus.entry) ->
+                Fmt.pr "%-30s %-18s %s@." e.name e.paper e.description)
+              C.Corpus.all
+        | Some name -> (
+            let e = C.Corpus.find name in
+            Fmt.pr "// %s (%s)@.%s@.@." e.description e.paper e.source;
+            match e.expected with
+            | C.Corpus.Value expect ->
+                let out = C.Pipeline.run ~file:e.name e.source in
+                Fmt.pr "value: %a (expected %a)@." C.Interp.pp_flat out.value
+                  C.Interp.pp_flat expect
+            | C.Corpus.Fails phase -> (
+                match C.Pipeline.run_result ~file:e.name e.source with
+                | Error d ->
+                    Fmt.pr "rejected as expected (%s): %s@."
+                      (Fg_util.Diag.phase_name phase)
+                      (Fg_util.Diag.to_string d)
+                | Ok _ -> failwith "expected failure but program succeeded")))
+  in
+  let entry_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"NAME"
+             ~doc:"Corpus entry to show and run (omit to list).")
+  in
+  Cmd.v
+    (Cmd.info "corpus"
+       ~doc:"List or run the built-in corpus of paper example programs")
+    Term.(const run $ entry_arg)
+
+(* ---------------------------------------------------------------- *)
+(* eq: same-type queries                                             *)
+
+let eq_cmd =
+  let run assumptions query =
+    handle (fun () ->
+        let eq =
+          List.fold_left
+            (fun eq src ->
+              match C.Parser.constr_of_string src with
+              | C.Ast.CSame (a, b) -> C.Equality.assume eq a b
+              | C.Ast.CModel _ ->
+                  failwith "assumptions must be same-type constraints (a == b)")
+            C.Equality.empty assumptions
+        in
+        match C.Parser.constr_of_string query with
+        | C.Ast.CSame (a, b) ->
+            Fmt.pr "%b@." (C.Equality.equal eq a b);
+            Fmt.pr "repr lhs: %a@." C.Pretty.pp_ty (C.Equality.repr eq a);
+            Fmt.pr "repr rhs: %a@." C.Pretty.pp_ty (C.Equality.repr eq b)
+        | C.Ast.CModel _ -> failwith "query must be a same-type constraint")
+  in
+  let assumptions =
+    Arg.(value & opt_all string []
+         & info [ "a"; "assume" ] ~docv:"EQ"
+             ~doc:"Assumed equality, e.g. 'C<int>.elt == int' (repeatable).")
+  in
+  let query =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"QUERY" ~doc:"Query equality, e.g. 'a == b'.")
+  in
+  Cmd.v
+    (Cmd.info "eq"
+       ~doc:
+         "Decide a same-type query under assumptions (congruence closure), \
+          printing the verdict and both representatives")
+    Term.(const run $ assumptions $ query)
+
+(* ---------------------------------------------------------------- *)
+(* repl                                                              *)
+
+let repl_cmd =
+  let run () = handle (fun () -> Repl.main ()) in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:
+         "Interactive session: declarations accumulate, expressions run \
+          through the full pipeline")
+    Term.(const run $ const ())
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let doc =
+    "System FG: concepts, models, where clauses, associated types and \
+     same-type constraints (PLDI 2005 reproduction)"
+  in
+  let info = Cmd.info "fgc" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            check_cmd; translate_cmd; run_cmd; verify_cmd; elaborate_cmd;
+            corpus_cmd; eq_cmd; repl_cmd;
+          ]))

@@ -1,0 +1,174 @@
+(* An interactive read-eval-print loop for System FG.
+
+   Declarations (concept / model / type alias / let) accumulate as the
+   session's scope prefix; expressions are run through the full pipeline
+   (check, translate, verify, evaluate both ways) against that prefix.
+
+   Commands:
+     :help              this message
+     :quit              leave
+     :type EXPR         show the FG type without evaluating
+     :translate EXPR    show the System F translation
+     :prelude           load the standard prelude into scope
+     :show              list the declarations in scope
+     :clear             drop all declarations
+   Anything else is FG: a declaration (no trailing 'in') or an
+   expression.  Multi-line input is supported — the REPL keeps reading
+   while the parse is incomplete. *)
+
+module C = Fg_core
+
+type state = {
+  mutable decls : string list;  (** reversed accumulated declarations *)
+  mutable prelude_loaded : bool;
+}
+
+let prefix st = String.concat "\n" (List.rev st.decls)
+
+let wrap st body =
+  let p = prefix st in
+  if p = "" then body else p ^ "\n" ^ body
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else go (i + 1)
+  in
+  nl = 0 || go 0
+
+let is_decl_start line =
+  let starts_with p =
+    String.length line >= String.length p
+    && String.sub line 0 (String.length p) = p
+  in
+  starts_with "concept " || starts_with "model " || starts_with "model<"
+  || starts_with "model <" || starts_with "type " || starts_with "let "
+
+(* A parse failure at end of input means "keep typing" — except the
+   one a complete declaration produces (the parser reaching the end
+   while expecting the body's [in], which we add ourselves). *)
+let incomplete_parse src ~as_decl =
+  match Fg_util.Diag.protect (fun () -> C.Parser.exp_of_string src) with
+  | Ok _ -> false
+  | Error d ->
+      d.phase = Fg_util.Diag.Parser
+      && contains ~needle:"end of input" d.message
+      && not (as_decl && contains ~needle:"expected keyword 'in'" d.message)
+
+let print_error d = Fmt.pr "error: %a@." Fg_util.Diag.pp d
+
+let commit_decl st text =
+  (* validate: prefix + new declaration + trivial body must check *)
+  let candidate = wrap st (text ^ "\nin 0") in
+  match
+    Fg_util.Diag.protect (fun () ->
+        ignore (C.Check.typecheck (C.Parser.exp_of_string candidate)))
+  with
+  | Ok () ->
+      st.decls <- (text ^ " in") :: st.decls;
+      Fmt.pr "defined.@."
+  | Error d -> print_error d
+
+let eval_expr st text =
+  match C.Pipeline.run_result ~file:"<repl>" (wrap st text) with
+  | Ok out ->
+      Fmt.pr "- : %a = %a@." C.Pretty.pp_ty out.fg_ty C.Interp.pp_flat
+        out.value
+  | Error d -> print_error d
+
+let show_type st text =
+  match
+    Fg_util.Diag.protect (fun () ->
+        C.Check.typecheck ~escape_check:false
+          (C.Parser.exp_of_string ~file:"<repl>" (wrap st text)))
+  with
+  | Ok ty -> Fmt.pr "- : %a@." C.Pretty.pp_ty ty
+  | Error d -> print_error d
+
+let show_translation st text =
+  match
+    Fg_util.Diag.protect (fun () ->
+        C.Check.translate ~escape_check:false
+          (C.Parser.exp_of_string ~file:"<repl>" (wrap st text)))
+  with
+  | Ok f -> Fmt.pr "%a@." Fg_systemf.Pretty.pp_exp f
+  | Error d -> print_error d
+
+let load_prelude st =
+  if st.prelude_loaded then Fmt.pr "prelude already loaded.@."
+  else begin
+    (* strip the final newline; each fragment already ends in "in" *)
+    st.decls <- String.trim C.Prelude.full :: st.decls;
+    st.prelude_loaded <- true;
+    Fmt.pr
+      "prelude loaded: Eq, Ord, Semigroup, Monoid, Group, Iterator, \
+       OutputIterator, Container; models for int/bool/lists; accumulate, \
+       count, contains, copy, min_element, equal_ranges, merge, power, ...@."
+  end
+
+let help () =
+  Fmt.pr
+    ":help, :quit, :type EXPR, :translate EXPR, :prelude, :show, :clear@.\
+     declarations (concept/model/type/let, no trailing 'in') accumulate;@.\
+     expressions run through the full pipeline.@."
+
+(* Read one logical input (possibly multi-line). *)
+let read_input () =
+  Fmt.pr "fg> %!";
+  match In_channel.input_line stdin with
+  | None -> None
+  | Some first ->
+      let buf = Buffer.create 64 in
+      Buffer.add_string buf first;
+      let as_decl = is_decl_start (String.trim first) in
+      let rec more () =
+        let text = Buffer.contents buf in
+        if String.trim text = "" then Some text
+        else if
+          (not (String.length (String.trim text) > 0 && text.[0] = ':'))
+          && incomplete_parse text ~as_decl
+        then begin
+          Fmt.pr "  > %!";
+          match In_channel.input_line stdin with
+          | None -> Some text
+          | Some line ->
+              Buffer.add_char buf '\n';
+              Buffer.add_string buf line;
+              more ()
+        end
+        else Some text
+      in
+      more ()
+
+let main () =
+  Fmt.pr "System FG interactive (PLDI 2005 reproduction). :help for help.@.";
+  let st = { decls = []; prelude_loaded = false } in
+  let rec loop () =
+    match read_input () with
+    | None -> Fmt.pr "@."
+    | Some raw ->
+        let text = String.trim raw in
+        (if text = "" then ()
+         else if text = ":quit" || text = ":q" then raise Exit
+         else if text = ":help" then help ()
+         else if text = ":prelude" then load_prelude st
+         else if text = ":clear" then begin
+           st.decls <- [];
+           st.prelude_loaded <- false;
+           Fmt.pr "cleared.@."
+         end
+         else if text = ":show" then
+           List.iter (fun d -> Fmt.pr "%s@." d) (List.rev st.decls)
+         else if String.length text > 6 && String.sub text 0 6 = ":type " then
+           show_type st (String.sub text 6 (String.length text - 6))
+         else if
+           String.length text > 11 && String.sub text 0 11 = ":translate "
+         then show_translation st (String.sub text 11 (String.length text - 11))
+         else if text.[0] = ':' then Fmt.pr "unknown command; :help@."
+         else if is_decl_start text then commit_decl st text
+         else eval_expr st text);
+        loop ()
+  in
+  try loop () with Exit -> ()

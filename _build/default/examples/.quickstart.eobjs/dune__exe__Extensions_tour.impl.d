@@ -1,0 +1,1 @@
+examples/extensions_tour.ml: Fg_core Fg_systemf Fmt Printf

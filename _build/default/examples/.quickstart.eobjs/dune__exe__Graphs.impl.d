@@ -1,0 +1,1 @@
+examples/graphs.ml: Fg_core Fmt Printf String

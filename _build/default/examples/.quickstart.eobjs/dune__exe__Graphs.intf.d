@@ -1,0 +1,1 @@
+examples/graphs.mli:

@@ -1,0 +1,1 @@
+examples/iterators_stl.ml: Fg_core Fmt Printf

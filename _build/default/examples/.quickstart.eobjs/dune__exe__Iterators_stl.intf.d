@@ -1,0 +1,1 @@
+examples/iterators_stl.mli:

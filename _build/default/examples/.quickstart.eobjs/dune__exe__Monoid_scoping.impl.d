@@ -1,0 +1,1 @@
+examples/monoid_scoping.ml: Fg_core Fg_util Fmt

@@ -1,0 +1,1 @@
+examples/monoid_scoping.mli:

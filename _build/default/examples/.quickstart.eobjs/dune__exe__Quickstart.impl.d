@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fg_core Fg_systemf Fmt

@@ -1,0 +1,1 @@
+examples/semirings.ml: Fg_core Fmt Printf

@@ -1,0 +1,1 @@
+examples/square_four_ways.ml: Fg_core Fg_systemf Fmt

@@ -1,0 +1,1 @@
+examples/square_four_ways.mli:

@@ -1,0 +1,1 @@
+lib/congruence/closure.ml: Array Fg_unionfind Fg_util Hashtbl List Option Term

@@ -1,0 +1,1 @@
+lib/congruence/closure.mli: Term

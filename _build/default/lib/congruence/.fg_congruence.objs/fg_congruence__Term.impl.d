@@ -1,0 +1,1 @@
+lib/congruence/term.ml: Fg_util Fmt Int List String

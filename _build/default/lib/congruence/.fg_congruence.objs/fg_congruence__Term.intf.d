@@ -1,0 +1,1 @@
+lib/congruence/term.mli: Fmt

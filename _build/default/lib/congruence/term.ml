@@ -1,0 +1,34 @@
+(** First-order terms over uninterpreted function symbols.
+
+    The congruence closure is generic: clients (the FG type-equality
+    engine) encode their objects as terms.  A symbol is a plain string;
+    arity is implicit in the argument list, and the same symbol name used
+    at two different arities denotes two different function symbols. *)
+
+type t = { sym : string; args : t list }
+
+let make sym args = { sym; args }
+let const sym = { sym; args = [] }
+
+let rec equal a b =
+  String.equal a.sym b.sym && List.equal equal a.args b.args
+
+let rec size t = 1 + List.fold_left (fun acc a -> acc + size a) 0 t.args
+
+let rec depth t = 1 + List.fold_left (fun acc a -> max acc (depth a)) 0 t.args
+
+(** Total order: by size, then structure.  Used as the default
+    representative preference (smallest term wins, deterministically). *)
+let rec compare a b =
+  let c = Int.compare (size a) (size b) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.sym b.sym in
+    if c <> 0 then c else List.compare compare a.args b.args
+
+let rec pp ppf t =
+  match t.args with
+  | [] -> Fmt.string ppf t.sym
+  | args -> Fmt.pf ppf "%s(@[%a@])" t.sym (Fmt.list ~sep:Fmt.comma pp) args
+
+let to_string t = Fg_util.Pp_util.to_string pp t

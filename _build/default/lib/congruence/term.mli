@@ -1,0 +1,25 @@
+(** First-order terms over uninterpreted function symbols.
+
+    Clients of the congruence closure encode their objects as terms.  A
+    symbol is a plain string; arity is implicit in the argument list,
+    and the same symbol name at two different arities denotes two
+    different function symbols. *)
+
+type t = { sym : string; args : t list }
+
+val make : string -> t list -> t
+val const : string -> t
+
+val equal : t -> t -> bool
+
+(** Node count. *)
+val size : t -> int
+
+val depth : t -> int
+
+(** Total order: by size, then structure — the default representative
+    preference (smallest term wins, deterministically). *)
+val compare : t -> t -> int
+
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/fg/ast.ml: Fg_systemf Fg_util List Loc Names String

@@ -1,0 +1,1 @@
+lib/fg/ast.mli: Fg_systemf Fg_util Loc

@@ -1,0 +1,1 @@
+lib/fg/check.ml: Ast Diag Env Fg_systemf Fg_util Hashtbl List Names Option Pretty Printf Resolution String Types

@@ -1,0 +1,1 @@
+lib/fg/check.mli: Ast Env Fg_systemf Fg_util Resolution

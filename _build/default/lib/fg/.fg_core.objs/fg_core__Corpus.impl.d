@@ -1,0 +1,1 @@
+lib/fg/corpus.ml: Fg_util Interp List String

@@ -1,0 +1,1 @@
+lib/fg/corpus.mli: Fg_util Interp

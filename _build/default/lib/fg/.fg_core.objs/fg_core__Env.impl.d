@@ -1,0 +1,1 @@
+lib/fg/env.ml: Ast Diag Equality Fg_util Gensym List Names Pretty Resolution String

@@ -1,0 +1,1 @@
+lib/fg/env.mli: Ast Equality Fg_util Resolution

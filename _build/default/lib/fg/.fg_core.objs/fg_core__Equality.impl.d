@@ -1,0 +1,1 @@
+lib/fg/equality.ml: Ast Diag Fg_congruence Fg_util Hashtbl List Pp_util Pretty Printf String

@@ -1,0 +1,1 @@
+lib/fg/equality.mli: Ast

@@ -1,0 +1,1 @@
+lib/fg/gen.ml: Array Ast Fg_util Fun List Pretty Printf Random

@@ -1,0 +1,1 @@
+lib/fg/gen.mli: Ast Random

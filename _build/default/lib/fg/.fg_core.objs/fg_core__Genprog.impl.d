@@ -1,0 +1,1 @@
+lib/fg/genprog.ml: Buffer Corpus Printf

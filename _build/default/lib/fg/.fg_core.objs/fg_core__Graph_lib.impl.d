@@ -1,0 +1,1 @@
+lib/fg/graph_lib.ml: List Prelude Printf

@@ -1,0 +1,1 @@
+lib/fg/interp.ml: Ast Diag Fg_systemf Fg_util Fmt List Names Pp_util Pretty String

@@ -1,0 +1,1 @@
+lib/fg/interp.mli: Ast Fg_systemf Fg_util Fmt

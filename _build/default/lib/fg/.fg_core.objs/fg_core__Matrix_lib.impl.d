@@ -1,0 +1,1 @@
+lib/fg/matrix_lib.ml: List Prelude Printf

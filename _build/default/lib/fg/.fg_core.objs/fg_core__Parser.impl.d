@@ -1,0 +1,1 @@
+lib/fg/parser.ml: Ast Fg_syntax Fg_systemf Fg_util List Parser_base Token

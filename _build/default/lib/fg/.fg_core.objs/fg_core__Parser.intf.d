@@ -1,0 +1,1 @@
+lib/fg/parser.mli: Ast

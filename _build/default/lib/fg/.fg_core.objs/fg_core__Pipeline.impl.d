@@ -1,0 +1,1 @@
+lib/fg/pipeline.ml: Ast Check Diag Fg_systemf Fg_util Interp Parser Theorems

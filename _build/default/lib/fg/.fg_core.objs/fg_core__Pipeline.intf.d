@@ -1,0 +1,1 @@
+lib/fg/pipeline.mli: Ast Fg_systemf Fg_util Interp Resolution

@@ -1,0 +1,1 @@
+lib/fg/prelude.ml: List Printf

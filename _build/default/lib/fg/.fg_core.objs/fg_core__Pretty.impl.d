@@ -1,0 +1,1 @@
+lib/fg/pretty.ml: Ast Fg_util Fmt List Pp_util

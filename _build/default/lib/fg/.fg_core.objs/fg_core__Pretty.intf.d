@@ -1,0 +1,1 @@
+lib/fg/pretty.mli: Ast Fmt

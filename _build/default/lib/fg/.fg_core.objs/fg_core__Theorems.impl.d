@@ -1,0 +1,1 @@
+lib/fg/theorems.ml: Ast Check Diag Env Fg_systemf Fg_util Interp Pretty Types

@@ -1,0 +1,1 @@
+lib/fg/theorems.mli: Ast Fg_systemf Fg_util Interp Resolution

@@ -1,0 +1,1 @@
+lib/fg/types.ml: Ast Diag Env Fg_systemf Fg_util List Names Pretty String

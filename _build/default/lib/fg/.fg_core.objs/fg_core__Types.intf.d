@@ -1,0 +1,1 @@
+lib/fg/types.mli: Ast Env Fg_systemf Fg_util

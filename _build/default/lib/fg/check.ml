@@ -1,0 +1,742 @@
+(** The System FG type checker and its type-directed translation to
+    System F (paper Figures 9 and 13, presented as one judgment
+    [Γ ⊢ e : τ ⇒ f]).
+
+    Checking and translation are computed together, exactly as in the
+    paper: models become let-bound dictionary tuples (MDL), type
+    abstractions gain a type parameter per associated type and a
+    dictionary parameter per requirement (TABS), type applications are
+    given the representative of each associated type and the dictionary
+    of each matched model (TAPP), and member accesses become [nth]
+    projection chains (MEM).  Concept declarations erase (CPT). *)
+
+open Ast
+open Fg_util
+module F = Fg_systemf.Ast
+module FPrims = Fg_systemf.Prims
+module Smap = Names.Smap
+module Sset = Names.Sset
+
+(** Embed a System F type into FG (primitive type schemes). *)
+let rec ty_of_f : F.ty -> ty = function
+  | F.TBase b -> TBase b
+  | F.TVar a -> TVar a
+  | F.TArrow (args, ret) -> TArrow (List.map ty_of_f args, ty_of_f ret)
+  | F.TTuple ts -> TTuple (List.map ty_of_f ts)
+  | F.TList t -> TList (ty_of_f t)
+  | F.TForall (tvs, body) -> TForall (tvs, [], ty_of_f body)
+
+let type_mismatch ?loc ~expected ~got what =
+  Diag.type_error ?loc "%s: expected %s but got %s" what
+    (Pretty.ty_to_string expected)
+    (Pretty.ty_to_string got)
+
+let require_equal ?loc env ~expected ~got what =
+  if not (Env.ty_eq ?loc env expected got) then
+    type_mismatch ?loc ~expected ~got what
+
+(* ------------------------------------------------------------------ *)
+(* Concept declarations (CPT)                                          *)
+
+let check_concept_decl ?loc env (d : concept_decl) : unit =
+  if d.c_params = [] then
+    Diag.wf_error ?loc "concept %s must have at least one type parameter"
+      d.c_name;
+  (match Names.find_duplicate d.c_params with
+  | Some p ->
+      Diag.wf_error ?loc "duplicate type parameter '%s' in concept %s" p
+        d.c_name
+  | None -> ());
+  (match Names.find_duplicate d.c_assoc with
+  | Some s ->
+      Diag.wf_error ?loc "duplicate associated type '%s' in concept %s" s
+        d.c_name
+  | None -> ());
+  (match Names.find_duplicate (List.map fst d.c_members) with
+  | Some x ->
+      Diag.wf_error ?loc "duplicate member '%s' in concept %s" x d.c_name
+  | None -> ());
+  List.iter
+    (fun p ->
+      if Env.tyvar_in_scope env p then
+        Diag.wf_error ?loc
+          "type parameter '%s' of concept %s shadows a type variable in scope"
+          p d.c_name)
+    d.c_params;
+  (* Refinement arguments are checked left to right; each refinement may
+     mention the concept's parameters, its own associated types, and the
+     associated types of earlier refinements. *)
+  let visible =
+    List.fold_left
+      (fun visible (c', rargs) ->
+        let decl' = Env.lookup_concept_exn ?loc env c' in
+        Types.arity_check ?loc "concept" c'
+          ~expected:(List.length decl'.c_params)
+          ~got:(List.length rargs);
+        if String.equal c' d.c_name then
+          Diag.wf_error ?loc "concept %s cannot refine itself" d.c_name;
+        let env_vis = Env.bind_tyvars env (d.c_params @ d.c_assoc @ visible) in
+        List.iter (Types.wf_ty ?loc env_vis) rargs;
+        (* Inherited associated-type names become visible. *)
+        let inherited =
+          let rec names c =
+            let decl = Env.lookup_concept_exn ?loc env c in
+            decl.c_assoc
+            @ List.concat_map (fun (c'', _) -> names c'') decl.c_refines
+          in
+          names c'
+        in
+        List.fold_left
+          (fun vis s -> if List.mem s vis then vis else vis @ [ s ])
+          visible inherited)
+      [] d.c_refines
+  in
+  (* Member types and same-type requirements may mention the refined
+     concepts' associated types, both by bare name and as qualified
+     projections (e.g. [same Iterator<i>.elt == int]).  Qualified
+     projections are only well-formed under a model, so check them in a
+     scratch environment with proxy models for every refinement —
+     exactly what a where clause over the refinements would provide. *)
+  let visible =
+    (* The concept's own parameters and associated types shadow
+       inherited associated-type names. *)
+    List.filter
+      (fun s -> not (List.mem s d.c_params || List.mem s d.c_assoc))
+      visible
+  in
+  (* arity of nested requirements *)
+  List.iter
+    (fun (c', rargs) ->
+      let decl' = Env.lookup_concept_exn ?loc env c' in
+      Types.arity_check ?loc "concept" c'
+        ~expected:(List.length decl'.c_params)
+        ~got:(List.length rargs))
+    d.c_requires;
+  let env_members, _plan =
+    Types.process_where ?loc env
+      (d.c_params @ d.c_assoc @ visible)
+      (List.map
+         (fun (c', rargs) -> CModel (c', rargs))
+         (d.c_refines @ d.c_requires))
+  in
+  List.iter (fun (_, ty) -> Types.wf_ty ?loc env_members ty) d.c_members;
+  List.iter
+    (fun (a, b) ->
+      Types.wf_ty ?loc env_members a;
+      Types.wf_ty ?loc env_members b)
+    d.c_same;
+  (* Default member bodies are checked generically, under a proxy model
+     of the concept itself (as if inside [tfun t̄ where C<t̄>]); they are
+     re-elaborated per model.  Bare associated-type names are not in
+     scope inside default bodies — use qualified projections. *)
+  List.iter
+    (fun (x, _) ->
+      if not (List.mem_assoc x d.c_members) then
+        Diag.wf_error ?loc "default for '%s', which is not a member of %s" x
+          d.c_name)
+    d.c_defaults
+
+(* ------------------------------------------------------------------ *)
+(* The main judgment                                                   *)
+
+(* The judgment returns three things: the FG type, an ELABORATED FG
+   expression (implicit instantiations made explicit, so the direct
+   interpreter can run it), and the System F translation. *)
+let rec check (env : Env.t) (e : exp) : ty * exp * F.exp =
+  let loc = e.loc in
+  match e.desc with
+  | Var x -> (
+      match Env.lookup_var env x with
+      | Some t -> (t, e, F.var ~loc x)
+      | None -> Diag.type_error ~loc "unbound variable '%s'" x)
+  | Lit (LInt n) -> (TBase TInt, e, F.int ~loc n)
+  | Lit (LBool b) -> (TBase TBool, e, F.bool ~loc b)
+  | Lit LUnit -> (TBase TUnit, e, F.unit ~loc ())
+  | Prim p ->
+      let info = FPrims.lookup_exn ~loc p in
+      (ty_of_f info.ty, e, F.prim ~loc p)
+  | App (f, args) -> (
+      let tf, f_elab, f' = check env f in
+      let checked = List.map (check env) args in
+      let arg_elabs = List.map (fun (_, a, _) -> a) checked in
+      let finish params ret head_elab head =
+        if List.length params <> List.length args then
+          Diag.type_error ~loc
+            "function expects %d argument(s) but is applied to %d"
+            (List.length params) (List.length args);
+        let args' =
+          List.map2
+            (fun param (ta, a_elab, a') ->
+              require_equal ~loc:a_elab.loc env ~expected:param ~got:ta
+                "argument";
+              a')
+            params checked
+        in
+        (ret, app ~loc head_elab arg_elabs, F.app ~loc head args')
+      in
+      match Env.ty_repr ~loc env tf with
+      | TArrow (params, ret) -> finish params ret f_elab f'
+      | TForall (tvs, _, TArrow (params, _)) as poly ->
+          (* Implicit instantiation (Section 6, in the decidable
+             restriction): infer the type arguments by first-order
+             matching of the parameter types against the argument
+             types, then proceed exactly as an explicit TyApp. *)
+          if List.length params <> List.length args then
+            Diag.type_error ~loc
+              "generic function expects %d argument(s) but is applied to %d"
+              (List.length params) (List.length args);
+          let actuals = List.map (fun (ta, _, _) -> ta) checked in
+          let inferred = infer_ty_args ~loc env tvs params actuals in
+          let inst_ty, inst_f = elaborate_tyapp env ~loc (poly, f') inferred in
+          let inst_elab = tyapp ~loc f_elab inferred in
+          (match Env.ty_repr ~loc env inst_ty with
+          | TArrow (params, ret) -> finish params ret inst_elab inst_f
+          | t ->
+              Diag.type_error ~loc
+                "implicitly instantiated function has non-function type %s"
+                (Pretty.ty_to_string t))
+      | t ->
+          Diag.type_error ~loc "applied expression has non-function type %s"
+            (Pretty.ty_to_string t))
+  | Abs (params, body) ->
+      (match Names.find_duplicate (List.map fst params) with
+      | Some x -> Diag.type_error ~loc "duplicate parameter '%s'" x
+      | None -> ());
+      let env' =
+        List.fold_left
+          (fun acc (x, t) ->
+            Types.wf_ty ~loc env t;
+            Env.bind_var acc x t)
+          env params
+      in
+      let tbody, body_elab, body' = check env' body in
+      let params' =
+        List.map (fun (x, t) -> (x, Types.translate_ty ~loc env t)) params
+      in
+      ( TArrow (List.map snd params, tbody),
+        abs ~loc params body_elab,
+        F.abs ~loc params' body' )
+  | TyAbs (tvs, constrs, body) ->
+      let env', plan = Types.process_where ~loc env tvs constrs in
+      let tbody, body_elab, body' = check env' body in
+      (* Representative selection inside the body may have rewritten
+         associated-type projections to their internal fresh variables
+         (s'); those must not escape the abstraction, so rewrite them
+         back to the projections they stand for. *)
+      let tbody =
+        subst_ty_list
+          (List.map
+             (fun (v, (c, args, s)) -> (v, TAssoc (c, args, s)))
+             plan.Types.p_slots)
+          tbody
+      in
+      let fg_ty = TForall (tvs, constrs, tbody) in
+      let f_exp =
+        if Types.no_requirements plan then F.tyabs ~loc tvs body'
+        else
+          F.tyabs ~loc
+            (tvs @ List.map fst plan.Types.p_slots)
+            (F.abs ~loc
+               (List.map (fun (d, _, dty) -> (d, dty)) plan.Types.p_dicts)
+               body')
+      in
+      (fg_ty, tyabs ~loc tvs constrs body_elab, f_exp)
+  | TyApp (f, tys) ->
+      let tf, f_elab, f' = check env f in
+      let ty, f_exp = elaborate_tyapp env ~loc (Env.ty_repr ~loc env tf, f') tys in
+      (ty, tyapp ~loc f_elab tys, f_exp)
+  | Let (x, rhs, body) ->
+      let trhs, rhs_elab, rhs' = check env rhs in
+      let tbody, body_elab, body' = check (Env.bind_var env x trhs) body in
+      (tbody, let_ ~loc x rhs_elab body_elab, F.let_ ~loc x rhs' body')
+  | Tuple es ->
+      let checked = List.map (check env) es in
+      ( TTuple (List.map (fun (t, _, _) -> t) checked),
+        tuple ~loc (List.map (fun (_, a, _) -> a) checked),
+        F.tuple ~loc (List.map (fun (_, _, f) -> f) checked) )
+  | Nth (e0, k) -> (
+      let t0, e0_elab, e0' = check env e0 in
+      match Env.ty_repr ~loc env t0 with
+      | TTuple ts when k >= 0 && k < List.length ts ->
+          (List.nth ts k, nth ~loc e0_elab k, F.nth ~loc e0' k)
+      | TTuple ts ->
+          Diag.type_error ~loc "projection %d out of bounds for %d-tuple" k
+            (List.length ts)
+      | t ->
+          Diag.type_error ~loc "nth applied to non-tuple type %s"
+            (Pretty.ty_to_string t))
+  | Fix (x, t, body) ->
+      Types.wf_ty ~loc env t;
+      let tbody, body_elab, body' = check (Env.bind_var env x t) body in
+      require_equal ~loc env ~expected:t ~got:tbody "fix body";
+      ( t,
+        fix ~loc x t body_elab,
+        F.fix ~loc x (Types.translate_ty ~loc env t) body' )
+  | If (c, t, f) ->
+      let tc, c_elab, c' = check env c in
+      require_equal ~loc:c.loc env ~expected:(TBase TBool) ~got:tc
+        "if condition";
+      let tt, t_elab, t' = check env t in
+      let tf, f_elab, f' = check env f in
+      require_equal ~loc env ~expected:tt ~got:tf "else branch";
+      (tt, if_ ~loc c_elab t_elab f_elab, F.if_ ~loc c' t' f')
+  | Member (c, args, x) -> (
+      ignore (Env.lookup_concept_exn ~loc env c);
+      List.iter (Types.wf_ty ~loc env) args;
+      match Env.lookup_model ~loc env c args with
+      | None ->
+          Diag.resolve_error ~loc "no model of %s in scope for member access"
+            (Pretty.constr_to_string (CModel (c, args)))
+      | Some fm -> (
+          match Types.member_lookup ~loc env (c, args) x with
+          | None ->
+              Diag.type_error ~loc "concept %s has no member '%s'" c x
+          | Some (ty, path) ->
+              (ty, e, F.nth_path ~loc (Types.model_dict_exp ~loc env fm) path)))
+  | ConceptDecl (d, body) ->
+      check_concept_decl ~loc env d;
+      let env' = Env.bind_concept env d in
+      (* Generic validation of default bodies: check each under a proxy
+         model of the concept at its own parameters. *)
+      if d.c_defaults <> [] then begin
+        let fresh_params = List.map (fun p -> Env.fresh env' p) d.c_params in
+        let env_d, _ =
+          Types.process_where ~loc env' fresh_params
+            [ CModel (d.c_name, List.map (fun p -> TVar p) fresh_params) ]
+        in
+        let subst =
+          Types.instantiation_subst ~loc env_d
+            (d.c_name, List.map (fun p -> TVar p) fresh_params)
+        in
+        List.iter
+          (fun (x, default) ->
+            let expected = subst_ty_list subst (List.assoc x d.c_members) in
+            let got, _, _ =
+              check env_d (subst_ty_exp (subst_of_list subst) default)
+            in
+            if not (Env.ty_eq ~loc env_d expected got) then
+              type_mismatch ~loc ~expected ~got
+                (Printf.sprintf "default for member '%s' of concept %s" x
+                   d.c_name))
+          d.c_defaults
+      end;
+      let tbody, body_elab, body' = check env' body in
+      if env.Env.escape_check && Sset.mem d.c_name (concept_names tbody) then
+        Diag.type_error ~loc
+          "concept %s escapes its scope in the type %s of the body" d.c_name
+          (Pretty.ty_to_string tbody);
+      (tbody, concept_decl ~loc d body_elab, body')
+  | ModelDecl (d, body) -> check_model_decl env ~loc d body
+  | Using (m, body) -> (
+      match Env.lookup_named_model env m with
+      | None -> Diag.resolve_error ~loc "unknown named model '%s'" m
+      | Some entry ->
+          let tbody, body_elab, body' = check (Env.bind_model env entry) body in
+          (tbody, using ~loc m body_elab, body'))
+  | TypeAlias (t, ty, body) ->
+      Types.wf_ty ~loc env ty;
+      if Env.tyvar_in_scope env t then
+        Diag.wf_error ~loc "type alias '%s' shadows a type variable in scope" t;
+      let env' = Env.assume (Env.bind_tyvars env [ t ]) (TVar t) ty in
+      let tbody, body_elab, body' = check env' body in
+      let f_ty = Types.translate_ty ~loc env ty in
+      ( subst_ty_list [ (t, ty) ] tbody,
+        type_alias ~loc t ty body_elab,
+        F.subst_ty_exp (Smap.singleton t f_ty) body' )
+
+(* MDL: check a model declaration and translate it to a let-bound
+   dictionary.  A ground model becomes a tuple (Figure 7).  A
+   parameterized model — [model <t̄> where C̄ => C<pat̄> {...}], the
+   parameterized-instance extension of Section 6 — becomes a polymorphic
+   dictionary FUNCTION: a [fix]-bound type abstraction over the
+   parameters (plus associated-type slots) and a lambda over the context
+   dictionaries, so instances are built on demand at each use, and the
+   model may refer to itself (e.g. equality on lists recursing through
+   tails). *)
+(* TAPP: instantiate a (repr'd) polymorphic type at explicit type
+   arguments — checking the where clause and supplying the associated
+   type slots and dictionaries of the plan. *)
+and elaborate_tyapp env ~loc ((tf_repr : ty), (f' : F.exp)) (tys : ty list) :
+    ty * F.exp =
+  match tf_repr with
+  | TForall (tvs, constrs, body) ->
+      if List.length tvs <> List.length tys then
+        Diag.type_error ~loc
+          "type abstraction expects %d type argument(s) but got %d"
+          (List.length tvs) (List.length tys);
+      List.iter (Types.wf_ty ~loc env) tys;
+      (* Alpha-rename the binders so the plan can be recomputed at this
+         site even when the binder names are already in scope here;
+         renaming does not change the plan's layout. *)
+      let fresh_tvs = List.map (fun a -> Env.fresh env a) tvs in
+      let rename = List.map2 (fun a b -> (a, TVar b)) tvs fresh_tvs in
+      let constrs_r = List.map (subst_constr_list rename) constrs in
+      let _, plan = Types.process_where ~loc env fresh_tvs constrs_r in
+      let s = List.combine fresh_tvs tys in
+      let s_orig = List.combine tvs tys in
+      (* Check the instantiated where clause. *)
+      List.iter
+        (fun constr ->
+          match subst_constr_list s constr with
+          | CModel (c, args) -> (
+              match Env.lookup_model ~loc env c args with
+              | Some _ -> ()
+              | None ->
+                  Diag.resolve_error ~loc "no model of %s in scope"
+                    (Pretty.constr_to_string (CModel (c, args))))
+          | CSame (a, b) ->
+              if not (Env.ty_eq ~loc env a b) then
+                Diag.type_error ~loc
+                  "same-type constraint not satisfied: %s is not equal to %s"
+                  (Pretty.ty_to_string a) (Pretty.ty_to_string b))
+        constrs_r;
+      let result_ty = subst_ty_list s_orig body in
+      let ty_args = List.map (Types.translate_ty ~loc env) tys in
+      let f_exp =
+        if Types.no_requirements plan then F.tyapp ~loc f' ty_args
+        else begin
+          let slot_actuals = Types.plan_slot_actuals ~loc env ~subst:s plan in
+          let dict_actuals = Types.plan_dict_actuals ~loc env ~subst:s plan in
+          F.app ~loc (F.tyapp ~loc f' (ty_args @ slot_actuals)) dict_actuals
+        end
+      in
+      (result_ty, f_exp)
+  | t ->
+      Diag.type_error ~loc
+        "type-applied expression has non-polymorphic type %s"
+        (Pretty.ty_to_string t)
+
+(* Infer type arguments for implicit instantiation by one-way matching
+   of the declared parameter types (patterns over the binders) against
+   the actual argument types.  Associated-type projections over
+   undetermined binders cannot be inverted, so they are skipped during
+   matching and checked by the ordinary argument-type comparison after
+   instantiation.  Every binder must end up determined. *)
+and infer_ty_args ~loc env (tvs : string list) (params : ty list)
+    (actuals : ty list) : ty list =
+  let holes = Names.Sset.of_list tvs in
+  let bindings : (string, ty) Hashtbl.t = Hashtbl.create 8 in
+  let rec go pat actual =
+    match pat with
+    | TVar a when Names.Sset.mem a holes -> (
+        match Hashtbl.find_opt bindings a with
+        | Some bound ->
+            if not (Env.ty_eq ~loc env bound actual) then
+              Diag.type_error ~loc
+                "cannot infer type argument '%s': matched both %s and %s" a
+                (Pretty.ty_to_string bound)
+                (Pretty.ty_to_string actual)
+        | None -> Hashtbl.replace bindings a actual)
+    | _ when Names.Sset.is_empty (Names.Sset.inter (ftv pat) holes) -> ()
+    | TAssoc _ -> () (* not invertible; checked after instantiation *)
+    | _ -> (
+        match (pat, Env.ty_repr ~loc env actual) with
+        | TList p, TList a -> go p a
+        | TArrow (ps, pr), TArrow (as_, ar)
+          when List.length ps = List.length as_ ->
+            List.iter2 go ps as_;
+            go pr ar
+        | TTuple ps, TTuple as_ when List.length ps = List.length as_ ->
+            List.iter2 go ps as_
+        | TForall _, _ -> () (* under binders: leave to the final check *)
+        | p, a ->
+            Diag.type_error ~loc
+              "cannot infer type arguments: parameter type %s does not \
+               match argument type %s"
+              (Pretty.ty_to_string p) (Pretty.ty_to_string a))
+  in
+  List.iter2 go params actuals;
+  List.map
+    (fun a ->
+      match Hashtbl.find_opt bindings a with
+      | Some t -> t
+      | None ->
+          Diag.type_error ~loc
+            "cannot infer type argument '%s'; instantiate explicitly with \
+             [...]"
+            a)
+    tvs
+
+and check_model_decl env ~loc (d : model_decl) body : ty * exp * F.exp =
+  let c = d.m_concept in
+  let decl = Env.lookup_concept_exn ~loc env c in
+  Types.arity_check ~loc "concept" c
+    ~expected:(List.length decl.c_params)
+    ~got:(List.length d.m_args);
+  let parameterized = d.m_params <> [] in
+  (* Parameter hygiene: every parameter must be determined by the
+     modeled types, or resolution could never instantiate it. *)
+  (match Names.find_duplicate d.m_params with
+  | Some p -> Diag.wf_error ~loc "duplicate model parameter '%s'" p
+  | None -> ());
+  let args_ftv =
+    List.fold_left
+      (fun acc t -> Sset.union acc (ftv t))
+      Sset.empty d.m_args
+  in
+  List.iter
+    (fun p ->
+      if not (Sset.mem p args_ftv) then
+        Diag.wf_error ~loc
+          "model parameter '%s' does not occur in the modeled type(s)" p)
+    d.m_params;
+  (* The model's own context: binders + proxy models, like a where
+     clause.  For ground models this is a no-op. *)
+  let env_m, ctx_plan = Types.process_where ~loc env d.m_params d.m_constrs in
+  List.iter (Types.wf_ty ~loc env_m) d.m_args;
+  (* Haskell-style ablation: models are globally unique per concept and
+     argument list, wherever they are declared.  (For parameterized
+     models the comparison is syntactic up to parameter renaming.) *)
+  (match env.Env.resolution with
+  | Resolution.Lexical -> ()
+  | Resolution.Global ->
+      let canon params args =
+        let ren = List.mapi (fun i p -> (p, TVar (Printf.sprintf "#%d" i))) params in
+        List.map (subst_ty_list ren) args
+      in
+      let mine = canon d.m_params d.m_args in
+      if
+        List.exists
+          (fun (c', args') ->
+            String.equal c c'
+            && List.length args' = List.length mine
+            && List.for_all2 ty_equal args' mine)
+          !(env.Env.global_models)
+      then
+        Diag.resolve_error ~loc
+          "overlapping model of %s (global-resolution mode rejects \
+           overlapping models anywhere in the program)"
+          (Pretty.constr_to_string (CModel (c, d.m_args)));
+      env.Env.global_models := (c, mine) :: !(env.Env.global_models));
+  (* Associated-type assignments: exactly the required ones. *)
+  (match Names.find_duplicate (List.map fst d.m_assoc) with
+  | Some s -> Diag.wf_error ~loc "duplicate associated type assignment '%s'" s
+  | None -> ());
+  List.iter
+    (fun (s, ty) ->
+      if not (List.mem s decl.c_assoc) then
+        Diag.wf_error ~loc "concept %s has no associated type '%s'" c s;
+      Types.wf_ty ~loc env_m ty)
+    d.m_assoc;
+  List.iter
+    (fun s ->
+      if not (List.mem_assoc s d.m_assoc) then
+        Diag.wf_error ~loc "model of %s does not assign associated type '%s'"
+          c s)
+    decl.c_assoc;
+  (* The equality context in which requirements are interpreted: the
+     model's own associated-type assignments are facts. *)
+  let own_equations =
+    List.map (fun (s, ty) -> (TAssoc (c, d.m_args, s), ty)) d.m_assoc
+  in
+  let env_eq = Env.assume_all env_m own_equations in
+  let dict_var = Env.fresh env c in
+  let entry =
+    {
+      Env.me_concept = c;
+      me_params = d.m_params;
+      me_constrs = d.m_constrs;
+      me_args = d.m_args;
+      me_dict = dict_var;
+      me_path = [];
+      me_assoc =
+        List.fold_left
+          (fun m (s, ty) -> Smap.add s ty m)
+          Smap.empty d.m_assoc;
+      me_proxy = false;
+    }
+  in
+  (* Refinement requirement: a model of every refined concept must be
+     resolvable. *)
+  let refine_entries =
+    List.map
+      (fun (c', rargs') ->
+        match Env.lookup_model ~loc env_eq c' rargs' with
+        | Some fm -> fm
+        | None ->
+            let shown =
+              CModel (c', List.map (Env.ty_repr ~loc env_eq) rargs')
+            in
+            Diag.resolve_error ~loc
+              "model of %s requires %s, but no model of %s is in scope"
+              (Pretty.constr_to_string (CModel (c, d.m_args)))
+              (Pretty.constr_to_string shown)
+              (Pretty.constr_to_string shown))
+      (Types.refinements ~loc env_eq (c, d.m_args)
+      @ Types.requires ~loc env_eq (c, d.m_args))
+  in
+  (* Same-type requirements of the concept must hold. *)
+  List.iter
+    (fun (a, b) ->
+      if not (Env.ty_eq ~loc env_eq a b) then
+        Diag.type_error ~loc
+          "model of %s violates same-type requirement: %s is not equal to %s"
+          (Pretty.constr_to_string (CModel (c, d.m_args)))
+          (Pretty.ty_to_string a) (Pretty.ty_to_string b))
+    (Types.same_requirements ~loc env_eq (c, d.m_args));
+  (* Member definitions: exactly the required ones, at the required
+     types (with parameters and associated types substituted).
+     Parameterized models may refer to themselves (recursive
+     instances), so the entry is in scope for their member bodies. *)
+  (match Names.find_duplicate (List.map fst d.m_members) with
+  | Some x -> Diag.wf_error ~loc "duplicate member definition '%s'" x
+  | None -> ());
+  List.iter
+    (fun (x, _) ->
+      if not (List.mem_assoc x decl.c_members) then
+        Diag.wf_error ~loc "concept %s has no member '%s'" c x)
+    d.m_members;
+  let member_subst = Types.instantiation_subst ~loc env_eq (c, d.m_args) in
+  (* Missing members fall back to the concept's defaults, instantiated
+     at this model's types.  Defaults may call the model's other members
+     through the dictionary being defined, so their presence puts the
+     model itself in scope and fix-binds the dictionary. *)
+  let uses_defaults =
+    List.exists
+      (fun (x, _) ->
+        (not (List.mem_assoc x d.m_members))
+        && List.mem_assoc x decl.c_defaults)
+      decl.c_members
+  in
+  let env_members =
+    if parameterized || uses_defaults then Env.bind_model env_eq entry
+    else env_eq
+  in
+  let member_results =
+    List.map
+      (fun (x, required_ty) ->
+        match
+          match List.assoc_opt x d.m_members with
+          | Some e -> Some e
+          | None ->
+              Option.map
+                (subst_ty_exp (subst_of_list member_subst))
+                (List.assoc_opt x decl.c_defaults)
+        with
+        | None ->
+            Diag.wf_error ~loc "model of %s does not define member '%s'"
+              (Pretty.constr_to_string (CModel (c, d.m_args)))
+              x
+        | Some e_member ->
+            let expected = subst_ty_list member_subst required_ty in
+            let got, elab_member, f_member = check env_members e_member in
+            if not (Env.ty_eq ~loc:e_member.loc env_members expected got) then
+              type_mismatch ~loc:e_member.loc ~expected ~got
+                (Printf.sprintf "member '%s' of model of %s" x
+                   (Pretty.constr_to_string (CModel (c, d.m_args))));
+            (x, elab_member, f_member))
+      decl.c_members
+  in
+  let members' = List.map (fun (_, _, f) -> f) member_results in
+  (* Build the dictionary (Figure 7): refined dictionaries first, then
+     the member values. *)
+  let refine_dict_exps =
+    List.map (fun fm -> Types.model_dict_exp ~loc env_eq fm) refine_entries
+  in
+  let dict_core = F.tuple ~loc (refine_dict_exps @ members') in
+  let dict_rhs =
+    if not parameterized then
+      if uses_defaults then
+        F.fix ~loc dict_var (Types.dict_type ~loc env_eq (c, d.m_args))
+          dict_core
+      else dict_core
+    else begin
+      (* Polymorphic dictionary function, fix-bound for self-reference. *)
+      let slots = List.map fst ctx_plan.Types.p_slots in
+      let inner_dict_ty = Types.dict_type ~loc env_eq (c, d.m_args) in
+      let ctx_dict_params =
+        List.map (fun (dv, _, dty) -> (dv, dty)) ctx_plan.Types.p_dicts
+      in
+      let poly_body =
+        if Types.no_requirements ctx_plan then dict_core
+        else F.abs ~loc ctx_dict_params dict_core
+      in
+      let poly = F.tyabs ~loc (d.m_params @ slots) poly_body in
+      let poly_ty =
+        F.TForall
+          ( d.m_params @ slots,
+            if Types.no_requirements ctx_plan then inner_dict_ty
+            else F.TArrow (List.map snd ctx_dict_params, inner_dict_ty) )
+      in
+      F.fix ~loc dict_var poly_ty poly
+    end
+  in
+  (* The body of the declaration is checked OUTSIDE the model's own
+     parameter scope; ground models additionally publish their
+     associated-type equations (parameterized ones are schematic and
+     resolved by normalization instead).  A NAMED model is recorded but
+     not activated — [using] activates it. *)
+  let env_body =
+    match d.m_name with
+    | Some m -> Env.bind_named_model env m entry
+    | None ->
+        let base =
+          if parameterized then env else Env.assume_all env own_equations
+        in
+        Env.bind_model base entry
+  in
+  let tbody, body_elab, body' = check env_body body in
+  (* The model (and the meaning of its associated-type projections) goes
+     out of scope here; resolve this model's projections in the result
+     type so they do not escape. *)
+  let tbody =
+    if parameterized then tbody
+    else resolve_own_projections c d.m_args d.m_assoc tbody
+  in
+  let d_elab =
+    { d with m_members = List.map (fun (x, a, _) -> (x, a)) member_results }
+  in
+  ( tbody,
+    model_decl ~loc d_elab body_elab,
+    F.let_ ~loc dict_var dict_rhs body' )
+
+(* Structurally replace this model's associated-type projections
+   [c<args>.s] by their assignments, everywhere in a type. *)
+and resolve_own_projections c margs massoc ty =
+  let rec go t =
+    match t with
+    | TBase _ | TVar _ -> t
+    | TArrow (args, ret) -> TArrow (List.map go args, go ret)
+    | TTuple ts -> TTuple (List.map go ts)
+    | TList t -> TList (go t)
+    | TAssoc (c', args, s) -> (
+        let args = List.map go args in
+        match List.assoc_opt s massoc with
+        | Some def
+          when String.equal c c'
+               && List.length args = List.length margs
+               && List.for_all2 ty_equal args margs ->
+            go def
+        | _ -> TAssoc (c', args, s))
+    | TForall (tvs, constrs, body) ->
+        TForall (tvs, List.map (go_constr) constrs, go body)
+  and go_constr = function
+    | CModel (c', args) -> CModel (c', List.map go args)
+    | CSame (a, b) -> CSame (go a, go b)
+  in
+  go ty
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+(** Type check a closed FG program, returning its type, its elaborated
+    form (implicit instantiations made explicit — the term the direct
+    interpreter should run), and its System F translation. *)
+let elaborate ?resolution ?escape_check (e : exp) : ty * exp * F.exp =
+  check (Env.create ?resolution ?escape_check ()) e
+
+(** Type check and translate a closed FG program. *)
+let check_program ?resolution ?escape_check (e : exp) : ty * F.exp =
+  let ty, _, f = elaborate ?resolution ?escape_check e in
+  (ty, f)
+
+(** Type check only. *)
+let typecheck ?resolution ?escape_check (e : exp) : ty =
+  fst (check_program ?resolution ?escape_check e)
+
+(** Translate only. *)
+let translate ?resolution ?escape_check (e : exp) : F.exp =
+  snd (check_program ?resolution ?escape_check e)
+
+let check_result ?resolution ?escape_check e =
+  Diag.protect (fun () -> check_program ?resolution ?escape_check e)

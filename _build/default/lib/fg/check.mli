@@ -1,0 +1,40 @@
+(** The System FG type checker and its type-directed translation to
+    System F (paper Figures 9 and 13, presented as one judgment
+    [Γ ⊢ e : τ ⇒ f]), extended with the Section 6 features:
+    parameterized models, implicit instantiation, and member defaults. *)
+
+open Ast
+module F := Fg_systemf.Ast
+
+(** Embed a System F type into FG (used for primitive type schemes). *)
+val ty_of_f : F.ty -> ty
+
+(** The main judgment on a closed program: its FG type, its ELABORATED
+    form (implicit instantiations made explicit — the term the direct
+    interpreter runs), and its System F translation.
+    [escape_check] (default true) enforces the CPT side condition
+    [c ∉ CV(τ)]; disable it only to inspect generic values whose types
+    mention locally declared concepts. *)
+val elaborate :
+  ?resolution:Resolution.mode -> ?escape_check:bool -> exp ->
+  ty * exp * F.exp
+
+(** Type check and translate a closed FG program. *)
+val check_program :
+  ?resolution:Resolution.mode -> ?escape_check:bool -> exp -> ty * F.exp
+
+(** Type check only. *)
+val typecheck :
+  ?resolution:Resolution.mode -> ?escape_check:bool -> exp -> ty
+
+(** Translate only. *)
+val translate :
+  ?resolution:Resolution.mode -> ?escape_check:bool -> exp -> F.exp
+
+val check_result :
+  ?resolution:Resolution.mode -> ?escape_check:bool -> exp ->
+  (ty * F.exp, Fg_util.Diag.diagnostic) result
+
+(** The judgment under an explicit environment (library extension
+    point; the entry points above use [Env.create]). *)
+val check : Env.t -> exp -> ty * exp * F.exp

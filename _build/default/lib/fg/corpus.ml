@@ -1,0 +1,865 @@
+(** The paper's example programs, as a named corpus.
+
+    Every figure and inline example from the paper that contains a
+    program is reproduced here in our concrete syntax, together with its
+    expected observable value.  The corpus is shared by the test suite
+    (which checks values, translations, and the theorem statements), the
+    examples, EXPERIMENTS.md, and the benchmark harness.
+
+    Negative programs — ill-typed or unresolvable on purpose — document
+    the checker's error behaviour, one per interesting failure mode. *)
+
+type expectation =
+  | Value of Interp.flat  (** pipeline succeeds with this value *)
+  | Fails of Fg_util.Diag.phase  (** checking fails in this phase *)
+
+type entry = {
+  name : string;
+  paper : string;  (** which figure/section of the paper this comes from *)
+  description : string;
+  source : string;
+  expected : expectation;
+}
+
+let v_int n = Value (Interp.FlInt n)
+let v_pair a b = Value (Interp.FlTuple [ a; b ])
+let v_list ns = Value (Interp.FlList (List.map (fun n -> Interp.FlInt n) ns))
+
+(* ------------------------------------------------------------------ *)
+(* Shared building blocks (concrete syntax fragments)                  *)
+
+(** Semigroup and Monoid, exactly as in Section 3.1. *)
+let monoid_prelude =
+  {|concept Semigroup<t> { binary_op : fn(t, t) -> t; } in
+concept Monoid<t> { refines Semigroup<t>; identity_elt : t; } in
+|}
+
+(** Models of Semigroup/Monoid for int with + and 0 (Section 3.1). *)
+let monoid_int_add =
+  {|model Semigroup<int> { binary_op = iadd; } in
+model Monoid<int> { identity_elt = 0; } in
+|}
+
+(** The accumulate function of Figure 5. *)
+let accumulate_def =
+  {|let accumulate =
+  tfun t where Monoid<t> =>
+    fix (accum : fn(list t) -> t) =>
+      fun (ls : list t) =>
+        let binary_op = Monoid<t>.binary_op in
+        let identity_elt = Monoid<t>.identity_elt in
+        if null[t](ls) then identity_elt
+        else binary_op(car[t](ls), accum(cdr[t](ls)))
+in
+|}
+
+(** The Iterator concept of Section 5, with its associated type. *)
+let iterator_concept =
+  {|concept Iterator<i> {
+  types elt;
+  next : fn(i) -> i;
+  curr : fn(i) -> elt;
+  at_end : fn(i) -> bool;
+} in
+|}
+
+(** The model Iterator<list int> of Section 5. *)
+let iterator_list_int_model =
+  {|model Iterator<list int> {
+  types elt = int;
+  next = fun (ls : list int) => cdr[int](ls);
+  curr = fun (ls : list int) => car[int](ls);
+  at_end = fun (ls : list int) => null[int](ls);
+} in
+|}
+
+let output_iterator_concept =
+  {|concept OutputIterator<o, e> { put : fn(o, e) -> o; } in
+|}
+
+let output_iterator_list_int_model =
+  {|model OutputIterator<list int, int> {
+  put = fun (out : list int, x : int) => append[int](out, cons[int](x, nil[int]));
+} in
+|}
+
+let less_than_comparable =
+  {|concept LessThanComparable<t> { less : fn(t, t) -> bool; } in
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Figure 1: the square example                                        *)
+
+(** Figure 1 shows `square` in Java/Haskell/CLU/Cforall; this is the
+    same program in FG with concepts — the paper's own answer to the
+    four approaches. *)
+let fig1_square =
+  {
+    name = "fig1_square";
+    paper = "Figure 1";
+    description = "square(4) via a Number concept with a mult operation";
+    source =
+      {|concept Number<u> { mult : fn(u, u) -> u; } in
+let square = tfun t where Number<t> => fun (x : t) => Number<t>.mult(x, x) in
+model Number<int> { mult = imult; } in
+square[int](4)|};
+    expected = v_int 16;
+  }
+
+(** The same computation in plain System F style (explicit operation
+    passing) — the Figure 3 idiom applied to Figure 1's example. *)
+let fig1_square_higher_order =
+  {
+    name = "fig1_square_higher_order";
+    paper = "Figure 1 / Figure 3";
+    description = "square(4) with the multiply passed explicitly";
+    source =
+      {|let square = tfun t => fun (mult : fn(t, t) -> t, x : t) => mult(x, x) in
+square[int](imult, 4)|};
+    expected = v_int 16;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3: higher-order sum (this one is a System F program, but it
+   is also a valid FG program — FG conservatively extends F)           *)
+
+let fig3_sum =
+  {
+    name = "fig3_sum";
+    paper = "Figure 3";
+    description =
+      "polymorphic sum with add/zero passed explicitly (System F style)";
+    source =
+      {|let sum =
+  tfun t =>
+    fix (sum : fn(list t, fn(t, t) -> t, t) -> t) =>
+      fun (ls : list t, add : fn(t, t) -> t, zero : t) =>
+        if null[t](ls) then zero
+        else add(car[t](ls), sum(cdr[t](ls), add, zero))
+in
+let ls = cons[int](1, cons[int](2, nil[int])) in
+sum[int](ls, iadd, 0)|};
+    expected = v_int 3;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5: generic accumulate                                        *)
+
+let fig5_accumulate =
+  {
+    name = "fig5_accumulate";
+    paper = "Figure 5";
+    description = "generic accumulate over a Monoid; sums [1; 2]";
+    source =
+      monoid_prelude ^ accumulate_def ^ monoid_int_add
+      ^ {|let ls = cons[int](1, cons[int](2, nil[int])) in
+accumulate[int](ls)|};
+    expected = v_int 3;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Figure 6: intentionally overlapping models                          *)
+
+let fig6_overlap =
+  {
+    name = "fig6_overlap";
+    paper = "Figure 6";
+    description =
+      "sum and product from the same accumulate via scoped overlapping \
+       models";
+    source =
+      monoid_prelude ^ accumulate_def
+      ^ {|let sum =
+  model Semigroup<int> { binary_op = iadd; } in
+  model Monoid<int> { identity_elt = 0; } in
+  accumulate[int]
+in
+let product =
+  model Semigroup<int> { binary_op = imult; } in
+  model Monoid<int> { identity_elt = 1; } in
+  accumulate[int]
+in
+let ls = cons[int](1, cons[int](2, nil[int])) in
+(sum(ls), product(ls))|};
+    expected = v_pair (Interp.FlInt 3) (Interp.FlInt 2);
+  }
+
+(** Model shadowing: an inner model takes precedence over an outer one
+    for the same concept and type (Section 3.2's lexical scoping). *)
+let model_shadowing =
+  {
+    name = "model_shadowing";
+    paper = "Section 3.2";
+    description = "inner Monoid<int> model shadows the outer one";
+    source =
+      monoid_prelude ^ accumulate_def ^ monoid_int_add
+      ^ {|model Semigroup<int> { binary_op = imult; } in
+model Monoid<int> { identity_elt = 1; } in
+let ls = cons[int](2, cons[int](3, nil[int])) in
+accumulate[int](ls)|};
+    expected = v_int 6 (* product, not sum: the inner models win *);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Section 5: associated types                                         *)
+
+let iterator_accumulate =
+  {
+    name = "iterator_accumulate";
+    paper = "Section 5";
+    description =
+      "accumulate over an Iterator; the element type is the Iterator's \
+       associated type";
+    source =
+      monoid_prelude ^ iterator_concept
+      ^ {|let accumulate =
+  tfun i where Iterator<i>, Monoid<Iterator<i>.elt> =>
+    fix (accum : fn(i) -> Iterator<i>.elt) =>
+      fun (it : i) =>
+        if Iterator<i>.at_end(it) then Monoid<Iterator<i>.elt>.identity_elt
+        else Monoid<Iterator<i>.elt>.binary_op(Iterator<i>.curr(it),
+                                               accum(Iterator<i>.next(it)))
+in
+|}
+      ^ monoid_int_add ^ iterator_list_int_model
+      ^ {|accumulate[list int](cons[int](1, cons[int](2, cons[int](4, nil[int]))))|};
+    expected = v_int 7;
+  }
+
+let copy_example =
+  {
+    name = "copy_example";
+    paper = "Section 5.2";
+    description =
+      "copy from an Iterator to an OutputIterator (the paper's copy \
+       translation example)";
+    source =
+      iterator_concept ^ output_iterator_concept
+      ^ {|let copy =
+  tfun i o where Iterator<i>, OutputIterator<o, Iterator<i>.elt> =>
+    fix (go : fn(i, o) -> o) =>
+      fun (it : i, out : o) =>
+        if Iterator<i>.at_end(it) then out
+        else go(Iterator<i>.next(it),
+                OutputIterator<o, Iterator<i>.elt>.put(out, Iterator<i>.curr(it)))
+in
+|}
+      ^ iterator_list_int_model ^ output_iterator_list_int_model
+      ^ {|copy[list int, list int](cons[int](7, cons[int](8, nil[int])), nil[int])|};
+    expected = v_list [ 7; 8 ];
+  }
+
+let merge_example =
+  {
+    name = "merge_example";
+    paper = "Section 5 / 5.2";
+    description =
+      "merge of two sorted ranges; needs the same-type constraint \
+       Iterator<i1>.elt == Iterator<i2>.elt";
+    source =
+      less_than_comparable ^ iterator_concept ^ output_iterator_concept
+      ^ {|let merge =
+  tfun i1 i2 o where
+      Iterator<i1>, Iterator<i2>,
+      OutputIterator<o, Iterator<i1>.elt>,
+      LessThanComparable<Iterator<i1>.elt>,
+      Iterator<i1>.elt == Iterator<i2>.elt =>
+    fix (go : fn(i1, i2, o) -> o) =>
+      fun (xs : i1, ys : i2, out : o) =>
+        if Iterator<i1>.at_end(xs) then
+          (fix (drain : fn(i2, o) -> o) =>
+            fun (rest : i2, acc : o) =>
+              if Iterator<i2>.at_end(rest) then acc
+              else drain(Iterator<i2>.next(rest),
+                         OutputIterator<o, Iterator<i1>.elt>.put(acc, Iterator<i2>.curr(rest))))(ys, out)
+        else if Iterator<i2>.at_end(ys) then
+          (fix (drain : fn(i1, o) -> o) =>
+            fun (rest : i1, acc : o) =>
+              if Iterator<i1>.at_end(rest) then acc
+              else drain(Iterator<i1>.next(rest),
+                         OutputIterator<o, Iterator<i1>.elt>.put(acc, Iterator<i1>.curr(rest))))(xs, out)
+        else if LessThanComparable<Iterator<i1>.elt>.less(Iterator<i1>.curr(xs), Iterator<i2>.curr(ys))
+        then go(Iterator<i1>.next(xs), ys,
+                OutputIterator<o, Iterator<i1>.elt>.put(out, Iterator<i1>.curr(xs)))
+        else go(xs, Iterator<i2>.next(ys),
+                OutputIterator<o, Iterator<i1>.elt>.put(out, Iterator<i2>.curr(ys)))
+in
+model LessThanComparable<int> { less = ilt; } in
+|}
+      ^ iterator_list_int_model ^ output_iterator_list_int_model
+      ^ {|let xs = cons[int](1, cons[int](4, cons[int](6, nil[int]))) in
+let ys = cons[int](2, cons[int](3, cons[int](5, nil[int]))) in
+merge[list int, list int, list int](xs, ys, nil[int])|};
+    expected = v_list [ 1; 2; 3; 4; 5; 6 ];
+  }
+
+(** The Section 5.2 refinement-through-associated-type example: concept
+    B has an associated type z and refines A at z; bar's result is fed
+    to A's foo through the projection B<r>.z. *)
+let refine_at_assoc =
+  {
+    name = "refine_at_assoc";
+    paper = "Section 5.2";
+    description = "refinement at an associated type (concepts A and B)";
+    source =
+      {|concept A<u> { foo : fn(u) -> u; } in
+concept B<t> { types z; refines A<z>; bar : fn(t) -> z; } in
+let h = tfun r where B<r> => fun (x : r) => A<B<r>.z>.foo(B<r>.bar(x)) in
+model A<int> { foo = fun (n : int) => n + 1; } in
+model B<bool> { types z = int; bar = fun (b : bool) => if b then 1 else 0; } in
+h[bool](true)|};
+    expected = v_int 2;
+  }
+
+(** Type aliases (rule ALS): the alias participates in type equality. *)
+let type_alias =
+  {
+    name = "type_alias";
+    paper = "Section 5.1 (ALS)";
+    description = "a type alias is equal to its definition";
+    source =
+      {|type t = int in
+let f = fun (x : t) => x + 1 in
+f(41)|};
+    expected = v_int 42;
+  }
+
+let type_alias_list =
+  {
+    name = "type_alias_list";
+    paper = "Section 5.1 (ALS)";
+    description = "aliasing a compound type; alias used inside fn types";
+    source =
+      {|type ints = list int in
+let head = fun (ls : ints) => car[int](ls) in
+head(cons[int](9, nil[int]))|};
+    expected = v_int 9;
+  }
+
+(** Refinement diamond: Ring refines both AddMonoid and MulMonoid, which
+    both refine Eqable — the diamond of Section 5.2's dedup discussion. *)
+let diamond_refinement =
+  {
+    name = "diamond_refinement";
+    paper = "Section 5.2 (diamonds)";
+    description =
+      "diamond refinement: Ring -> AddMonoid, MulMonoid -> Eqable; \
+       members reachable along both paths";
+    source =
+      {|concept Eqable<t> { eq : fn(t, t) -> bool; } in
+concept AddMonoid<t> { refines Eqable<t>; add : fn(t, t) -> t; zero : t; } in
+concept MulMonoid<t> { refines Eqable<t>; mul : fn(t, t) -> t; one : t; } in
+concept Ring<t> { refines AddMonoid<t>, MulMonoid<t>; } in
+let dot =
+  tfun t where Ring<t> =>
+    fun (a : t, b : t, c : t, d : t) =>
+      Ring<t>.add(Ring<t>.mul(a, b), Ring<t>.mul(c, d))
+in
+model Eqable<int> { eq = ieq; } in
+model AddMonoid<int> { add = iadd; zero = 0; } in
+model MulMonoid<int> { mul = imult; one = 1; } in
+model Ring<int> { } in
+dot[int](2, 3, 4, 5)|};
+    expected = v_int 26;
+  }
+
+(** A generic function calling another generic function: the inner
+    requirement is satisfied by the caller's proxy model. *)
+let generic_calls_generic =
+  {
+    name = "generic_calls_generic";
+    paper = "Section 4 (TABS/TAPP interplay)";
+    description = "double = twice applied through a proxy model";
+    source =
+      monoid_prelude
+      ^ {|let twice = tfun t where Semigroup<t> => fun (x : t) => Semigroup<t>.binary_op(x, x) in
+let quad = tfun u where Semigroup<u> => fun (y : u) => twice[u](twice[u](y)) in
+model Semigroup<int> { binary_op = iadd; } in
+quad[int](3)|};
+    expected = v_int 12;
+  }
+
+(** Same-type constraints used to cast between type variables. *)
+let same_type_vars =
+  {
+    name = "same_type_vars";
+    paper = "Section 5.1";
+    description = "a same-type constraint makes two type parameters equal";
+    source =
+      {|let cast = tfun a b where a == b => fun (x : a) => x in
+let use = (cast[int, int])(5) in
+use + 1|};
+    expected = v_int 6;
+  }
+
+(** Multi-parameter concept with members at mixed types. *)
+let multi_param_concept =
+  {
+    name = "multi_param_concept";
+    paper = "Section 5 (OutputIterator is multi-parameter)";
+    description = "a two-parameter Convert concept";
+    source =
+      {|concept Convert<a, b> { convert : fn(a) -> b; } in
+let apply_convert = tfun a b where Convert<a, b> => fun (x : a) => Convert<a, b>.convert(x) in
+model Convert<bool, int> { convert = fun (b : bool) => if b then 1 else 0; } in
+model Convert<int, bool> { convert = fun (n : int) => n != 0; } in
+(apply_convert[bool, int](true), apply_convert[int, bool](3))|};
+    expected = v_pair (Interp.FlInt 1) (Interp.FlBool true);
+  }
+
+(** A concept whose same-type requirement pins its associated type. *)
+let concept_same_requirement =
+  {
+    name = "concept_same_requirement";
+    paper = "Figure 11 (same-type requirements in concepts)";
+    description =
+      "IntIterator requires elt == int via a same-type requirement; \
+       generic code may use the element as an int";
+    source =
+      iterator_concept
+      ^ {|concept IntIterator<i> {
+  refines Iterator<i>;
+  same Iterator<i>.elt == int;
+} in
+let sum_it =
+  tfun i where IntIterator<i> =>
+    fix (go : fn(i) -> int) =>
+      fun (it : i) =>
+        if Iterator<i>.at_end(it) then 0
+        else Iterator<i>.curr(it) + go(Iterator<i>.next(it))
+in
+|}
+      ^ iterator_list_int_model
+      ^ {|model IntIterator<list int> { } in
+sum_it[list int](cons[int](10, cons[int](20, nil[int])))|};
+    expected = v_int 30;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parameterized models (Section 6 extension)                          *)
+
+(** Equality at [list t] for any [t] with equality — the canonical
+    parameterized instance, used at three depths of nesting. *)
+let param_eq_list =
+  {
+    name = "param_eq_list";
+    paper = "Section 6 (parameterized models)";
+    description = "Eq<list t> given Eq<t>; nested instantiation";
+    source =
+      {|concept Eq<t> { eq : fn(t, t) -> bool; } in
+model Eq<int> { eq = ieq; } in
+model <t> where Eq<t> => Eq<list t> {
+  eq = fix (go : fn(list t, list t) -> bool) =>
+    fun (a : list t, b : list t) =>
+      if null[t](a) then null[t](b)
+      else if null[t](b) then false
+      else Eq<t>.eq(car[t](a), car[t](b)) && go(cdr[t](a), cdr[t](b));
+} in
+let l1 = cons[int](1, cons[int](2, nil[int])) in
+let l2 = cons[int](1, cons[int](2, nil[int])) in
+let l3 = cons[int](1, cons[int](3, nil[int])) in
+(Eq<list int>.eq(l1, l2),
+ Eq<list int>.eq(l1, l3),
+ Eq<list (list int)>.eq(cons[list int](l1, nil[list int]),
+                        cons[list int](l2, nil[list int])))|};
+    expected =
+      Value
+        (Interp.FlTuple
+           [ Interp.FlBool true; Interp.FlBool false; Interp.FlBool true ]);
+  }
+
+(** A parameterized model used from inside a generic function: the
+    instance's context is discharged by the caller's proxy model. *)
+let param_model_in_generic =
+  {
+    name = "param_model_in_generic";
+    paper = "Section 6 (parameterized models)";
+    description = "Eq<list t> resolved against a where-clause proxy";
+    source =
+      {|concept Eq<t> { eq : fn(t, t) -> bool; } in
+model <t> where Eq<t> => Eq<list t> {
+  eq = fix (go : fn(list t, list t) -> bool) =>
+    fun (a : list t, b : list t) =>
+      if null[t](a) then null[t](b)
+      else if null[t](b) then false
+      else Eq<t>.eq(car[t](a), car[t](b)) && go(cdr[t](a), cdr[t](b));
+} in
+let singleton_eq =
+  tfun t where Eq<t> =>
+    fun (x : t, y : t) =>
+      Eq<list t>.eq(cons[t](x, nil[t]), cons[t](y, nil[t]))
+in
+model Eq<int> { eq = ieq; } in
+(singleton_eq[int](4, 4), singleton_eq[int](4, 5))|};
+    expected = v_pair (Interp.FlBool true) (Interp.FlBool false);
+  }
+
+(** Lists form a monoid under append: accumulate concatenates. *)
+let param_monoid_list =
+  {
+    name = "param_monoid_list";
+    paper = "Section 6 (parameterized models)";
+    description = "accumulate at list int via the parameterized monoid";
+    source =
+      monoid_prelude ^ accumulate_def
+      ^ {|model <t> Semigroup<list t> {
+  binary_op = fun (a : list t, b : list t) => append[t](a, b);
+} in
+model <t> Monoid<list t> { identity_elt = nil[t]; } in
+let xss = cons[list int](cons[int](1, cons[int](2, nil[int])),
+          cons[list int](cons[int](3, nil[int]),
+          cons[list int](nil[int],
+          cons[list int](cons[int](4, nil[int]), nil[list int])))) in
+accumulate[list int](xss)|};
+    expected = v_list [ 1; 2; 3; 4 ];
+  }
+
+(** Named models (Section 6, after Kahl & Scheffczyk): overlap managed
+    by explicit selection instead of scope nesting. *)
+let named_models =
+  {
+    name = "named_models";
+    paper = "Section 6 (named models)";
+    description = "sum and product selected by `using` from named models";
+    source =
+      monoid_prelude ^ accumulate_def
+      ^ {|model addm = Semigroup<int> { binary_op = iadd; } in
+model multm = Semigroup<int> { binary_op = imult; } in
+let sum =
+  using addm in
+  model Monoid<int> { identity_elt = 0; } in
+  accumulate[int]
+in
+let product =
+  using multm in
+  model Monoid<int> { identity_elt = 1; } in
+  accumulate[int]
+in
+let ls = cons[int](2, cons[int](3, cons[int](4, nil[int]))) in
+(sum(ls), product(ls))|};
+    expected = v_pair (Interp.FlInt 9) (Interp.FlInt 24);
+  }
+
+(** Nested requirements (Section 6 first item): Container's iterator
+    must model Iterator; algorithms state only Container. *)
+let nested_requirement =
+  {
+    name = "nested_requirement";
+    paper = "Section 6 (nested requirements)";
+    description =
+      "Container requires Iterator<iter>; length needs only Container<c>";
+    source =
+      iterator_concept
+      ^ {|concept Container<c> {
+  types iter;
+  require Iterator<iter>;
+  begin : fn(c) -> iter;
+} in
+let len =
+  tfun c where Container<c> =>
+    fun (xs : c) =>
+      (fix (go : fn(Container<c>.iter) -> int) =>
+        fun (it : Container<c>.iter) =>
+          if Iterator<Container<c>.iter>.at_end(it) then 0
+          else 1 + go(Iterator<Container<c>.iter>.next(it)))
+      (Container<c>.begin(xs))
+in
+|}
+      ^ iterator_list_int_model
+      ^ {|model Container<list int> {
+  types iter = list int;
+  begin = fun (ls : list int) => ls;
+} in
+len[list int](cons[int](4, cons[int](5, cons[int](6, nil[int]))))|};
+    expected = v_int 3;
+  }
+
+let neg_param_unused_parameter =
+  {
+    name = "neg_param_unused_parameter";
+    paper = "Section 6 (parameterized models)";
+    description = "a model parameter must occur in the modeled type";
+    source =
+      {|concept Eq<t> { eq : fn(t, t) -> bool; } in
+model <t> Eq<int> { eq = ieq; } in 0|};
+    expected = Fails Wf;
+  }
+
+let neg_param_missing_context =
+  {
+    name = "neg_param_missing_context";
+    paper = "Section 6 (parameterized models)";
+    description =
+      "using Eq<list bool> requires Eq<bool>, which is not in scope";
+    source =
+      {|concept Eq<t> { eq : fn(t, t) -> bool; } in
+model <t> where Eq<t> => Eq<list t> {
+  eq = fun (a : list t, b : list t) => true;
+} in
+Eq<list bool>.eq(nil[bool], nil[bool])|};
+    expected = Fails Resolve;
+  }
+
+let neg_param_diverging =
+  {
+    name = "neg_param_diverging";
+    paper = "Section 6 (parameterized models)";
+    description =
+      "a model whose context requires a larger instance of itself \
+       diverges; resolution reports the depth fuse";
+    source =
+      {|concept Eq<t> { eq : fn(t, t) -> bool; } in
+model <t> where Eq<list t> => Eq<t> {
+  eq = fun (a : t, b : t) => true;
+} in
+Eq<int>.eq(1, 2)|};
+    expected = Fails Resolve;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Negative programs: one per failure mode                             *)
+
+open Fg_util.Diag
+
+let neg_no_model =
+  {
+    name = "neg_no_model";
+    paper = "Section 3.1";
+    description = "instantiation without a model in scope is rejected";
+    source =
+      {|concept Number<u> { mult : fn(u, u) -> u; } in
+let square = tfun t where Number<t> => fun (x : t) => Number<t>.mult(x, x) in
+square[int](4)|};
+    expected = Fails Resolve;
+  }
+
+let neg_model_out_of_scope =
+  {
+    name = "neg_model_out_of_scope";
+    paper = "Section 3.2";
+    description = "a model does not escape its lexical scope";
+    source =
+      {|concept Number<u> { mult : fn(u, u) -> u; } in
+let square = tfun t where Number<t> => fun (x : t) => Number<t>.mult(x, x) in
+let inner =
+  model Number<int> { mult = imult; } in
+  square[int](2)
+in
+square[int](4)|};
+    expected = Fails Resolve;
+  }
+
+let neg_missing_member =
+  {
+    name = "neg_missing_member";
+    paper = "Section 3.1 (MDL)";
+    description = "a model must define every concept member";
+    source =
+      {|concept Number<u> { mult : fn(u, u) -> u; add : fn(u, u) -> u; } in
+model Number<int> { mult = imult; } in
+0|};
+    expected = Fails Wf;
+  }
+
+let neg_extra_member =
+  {
+    name = "neg_extra_member";
+    paper = "Section 3.1 (MDL)";
+    description = "a model may not define members the concept lacks";
+    source =
+      {|concept Number<u> { mult : fn(u, u) -> u; } in
+model Number<int> { mult = imult; extra = iadd; } in
+0|};
+    expected = Fails Wf;
+  }
+
+let neg_member_type_mismatch =
+  {
+    name = "neg_member_type_mismatch";
+    paper = "Section 3.1 (MDL)";
+    description = "member definitions are checked against the concept";
+    source =
+      {|concept Number<u> { mult : fn(u, u) -> u; } in
+model Number<int> { mult = fun (x : int, y : int) => x < y; } in
+0|};
+    expected = Fails Typecheck;
+  }
+
+let neg_missing_refinement_model =
+  {
+    name = "neg_missing_refinement_model";
+    paper = "Section 3.1 (MDL refines)";
+    description =
+      "declaring a Monoid model requires a Semigroup model in scope";
+    source =
+      monoid_prelude ^ {|model Monoid<int> { identity_elt = 0; } in 0|};
+    expected = Fails Resolve;
+  }
+
+let neg_missing_assoc =
+  {
+    name = "neg_missing_assoc";
+    paper = "Section 5 (MDL types)";
+    description = "a model must assign every associated type";
+    source =
+      iterator_concept
+      ^ {|model Iterator<list int> {
+  next = fun (ls : list int) => cdr[int](ls);
+  curr = fun (ls : list int) => car[int](ls);
+  at_end = fun (ls : list int) => null[int](ls);
+} in 0|};
+    expected = Fails Wf;
+  }
+
+let neg_same_type_violation =
+  {
+    name = "neg_same_type_violation";
+    paper = "Section 5.1 (TAPP)";
+    description =
+      "instantiating merge with iterators of different element types \
+       violates the same-type constraint";
+    source =
+      {|concept Iterator<i> { types elt; curr : fn(i) -> elt; } in
+let both =
+  tfun i1 i2 where Iterator<i1>, Iterator<i2>, Iterator<i1>.elt == Iterator<i2>.elt =>
+    fun (x : i1, y : i2) => (Iterator<i1>.curr(x), Iterator<i2>.curr(y))
+in
+model Iterator<list int> { types elt = int; curr = fun (ls : list int) => car[int](ls); } in
+model Iterator<list bool> { types elt = bool; curr = fun (ls : list bool) => car[bool](ls); } in
+both[list int, list bool](cons[int](1, nil[int]), cons[bool](true, nil[bool]))|};
+    expected = Fails Typecheck;
+  }
+
+let neg_concept_escape =
+  {
+    name = "neg_concept_escape";
+    paper = "Section 4 (CPT side condition)";
+    description = "a concept name may not escape its scope in the type";
+    source =
+      {|let f =
+  concept Number<u> { mult : fn(u, u) -> u; } in
+  tfun t where Number<t> => fun (x : t) => Number<t>.mult(x, x)
+in
+0|};
+    expected = Fails Typecheck;
+  }
+
+let neg_unbound_tyvar =
+  {
+    name = "neg_unbound_tyvar";
+    paper = "Figure 8 (TYVAR)";
+    description = "types are checked for unbound type variables";
+    source = {|fun (x : t) => x|};
+    expected = Fails Wf;
+  }
+
+let neg_assoc_without_model =
+  {
+    name = "neg_assoc_without_model";
+    paper = "Figure 12 (TYASC)";
+    description =
+      "an associated-type projection needs a model in scope to be \
+       well-formed";
+    source =
+      iterator_concept ^ {|fun (x : Iterator<list int>.elt) => x|};
+    expected = Fails Wf;
+  }
+
+let neg_arity_mismatch =
+  {
+    name = "neg_arity_mismatch";
+    paper = "basic typing";
+    description = "wrong number of type arguments";
+    source =
+      {|let id = tfun t => fun (x : t) => x in
+id[int, bool](1)|};
+    expected = Fails Typecheck;
+  }
+
+let neg_nonexistent_member =
+  {
+    name = "neg_nonexistent_member";
+    paper = "MEM";
+    description = "accessing a member the concept does not have";
+    source =
+      {|concept Number<u> { mult : fn(u, u) -> u; } in
+model Number<int> { mult = imult; } in
+Number<int>.div(4, 2)|};
+    expected = Fails Typecheck;
+  }
+
+let neg_duplicate_binder =
+  {
+    name = "neg_duplicate_binder";
+    paper = "TABS side condition (distinct)";
+    description = "duplicate type parameters are rejected";
+    source = {|tfun t t => fun (x : t) => x|};
+    expected = Fails Wf;
+  }
+
+let neg_self_refinement =
+  {
+    name = "neg_self_refinement";
+    paper = "CPT";
+    description = "a concept cannot refine itself";
+    source = {|concept C<t> { refines C<t>; x : t; } in 0|};
+    expected = Fails Wf;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The corpus                                                          *)
+
+let positive : entry list =
+  [
+    fig1_square;
+    fig1_square_higher_order;
+    fig3_sum;
+    fig5_accumulate;
+    fig6_overlap;
+    model_shadowing;
+    iterator_accumulate;
+    copy_example;
+    merge_example;
+    refine_at_assoc;
+    type_alias;
+    type_alias_list;
+    diamond_refinement;
+    generic_calls_generic;
+    same_type_vars;
+    multi_param_concept;
+    concept_same_requirement;
+    param_eq_list;
+    param_model_in_generic;
+    param_monoid_list;
+    named_models;
+    nested_requirement;
+  ]
+
+let negative : entry list =
+  [
+    neg_no_model;
+    neg_model_out_of_scope;
+    neg_missing_member;
+    neg_extra_member;
+    neg_member_type_mismatch;
+    neg_missing_refinement_model;
+    neg_missing_assoc;
+    neg_same_type_violation;
+    neg_concept_escape;
+    neg_unbound_tyvar;
+    neg_assoc_without_model;
+    neg_arity_mismatch;
+    neg_nonexistent_member;
+    neg_duplicate_binder;
+    neg_self_refinement;
+    neg_param_unused_parameter;
+    neg_param_missing_context;
+    neg_param_diverging;
+  ]
+
+let all = positive @ negative
+
+let find name =
+  match List.find_opt (fun e -> String.equal e.name name) all with
+  | Some e -> e
+  | None -> Fg_util.Diag.ice "corpus: no entry named %s" name

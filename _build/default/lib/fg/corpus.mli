@@ -1,0 +1,59 @@
+(** The paper's example programs as a named corpus, shared by the test
+    suite, the examples, EXPERIMENTS.md and the benchmark harness.
+    Positive entries carry their expected value; negative entries the
+    phase in which checking must fail. *)
+
+type expectation =
+  | Value of Interp.flat  (** pipeline succeeds with this value *)
+  | Fails of Fg_util.Diag.phase  (** checking fails in this phase *)
+
+type entry = {
+  name : string;
+  paper : string;  (** which figure/section this comes from *)
+  description : string;
+  source : string;
+  expected : expectation;
+}
+
+(** {1 Reusable source fragments} *)
+
+val monoid_prelude : string
+val monoid_int_add : string
+val accumulate_def : string
+val iterator_concept : string
+val iterator_list_int_model : string
+val output_iterator_concept : string
+val output_iterator_list_int_model : string
+val less_than_comparable : string
+
+(** {1 Individual entries} *)
+
+val fig1_square : entry
+val fig1_square_higher_order : entry
+val fig3_sum : entry
+val fig5_accumulate : entry
+val fig6_overlap : entry
+val model_shadowing : entry
+val iterator_accumulate : entry
+val copy_example : entry
+val merge_example : entry
+val refine_at_assoc : entry
+val type_alias : entry
+val type_alias_list : entry
+val diamond_refinement : entry
+val generic_calls_generic : entry
+val same_type_vars : entry
+val multi_param_concept : entry
+val concept_same_requirement : entry
+val param_eq_list : entry
+val param_model_in_generic : entry
+val param_monoid_list : entry
+val named_models : entry
+val nested_requirement : entry
+
+(** {1 The corpus} *)
+
+val positive : entry list
+val negative : entry list
+val all : entry list
+val find : string -> entry

@@ -1,0 +1,486 @@
+(** Random generation of well-typed FG programs.
+
+    The property tests run the theorem harness ({!Theorems}) over
+    thousands of generated programs; for that to be meaningful the
+    generator must produce programs that are well-typed {e by
+    construction} and that actually exercise the interesting machinery:
+    concept hierarchies with refinement (including diamonds), associated
+    types, models at several ground types, where clauses, member access
+    through refinement, and instantiation.
+
+    Shape of every generated program:
+
+    + a random concept hierarchy (single-parameter concepts; refinement
+      edges to earlier concepts, so the hierarchy is a DAG; each concept
+      has 0–2 associated types and 1–3 members whose types are built
+      from the parameter, the associated types, [int] and [bool]);
+    + model declarations for one or two ground types, in topological
+      order (every concept gets a model at each chosen ground type, so
+      refinement requirements always resolve);
+    + a generic function over one type parameter [t] with a random
+      subset of the concepts as requirements (plus, sometimes, a
+      same-type constraint pinning an associated type that the chosen
+      instantiation satisfies);
+    + an instantiation of the generic function at a ground type, applied
+      to a ground argument.
+
+    The generator is deterministic in its [Random.State]. *)
+
+open Ast
+
+type rng = Random.State.t
+
+let pick rng xs = List.nth xs (Random.State.int rng (List.length xs))
+
+(* ------------------------------------------------------------------ *)
+(* Ground types and their value generators                             *)
+
+type ground = GInt | GBool | GListInt
+
+let ground_ty = function
+  | GInt -> TBase TInt
+  | GBool -> TBase TBool
+  | GListInt -> TList (TBase TInt)
+
+let rec gen_ground_value rng = function
+  | GInt -> int (Random.State.int rng 100)
+  | GBool -> bool (Random.State.bool rng)
+  | GListInt ->
+      let n = Random.State.int rng 3 in
+      List.fold_left
+        (fun acc _ ->
+          app (tyapp (prim "cons") [ TBase TInt ])
+            [ gen_ground_value rng GInt; acc ])
+        (tyapp (prim "nil") [ TBase TInt ])
+        (List.init n Fun.id)
+
+(* A simple value of a member's ground type: either a constant or a
+   function built from constants and primitives. *)
+let rec gen_value_of_ty rng (t : ty) : exp =
+  match t with
+  | TBase TInt -> int (Random.State.int rng 100)
+  | TBase TBool -> bool (Random.State.bool rng)
+  | TBase TUnit -> unit ()
+  | TArrow (args, ret) ->
+      let params = List.mapi (fun i t -> (Printf.sprintf "p%d" i, t)) args in
+      let body =
+        (* Sometimes use an int/bool parameter, otherwise a constant. *)
+        let usable =
+          List.filter (fun (_, pt) -> ty_equal pt ret) params
+        in
+        if usable <> [] && Random.State.bool rng then
+          var (fst (pick rng usable))
+        else gen_value_of_ty rng ret
+      in
+      abs params body
+  | TTuple ts -> tuple (List.map (gen_value_of_ty rng) ts)
+  | TList t -> app (tyapp (prim "cons") [ t ]) [ gen_value_of_ty rng t;
+        tyapp (prim "nil") [ t ] ]
+  | _ -> Fg_util.Diag.ice "gen: cannot generate value of this type"
+
+(* ------------------------------------------------------------------ *)
+(* Concept hierarchies                                                 *)
+
+type gconcept = {
+  g_name : string;
+  g_params : string list;  (** one or two type parameters *)
+  g_assoc : string list;
+  g_refines : string list;  (** refined concept names; argument is [t] *)
+  g_members : (string * ty) list;  (** types over TVar "t" and assoc names *)
+  g_defaults : (string * exp) list;
+      (** default bodies for some members with ground types *)
+}
+
+(* Member types mention the concept's parameters, its own associated
+   types, and int/bool. *)
+let gen_member_ty rng (params : string list) (assoc : string list) : ty =
+  let opts = List.map (fun p -> TVar p) params @ [ TBase TInt; TBase TBool ]
+             @ List.map (fun a -> TVar a) assoc in
+  let atom () = pick rng opts in
+  match Random.State.int rng 4 with
+  | 0 -> atom () (* a constant member *)
+  | 1 -> TArrow ([ atom () ], atom ())
+  | 2 -> TArrow ([ atom (); atom () ], atom ())
+  | _ -> TArrow ([ TVar (List.hd params) ], atom ())
+
+let gen_hierarchy rng : gconcept list =
+  let n = 1 + Random.State.int rng 4 in
+  let param_counts = Array.init n (fun _ -> 1 + Random.State.int rng 2) in
+  List.init n (fun i ->
+      let name = Printf.sprintf "C%d" i in
+      let params =
+        List.init param_counts.(i) (fun k -> Printf.sprintf "p%d_%d" i k)
+      in
+      let n_assoc = Random.State.int rng 3 in
+      let assoc = List.init n_assoc (fun j -> Printf.sprintf "a%d_%d" i j) in
+      (* refine only earlier concepts; the refinement's arguments repeat
+         this concept's first parameter, so a model at a uniform ground
+         instantiation always finds its refined models *)
+      let refines =
+        List.init i (fun j -> Printf.sprintf "C%d" j)
+        |> List.filter (fun _ -> Random.State.int rng 3 = 0)
+      in
+      let n_members = 1 + Random.State.int rng 3 in
+      let members =
+        List.init n_members (fun j ->
+            (Printf.sprintf "m%d_%d" i j, gen_member_ty rng params assoc))
+      in
+      (* Members whose types mention neither the parameter nor the
+         associated types can carry a synthesized default body. *)
+      let defaults =
+        List.filter_map
+          (fun (x, ty) ->
+            if
+              Fg_util.Names.Sset.is_empty (ftv ty)
+              && Random.State.int rng 4 = 0
+            then Some (x, gen_value_of_ty rng ty)
+            else None)
+          members
+      in
+      {
+        g_name = name;
+        g_params = params;
+        g_assoc = assoc;
+        g_refines = refines;
+        g_members = members;
+        g_defaults = defaults;
+      })
+
+(* A refinement of an n-ary concept repeats the refining concept's
+   first parameter n times. *)
+let refine_args (hier : gconcept list) (g : gconcept) (c : string) : ty list =
+  let target = List.find (fun g' -> g'.g_name = c) hier in
+  List.map (fun _ -> TVar (List.hd g.g_params)) target.g_params
+
+let concept_decl_of_g (hier : gconcept list) (g : gconcept) : concept_decl =
+  {
+    c_name = g.g_name;
+    c_params = g.g_params;
+    c_assoc = g.g_assoc;
+    c_refines = List.map (fun c -> (c, refine_args hier g c)) g.g_refines;
+    c_requires = [];
+    c_members = g.g_members;
+    c_defaults = g.g_defaults;
+    c_same = [];
+    c_loc = Fg_util.Loc.dummy;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Models                                                              *)
+
+(* For every concept and every chosen ground type, build a model.  The
+   associated types are assigned random ground types; member values are
+   synthesized at the type obtained by substituting the ground type for
+   [t] and the assignments for the associated names. *)
+type gmodel = {
+  gm_concept : string;
+  gm_ground : ground;
+  gm_assoc : (string * ground) list;
+}
+
+let gen_models rng (hier : gconcept list) (grounds : ground list) :
+    (gmodel * model_decl) list =
+  List.concat_map
+    (fun g ->
+      List.map
+        (fun ground ->
+          let assoc =
+            List.map
+              (fun s ->
+                ( s,
+                  match Random.State.int rng 3 with
+                  | 0 -> GInt
+                  | 1 -> GBool
+                  | _ -> GListInt ))
+              g.g_assoc
+          in
+          let subst =
+            List.map (fun p -> (p, ground_ty ground)) g.g_params
+            @ List.map (fun (s, gr) -> (s, ground_ty gr)) assoc
+          in
+          let members =
+            List.filter_map
+              (fun (x, ty) ->
+                if
+                  List.mem_assoc x g.g_defaults && Random.State.bool rng
+                then None (* rely on the default *)
+                else Some (x, gen_value_of_ty rng (subst_ty_list subst ty)))
+              g.g_members
+          in
+          ( { gm_concept = g.g_name; gm_ground = ground; gm_assoc = assoc },
+            {
+              m_name = None;
+              m_params = [];
+              m_constrs = [];
+              m_concept = g.g_name;
+              m_args = List.map (fun _ -> ground_ty ground) g.g_params;
+              m_assoc = List.map (fun (s, gr) -> (s, ground_ty gr)) assoc;
+              m_members = members;
+              m_loc = Fg_util.Loc.dummy;
+            } ))
+        grounds)
+    hier
+
+(* ------------------------------------------------------------------ *)
+(* Generic-function bodies                                             *)
+
+(* Inside the generic function the typing context is: parameter [x : t];
+   the where clause's concepts with their members; associated types are
+   opaque unless pinned by a same-type constraint.  We generate an
+   expression of a target type, using member accesses as producers. *)
+
+type body_ctx = {
+  rng : rng;
+  reqs : gconcept list;  (** concepts required (incl. transitives) *)
+  pinned : (string * string * ty) list;
+      (** (concept, assoc name, pinned ground type) from CSame constraints *)
+  depth : int;
+}
+
+(* The FG type, inside the function, of a member type as written in the
+   concept: substitute every concept parameter by the binder [t] (the
+   where clause requires C<t, ..., t>) and qualify associated names. *)
+let concept_args (g : gconcept) = List.map (fun _ -> TVar "t") g.g_params
+
+let qualify (g : gconcept) (ty : ty) : ty =
+  subst_ty_list
+    (List.map (fun p -> (p, TVar "t")) g.g_params
+    @ List.map (fun s -> (s, TAssoc (g.g_name, concept_args g, s))) g.g_assoc)
+    ty
+
+(* All producers: members, with their in-scope types. *)
+let producers (ctx : body_ctx) : (string * ty list * string * ty) list =
+  List.concat_map
+    (fun g ->
+      List.map
+        (fun (x, ty) -> (g.g_name, concept_args g, x, qualify g ty))
+        g.g_members)
+    ctx.reqs
+
+(* Does [ty] match the hole type up to pinned same-type equalities?  We
+   only chase one level: a pinned projection equals its ground type. *)
+let rec hole_equal (ctx : body_ctx) (a : ty) (b : ty) : bool =
+  ty_equal (resolve_pin ctx a) (resolve_pin ctx b)
+
+and resolve_pin ctx = function
+  | TAssoc (c, args, s) as t
+    when List.for_all (function TVar "t" -> true | _ -> false) args -> (
+      match
+        List.find_opt (fun (c', s', _) -> c = c' && s = s') ctx.pinned
+      with
+      | Some (_, _, g) -> g
+      | None -> t)
+  | t -> t
+
+(* A type is fillable when we can always construct a value of it:
+   base types and [t] trivially; a projection if it is pinned, if some
+   constant member has it, or if some member is a function to it from
+   base/[t] argument types only (so the recursion terminates). *)
+let fillable (ctx : body_ctx) (hole : ty) : bool =
+  let safe = function
+    | TBase _ | TVar "t" -> true
+    | t -> ( match resolve_pin ctx t with TBase _ | TVar "t" -> true | _ -> false)
+  in
+  match resolve_pin ctx hole with
+  | TBase _ | TVar "t" -> true
+  | h ->
+      List.exists
+        (fun (_, _, _, ty) ->
+          match ty with
+          | _ when hole_equal ctx ty h -> true
+          | TArrow (args, ret) ->
+              hole_equal ctx ret h && List.for_all safe args
+          | _ -> false)
+        (producers ctx)
+
+let rec gen_body (ctx : body_ctx) (hole : ty) : exp =
+  let ctx' = { ctx with depth = ctx.depth + 1 } in
+  let hole_r = resolve_pin ctx hole in
+  let atoms =
+    (* Base cases: always available. *)
+    (match hole_r with
+    | TBase TInt -> [ (fun () -> int (Random.State.int ctx.rng 100)) ]
+    | TBase TBool -> [ (fun () -> bool (Random.State.bool ctx.rng)) ]
+    | TBase TUnit -> [ (fun () -> unit ()) ]
+    | TVar "t" -> [ (fun () -> var "x") ]
+    | _ -> [])
+    @ (* Constant members of the hole type. *)
+    List.filter_map
+      (fun (c, cargs, x, ty) ->
+        if hole_equal ctx ty hole then Some (fun () -> member c cargs x)
+        else None)
+      (producers ctx)
+  in
+  let deep = ctx.depth > 4 in
+  let safe_arg t =
+    match resolve_pin ctx t with TBase _ | TVar "t" -> true | _ -> false
+  in
+  (* Applications of members returning the hole type, provided every
+     argument hole can itself be filled.  Past the depth cutoff only
+     members with base/parameter arguments remain, which bounds the
+     recursion. *)
+  let member_apps =
+    List.filter_map
+      (fun (c, cargs, x, ty) ->
+        match ty with
+        | TArrow (args, ret)
+          when hole_equal ctx ret hole
+               && List.for_all (fillable ctx) args
+               && ((not deep) || List.for_all safe_arg args) ->
+            Some
+              (fun () ->
+                app (member c cargs x) (List.map (gen_body ctx') args))
+        | _ -> None)
+      (producers ctx)
+  in
+  let compounds =
+    member_apps
+    @
+    if deep then []
+    else
+      [
+        (fun () ->
+          if_
+            (gen_body ctx' (TBase TBool))
+            (gen_body ctx' hole) (gen_body ctx' hole));
+        (fun () ->
+          let_ "y" (gen_body ctx' hole_r)
+            (if Random.State.bool ctx.rng then var "y" else gen_body ctx' hole));
+      ]
+      @ (* arithmetic at int *)
+      (match hole_r with
+      | TBase TInt ->
+          [
+            (fun () ->
+              app (prim (pick ctx.rng [ "iadd"; "imult"; "imin"; "imax" ]))
+                [ gen_body ctx' (TBase TInt); gen_body ctx' (TBase TInt) ]);
+          ]
+      | TBase TBool ->
+          [
+            (fun () ->
+              app (prim "ilt")
+                [ gen_body ctx' (TBase TInt); gen_body ctx' (TBase TInt) ]);
+          ]
+      | _ -> [])
+  in
+  let choices =
+    if atoms = [] then compounds
+    else if compounds = [] || ctx.depth > 3 || Random.State.int ctx.rng 3 = 0
+    then atoms
+    else compounds
+  in
+  match choices with
+  | [] ->
+      Fg_util.Diag.ice "gen: no way to fill hole of type %s"
+        (Pretty.ty_to_string hole)
+  | cs -> (pick ctx.rng cs) ()
+
+(* Target types for the generic function's result: t, int, bool, or a
+   producible projection. *)
+let gen_result_ty (ctx : body_ctx) : ty =
+  let producible =
+    List.filter_map
+      (fun (_, _, _, ty) ->
+        match ty with
+        | TAssoc _ -> Some ty
+        | TArrow (_, (TAssoc _ as ret)) -> Some ret
+        | _ -> None)
+      (producers ctx)
+    |> List.filter (fillable ctx)
+  in
+  let options =
+    [ TVar "t"; TBase TInt; TBase TBool ]
+    @ (if producible = [] then [] else [ pick ctx.rng producible ])
+  in
+  pick ctx.rng options
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+
+(* Transitive closure of refinement, in hierarchy order. *)
+let closure (hier : gconcept list) (names : string list) : gconcept list =
+  let by_name n = List.find (fun g -> g.g_name = n) hier in
+  let rec add acc n =
+    if List.exists (fun g -> g.g_name = n) acc then acc
+    else
+      let g = by_name n in
+      List.fold_left add (g :: acc) g.g_refines
+  in
+  let all = List.fold_left add [] names in
+  List.filter (fun g -> List.exists (fun g' -> g'.g_name = g.g_name) all) hier
+
+let gen_program (rng : rng) : exp =
+  let hier = gen_hierarchy rng in
+  let grounds =
+    match Random.State.int rng 3 with
+    | 0 -> [ GInt ]
+    | 1 -> [ GInt; GBool ]
+    | _ -> [ GInt; GListInt ]
+  in
+  let models = gen_models rng hier grounds in
+  (* Requirements: a nonempty subset of concepts. *)
+  let req_names =
+    match List.filter (fun _ -> Random.State.bool rng) hier with
+    | [] -> [ (pick rng hier).g_name ]
+    | gs -> List.map (fun g -> g.g_name) gs
+  in
+  let reqs = closure hier req_names in
+  (* The instantiation ground type. *)
+  let inst = pick rng grounds in
+  (* Optionally pin associated types with same-type constraints that the
+     instantiation's models satisfy. *)
+  let pinned =
+    List.concat_map
+      (fun g ->
+        List.filter_map
+          (fun s ->
+            if Random.State.int rng 3 = 0 then
+              let gm =
+                List.find
+                  (fun (gm, _) ->
+                    gm.gm_concept = g.g_name && gm.gm_ground = inst)
+                  models
+                |> fst
+              in
+              let pinned_ground = List.assoc s gm.gm_assoc in
+              Some (g.g_name, s, ground_ty pinned_ground)
+            else None)
+          g.g_assoc)
+      reqs
+  in
+  let ctx = { rng; reqs; pinned; depth = 0 } in
+  let result_ty = gen_result_ty ctx in
+  let body = gen_body ctx result_ty in
+  let args_of name =
+    concept_args (List.find (fun g -> g.g_name = name) hier)
+  in
+  let constrs =
+    List.map (fun n -> CModel (n, args_of n)) req_names
+    @ List.map
+        (fun (c, s, g) -> CSame (TAssoc (c, args_of c, s), g))
+        pinned
+  in
+  let generic = tyabs [ "t" ] constrs (abs [ ("x", TVar "t") ] body) in
+  (* Assemble: concepts, models (in concept order, per ground), generic,
+     call. *)
+  let call =
+    (* The generic's parameter type is [t], so its type argument is
+       always inferable from the argument — exercise implicit
+       instantiation on a third of the programs. *)
+    if Random.State.int rng 3 = 0 then
+      app (var "f") [ gen_ground_value rng inst ]
+    else
+      app (tyapp (var "f") [ ground_ty inst ]) [ gen_ground_value rng inst ]
+  in
+  let with_models =
+    List.fold_right
+      (fun (_, md) acc -> model_decl md acc)
+      models
+      (let_ "f" generic call)
+  in
+  List.fold_right
+    (fun g acc -> concept_decl (concept_decl_of_g hier g) acc)
+    hier with_models
+
+(** Generate a program from an integer seed (deterministic). *)
+let program_of_seed seed = gen_program (Random.State.make [| seed |])

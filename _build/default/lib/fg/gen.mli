@@ -1,0 +1,15 @@
+(** Random generation of well-typed FG programs for property-based
+    theorem checking.
+
+    Every generated program is well-typed by construction and exercises
+    concept hierarchies with refinement (including diamonds), one- and
+    two-parameter concepts, associated types, members with defaults,
+    models at up to two ground types (including [list int]), where
+    clauses with same-type pins, member access through refinement, and
+    (on a third of programs) implicit instantiation. *)
+
+(** Deterministic in the given state. *)
+val gen_program : Random.State.t -> Ast.exp
+
+(** Generate from an integer seed. *)
+val program_of_seed : int -> Ast.exp

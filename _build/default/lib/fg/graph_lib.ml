@@ -1,0 +1,190 @@
+(** A small generic graph library written in FG — the paper's own
+    heritage (the authors' generic-programming work began with graph
+    libraries; see their comparative study [14] and the Boost Graph
+    Library).  Everything here is FG source: a [Graph] concept with an
+    associated [vertex] type, a model for adjacency lists, and generic
+    algorithms (degree, edge counting, membership, reachability,
+    topological properties) that work for {e any} model of [Graph]
+    whose vertices are comparable.
+
+    The algorithms only use the concept's interface, so the test suite
+    also instantiates them at a second, structurally different graph
+    representation (an edge list) to demonstrate genericity. *)
+
+(* ------------------------------------------------------------------ *)
+(* Concepts                                                            *)
+
+let concepts =
+  {|// A directed graph: an associated vertex type, a way to enumerate
+// vertices, and the out-neighbourhood of a vertex.
+concept Graph<g> {
+  types vertex;
+  vertices  : fn(g) -> list vertex;
+  out_edges : fn(g, vertex) -> list vertex;
+} in
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Models                                                              *)
+
+(** Adjacency-list representation: a list of (vertex, successors). *)
+let adjacency_model =
+  {|model Graph<list (int * list int)> {
+  types vertex = int;
+  vertices = fix (go : fn(list (int * list int)) -> list int) =>
+    fun (g : list (int * list int)) =>
+      if null[int * list int](g) then nil[int]
+      else cons[int](nth (car[int * list int](g)) 0, go(cdr[int * list int](g)));
+  out_edges = fix (go : fn(list (int * list int), int) -> list int) =>
+    fun (g : list (int * list int), v : int) =>
+      if null[int * list int](g) then nil[int]
+      else if nth (car[int * list int](g)) 0 == v
+      then nth (car[int * list int](g)) 1
+      else go(cdr[int * list int](g), v);
+} in
+|}
+
+(** Edge-list representation: a list of (source, target) pairs plus an
+    explicit vertex list, i.e. [list int * list (int * int)]. *)
+let edge_list_model =
+  {|model Graph<list int * list (int * int)> {
+  types vertex = int;
+  vertices = fun (g : list int * list (int * int)) => nth g 0;
+  out_edges = fun (g : list int * list (int * int), v : int) =>
+    (fix (go : fn(list (int * int)) -> list int) =>
+      fun (es : list (int * int)) =>
+        if null[int * int](es) then nil[int]
+        else if nth (car[int * int](es)) 0 == v
+        then cons[int](nth (car[int * int](es)) 1, go(cdr[int * int](es)))
+        else go(cdr[int * int](es)))(nth g 1);
+} in
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Generic algorithms                                                  *)
+
+let algorithms =
+  {|// membership in a vertex list (local helper over Eq)
+let g_mem =
+  tfun v where Eq<v> =>
+    fix (go : fn(list v, v) -> bool) =>
+      fun (xs : list v, x : v) =>
+        if null[v](xs) then false
+        else Eq<v>.eq(car[v](xs), x) || go(cdr[v](xs), x)
+in
+// out-degree of a vertex
+let degree =
+  tfun g where Graph<g> =>
+    fun (gr : g, v : Graph<g>.vertex) =>
+      length[Graph<g>.vertex](Graph<g>.out_edges(gr, v))
+in
+// number of vertices / edges
+let num_vertices =
+  tfun g where Graph<g> =>
+    fun (gr : g) => length[Graph<g>.vertex](Graph<g>.vertices(gr))
+in
+let num_edges =
+  tfun g where Graph<g> =>
+    fun (gr : g) =>
+      (fix (go : fn(list Graph<g>.vertex) -> int) =>
+        fun (vs : list Graph<g>.vertex) =>
+          if null[Graph<g>.vertex](vs) then 0
+          else degree[g](gr, car[Graph<g>.vertex](vs))
+               + go(cdr[Graph<g>.vertex](vs)))(Graph<g>.vertices(gr))
+in
+// is there an edge u -> v?
+let has_edge =
+  tfun g where Graph<g>, Eq<Graph<g>.vertex> =>
+    fun (gr : g, u : Graph<g>.vertex, v : Graph<g>.vertex) =>
+      g_mem[Graph<g>.vertex](Graph<g>.out_edges(gr, u), v)
+in
+// reachability: can we walk from source to target?  Worklist search
+// with an explicit visited list; terminates because visited grows.
+let reachable =
+  tfun g where Graph<g>, Eq<Graph<g>.vertex> =>
+    fun (gr : g, source : Graph<g>.vertex, target : Graph<g>.vertex) =>
+      (fix (search : fn(list Graph<g>.vertex, list Graph<g>.vertex) -> bool) =>
+        fun (work : list Graph<g>.vertex, visited : list Graph<g>.vertex) =>
+          if null[Graph<g>.vertex](work) then false
+          else
+            let v = car[Graph<g>.vertex](work) in
+            let rest = cdr[Graph<g>.vertex](work) in
+            if Eq<Graph<g>.vertex>.eq(v, target) then true
+            else if g_mem[Graph<g>.vertex](visited, v) then search(rest, visited)
+            else search(append[Graph<g>.vertex](rest, Graph<g>.out_edges(gr, v)),
+                        cons[Graph<g>.vertex](v, visited)))
+      (cons[Graph<g>.vertex](source, nil[Graph<g>.vertex]), nil[Graph<g>.vertex])
+in
+// all vertices reachable from a source (in discovery order)
+let reachable_set =
+  tfun g where Graph<g>, Eq<Graph<g>.vertex> =>
+    fun (gr : g, source : Graph<g>.vertex) =>
+      (fix (search : fn(list Graph<g>.vertex, list Graph<g>.vertex) -> list Graph<g>.vertex) =>
+        fun (work : list Graph<g>.vertex, visited : list Graph<g>.vertex) =>
+          if null[Graph<g>.vertex](work) then visited
+          else
+            let v = car[Graph<g>.vertex](work) in
+            let rest = cdr[Graph<g>.vertex](work) in
+            if g_mem[Graph<g>.vertex](visited, v) then search(rest, visited)
+            else search(append[Graph<g>.vertex](rest, Graph<g>.out_edges(gr, v)),
+                        append[Graph<g>.vertex](visited, cons[Graph<g>.vertex](v, nil[Graph<g>.vertex]))))
+      (cons[Graph<g>.vertex](source, nil[Graph<g>.vertex]), nil[Graph<g>.vertex])
+in
+// a vertex lies on a cycle iff it can reach itself through an edge
+let on_cycle =
+  tfun g where Graph<g>, Eq<Graph<g>.vertex> =>
+    fun (gr : g, v : Graph<g>.vertex) =>
+      (fix (any_reach : fn(list Graph<g>.vertex) -> bool) =>
+        fun (succs : list Graph<g>.vertex) =>
+          if null[Graph<g>.vertex](succs) then false
+          else reachable[g](gr, car[Graph<g>.vertex](succs), v)
+               || any_reach(cdr[Graph<g>.vertex](succs)))
+      (Graph<g>.out_edges(gr, v))
+in
+// acyclic iff no vertex lies on a cycle
+let is_dag =
+  tfun g where Graph<g>, Eq<Graph<g>.vertex> =>
+    fun (gr : g) =>
+      (fix (go : fn(list Graph<g>.vertex) -> bool) =>
+        fun (vs : list Graph<g>.vertex) =>
+          if null[Graph<g>.vertex](vs) then true
+          else !on_cycle[g](gr, car[Graph<g>.vertex](vs))
+               && go(cdr[Graph<g>.vertex](vs)))
+      (Graph<g>.vertices(gr))
+in
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Assembly                                                            *)
+
+(** Concepts + both models + algorithms, on top of the standard prelude
+    (for [Eq]). *)
+let full =
+  Prelude.concepts ^ Prelude.int_models ^ Prelude.bool_models
+  ^ Prelude.list_int_models ^ Prelude.list_parameterized_models ^ concepts
+  ^ adjacency_model ^ edge_list_model ^ algorithms
+
+(** [wrap body] — a complete program over the graph library. *)
+let wrap body = full ^ body
+
+(** Adjacency-list literal: [adj [(1, [2; 3]); ...]] in concrete
+    syntax, typed [list (int * list int)]. *)
+let adj (g : (int * int list) list) : string =
+  let vertex (v, succs) =
+    Printf.sprintf "(%d, %s)" v (Prelude.int_list succs)
+  in
+  List.fold_right
+    (fun entry acc ->
+      Printf.sprintf "cons[int * list int](%s, %s)" (vertex entry) acc)
+    g "nil[int * list int]"
+
+(** Edge-list literal: vertex list + (source, target) pairs, typed
+    [list int * list (int * int)]. *)
+let edges (vs : int list) (es : (int * int) list) : string =
+  let pair (a, b) = Printf.sprintf "(%d, %d)" a b in
+  let elist =
+    List.fold_right
+      (fun e acc -> Printf.sprintf "cons[int * int](%s, %s)" (pair e) acc)
+      es "nil[int * int]"
+  in
+  Printf.sprintf "(%s, %s)" (Prelude.int_list vs) elist

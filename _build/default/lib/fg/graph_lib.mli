@@ -1,0 +1,28 @@
+(** A small generic graph library written in FG: a [Graph] concept with
+    an associated [vertex] type, models for adjacency-list and edge-list
+    representations, and generic algorithms (degree, counts, has_edge,
+    reachable, reachable_set, on_cycle, is_dag) usable at any model. *)
+
+(** The [Graph] concept, FG source. *)
+val concepts : string
+
+(** Model for [list (int * list int)] (adjacency lists). *)
+val adjacency_model : string
+
+(** Model for [list int * list (int * int)] (vertex list + edge list). *)
+val edge_list_model : string
+
+(** The generic algorithms, FG source. *)
+val algorithms : string
+
+(** Prelude + concepts + both models + algorithms. *)
+val full : string
+
+(** [wrap body] — a complete program over the graph library. *)
+val wrap : string -> string
+
+(** Adjacency-list literal in concrete syntax. *)
+val adj : (int * int list) list -> string
+
+(** Edge-list literal (vertex list + source/target pairs). *)
+val edges : int list -> (int * int) list -> string

@@ -1,0 +1,20 @@
+(** A semiring-generic linear-algebra library written in FG: a
+    [Semiring] concept, three named models (arith, boolean, tropical),
+    and generic algorithms (dot, vec_add, vec_scale, mat_vec, column,
+    transpose, mat_mul, identity_matrix, mat_pow) — one multiplication
+    computing arithmetic, reachability and shortest paths. *)
+
+val concepts : string
+val models : string
+val algorithms : string
+
+(** Prelude + concept + models + algorithms. *)
+val full : string
+
+val wrap : string -> string
+
+(** Matrix literal at an element type from rows of cell syntax. *)
+val matrix_src : string -> string list list -> string
+
+val int_matrix : int list list -> string
+val bool_matrix : bool list list -> string

@@ -1,0 +1,7 @@
+(** Recursive-descent parser for System FG concrete syntax (see the
+    grammar in the implementation header and README).  All entry points
+    raise located {!Fg_util.Diag.Error} values on failure. *)
+
+val exp_of_string : ?file:string -> string -> Ast.exp
+val ty_of_string : ?file:string -> string -> Ast.ty
+val constr_of_string : ?file:string -> string -> Ast.constr

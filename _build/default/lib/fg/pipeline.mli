@@ -1,0 +1,38 @@
+(** One-stop driver: source text in, everything out — parse, check,
+    translate, re-check in System F, verify the theorem statement, and
+    evaluate both directly and via the translation (requiring
+    agreement).  The CLI, the examples and much of the test suite go
+    through this module. *)
+
+type outcome = {
+  source : string;
+  ast : Ast.exp;
+  fg_ty : Ast.ty;
+  f_exp : Fg_systemf.Ast.exp;
+  f_ty : Fg_systemf.Ast.ty;
+  theorem_holds : bool;  (** recorded for reporting; always true here *)
+  value : Interp.flat;  (** the program's value (first-order part) *)
+  direct_steps : int;  (** beta steps in the direct interpreter *)
+  translated_steps : int;  (** beta steps evaluating the translation *)
+}
+
+(** Run the whole pipeline; raises {!Fg_util.Diag.Error} on failure. *)
+val run :
+  ?file:string -> ?resolution:Resolution.mode -> ?fuel:int -> string ->
+  outcome
+
+val run_result :
+  ?file:string -> ?resolution:Resolution.mode -> ?fuel:int -> string ->
+  (outcome, Fg_util.Diag.diagnostic) result
+
+(** Type check only; returns the FG type. *)
+val typecheck :
+  ?file:string -> ?resolution:Resolution.mode -> string -> Ast.ty
+
+(** Translate only; returns the System F term. *)
+val translate :
+  ?file:string -> ?resolution:Resolution.mode -> string ->
+  Fg_systemf.Ast.exp
+
+(** Direct interpretation only (of the elaborated term). *)
+val interpret : ?file:string -> ?fuel:int -> string -> Interp.value

@@ -1,0 +1,222 @@
+(** Pretty printer for System FG.
+
+    As with the System F printer, output is valid concrete syntax and
+    round-trips through the parser.  Same-type constraints are printed
+    with [==] to keep [=] unambiguous in model bodies. *)
+
+open Ast
+open Fg_util
+
+(* Type precedence: 0 forall/fn, 1 tuple, 2 list, 3 atoms *)
+let rec pp_ty_prec prec ppf t =
+  match t with
+  | TBase TInt -> Fmt.string ppf "int"
+  | TBase TBool -> Fmt.string ppf "bool"
+  | TBase TUnit -> Fmt.string ppf "unit"
+  | TVar a -> Fmt.string ppf a
+  | TAssoc (c, args, s) -> Fmt.pf ppf "%s%a.%s" c pp_ty_args args s
+  | TArrow (args, ret) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[fn(%a) ->@ %a@]"
+            (Pp_util.comma_sep (pp_ty_prec 0))
+            args (pp_ty_prec 0) ret)
+        ppf ()
+  (* 0/1-tuples have no infix syntax; the explicit form keeps them
+     round-trippable. *)
+  | TTuple ([] | [ _ ]) ->
+      let ts = (match t with TTuple ts -> ts | _ -> assert false) in
+      Fmt.pf ppf "tuple(%a)" (Pp_util.comma_sep (pp_ty_prec 0)) ts
+  | TTuple ts ->
+      Pp_util.parens_if (prec > 1)
+        (fun ppf () ->
+          Fmt.pf ppf "@[%a@]" (Fmt.list ~sep:(Fmt.any " *@ ") (pp_ty_prec 2)) ts)
+        ppf ()
+  | TList t ->
+      Pp_util.parens_if (prec > 2)
+        (fun ppf () -> Fmt.pf ppf "list %a" (pp_ty_prec 3) t)
+        ppf ()
+  | TForall (tvs, constrs, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[forall %a%a.@ %a@]"
+            (Fmt.list ~sep:Fmt.sp Fmt.string)
+            tvs pp_where constrs (pp_ty_prec 0) body)
+        ppf ()
+
+and pp_ty_args ppf = function
+  | [] -> ()
+  | args -> Fmt.pf ppf "<@[%a@]>" (Pp_util.comma_sep (pp_ty_prec 0)) args
+
+and pp_where ppf = function
+  | [] -> ()
+  | constrs ->
+      Fmt.pf ppf " where @[%a@]" (Pp_util.comma_sep pp_constr) constrs
+
+and pp_constr ppf = function
+  | CModel (c, args) -> Fmt.pf ppf "%s%a" c pp_ty_args args
+  | CSame (a, b) -> Fmt.pf ppf "%a == %a" (pp_ty_prec 1) a (pp_ty_prec 1) b
+
+let pp_ty ppf t = pp_ty_prec 0 ppf t
+
+let pp_lit ppf = function
+  | LInt n -> Fmt.int ppf n
+  | LBool b -> Fmt.bool ppf b
+  | LUnit -> Fmt.string ppf "()"
+
+(* Expression precedence: 0 open forms, 1 application-like, 2 atoms *)
+let rec pp_exp_prec prec ppf e =
+  match e.desc with
+  | Var x -> Fmt.string ppf x
+  | Prim p -> Fmt.string ppf p
+  | Lit l -> pp_lit ppf l
+  | Member (c, args, x) -> Fmt.pf ppf "%s%a.%s" c pp_ty_args args x
+  | Tuple ([] | [ _ ]) ->
+      let es = (match e.desc with Tuple es -> es | _ -> assert false) in
+      Fmt.pf ppf "tuple(@[%a@])" (Pp_util.comma_sep (pp_exp_prec 0)) es
+  | Tuple es -> Fmt.pf ppf "(@[%a@])" (Pp_util.comma_sep (pp_exp_prec 0)) es
+  | App (f, args) ->
+      Pp_util.parens_if (prec > 1)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>%a(%a)@]" (pp_exp_prec 1) f
+            (Pp_util.comma_sep (pp_exp_prec 0))
+            args)
+        ppf ()
+  | TyApp (f, tys) ->
+      Pp_util.parens_if (prec > 1)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>%a[%a]@]" (pp_exp_prec 1) f
+            (Pp_util.comma_sep pp_ty) tys)
+        ppf ()
+  | Nth (e0, k) ->
+      Pp_util.parens_if (prec > 1)
+        (fun ppf () -> Fmt.pf ppf "nth %a %d" (pp_exp_prec 2) e0 k)
+        ppf ()
+  | Abs (params, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>fun (@[%a@]) =>@ %a@]"
+            (Pp_util.comma_sep pp_param) params (pp_exp_prec 0) body)
+        ppf ()
+  | TyAbs (tvs, constrs, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>tfun %a%a =>@ %a@]"
+            (Fmt.list ~sep:Fmt.sp Fmt.string)
+            tvs pp_where constrs (pp_exp_prec 0) body)
+        ppf ()
+  | Let (x, rhs, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<v>@[<hov 2>let %s =@ %a in@]@ %a@]" x (pp_exp_prec 0)
+            rhs (pp_exp_prec 0) body)
+        ppf ()
+  | Fix (x, ty, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>fix (%s : %a) =>@ %a@]" x pp_ty ty
+            (pp_exp_prec 0) body)
+        ppf ()
+  | If (c, t, f) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hv>if %a@ then %a@ else %a@]" (pp_exp_prec 0) c
+            (pp_exp_prec 0) t (pp_exp_prec 0) f)
+        ppf ()
+  | ConceptDecl (d, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<v>%a in@ %a@]" pp_concept_decl d (pp_exp_prec 0) body)
+        ppf ()
+  | ModelDecl (d, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<v>%a in@ %a@]" pp_model_decl d (pp_exp_prec 0) body)
+        ppf ()
+  | Using (m, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<v>using %s in@ %a@]" m (pp_exp_prec 0) body)
+        ppf ()
+  | TypeAlias (t, ty, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<v>type %s = %a in@ %a@]" t pp_ty ty (pp_exp_prec 0)
+            body)
+        ppf ()
+
+and pp_param ppf (x, t) = Fmt.pf ppf "%s : %a" x pp_ty t
+
+and pp_concept_decl ppf d =
+  let pp_item_assoc ppf = function
+    | [] -> ()
+    | names ->
+        Fmt.pf ppf "types @[%a@];@ " (Pp_util.comma_sep Fmt.string) names
+  in
+  let pp_item_refines ppf = function
+    | [] -> ()
+    | rs ->
+        Fmt.pf ppf "refines @[%a@];@ "
+          (Pp_util.comma_sep (fun ppf (c, args) ->
+               Fmt.pf ppf "%s%a" c pp_ty_args args))
+          rs
+  in
+  let pp_item_requires ppf = function
+    | [] -> ()
+    | rs ->
+        Fmt.pf ppf "require @[%a@];@ "
+          (Pp_util.comma_sep (fun ppf (c, args) ->
+               Fmt.pf ppf "%s%a" c pp_ty_args args))
+          rs
+  in
+  let pp_item_same ppf = function
+    | [] -> ()
+    | same ->
+        List.iter
+          (fun (a, b) ->
+            Fmt.pf ppf "same %a == %a;@ " (pp_ty_prec 1) a (pp_ty_prec 1) b)
+          same
+  in
+  let pp_member ppf (x, t) =
+    match List.assoc_opt x d.c_defaults with
+    | None -> Fmt.pf ppf "%s : %a;" x pp_ty t
+    | Some e ->
+        Fmt.pf ppf "@[<hov 2>%s : %a =@ %a;@]" x pp_ty t (pp_exp_prec 0) e
+  in
+  Fmt.pf ppf "@[<v 2>concept %s<%a> {@ %a%a%a%a%a@]@ }" d.c_name
+    (Pp_util.comma_sep Fmt.string)
+    d.c_params pp_item_assoc d.c_assoc pp_item_refines d.c_refines
+    pp_item_requires d.c_requires pp_item_same d.c_same
+    (Fmt.list ~sep:(Fmt.any "@ ") pp_member)
+    d.c_members
+
+and pp_model_decl ppf d =
+  let pp_assoc ppf (s, t) = Fmt.pf ppf "types %s = %a;" s pp_ty t in
+  let pp_member ppf (x, e) =
+    Fmt.pf ppf "@[<hov 2>%s =@ %a;@]" x (pp_exp_prec 0) e
+  in
+  let pp_model_name ppf d =
+    match d.m_name with None -> () | Some m -> Fmt.pf ppf "%s = " m
+  in
+  let pp_model_params ppf d =
+    if d.m_params <> [] then begin
+      Fmt.pf ppf "<%a> " (Pp_util.comma_sep Fmt.string) d.m_params;
+      if d.m_constrs <> [] then
+        Fmt.pf ppf "where @[%a@] => " (Pp_util.comma_sep pp_constr) d.m_constrs
+    end
+  in
+  Fmt.pf ppf "@[<v 2>model %a%a%s%a {@ %a%a@]@ }" pp_model_name d
+    pp_model_params d d.m_concept pp_ty_args d.m_args
+    (Fmt.list ~sep:(Fmt.any "@ ") pp_assoc)
+    d.m_assoc
+    (fun ppf members ->
+      if d.m_assoc <> [] && members <> [] then Fmt.pf ppf "@ ";
+      Fmt.list ~sep:(Fmt.any "@ ") pp_member ppf members)
+    d.m_members
+
+let pp_exp ppf e = pp_exp_prec 0 ppf e
+
+let ty_to_string t = Pp_util.to_string pp_ty t
+let constr_to_string c = Pp_util.to_string pp_constr c
+let exp_to_string e = Pp_util.to_string pp_exp e
+let exp_to_flat_string e = Pp_util.to_flat_string pp_exp e

@@ -1,0 +1,15 @@
+(** Pretty printer for System FG.  Output is valid concrete syntax and
+    round-trips through {!Parser}. *)
+
+val pp_ty : Ast.ty Fmt.t
+val pp_constr : Ast.constr Fmt.t
+val pp_exp : Ast.exp Fmt.t
+val pp_concept_decl : Ast.concept_decl Fmt.t
+val pp_model_decl : Ast.model_decl Fmt.t
+
+val ty_to_string : Ast.ty -> string
+val constr_to_string : Ast.constr -> string
+val exp_to_string : Ast.exp -> string
+
+(** One-line rendering (whitespace collapsed); for test expectations. *)
+val exp_to_flat_string : Ast.exp -> string

@@ -1,0 +1,23 @@
+(** Model resolution modes — the Section 3.2 ablation.
+
+    FG's distinguishing design choice is that model declarations are
+    lexically scoped expressions: overlapping models of the same concept
+    at the same type may coexist in separate scopes (paper Figure 6), and
+    an inner declaration shadows an outer one.
+
+    Haskell instances, by contrast, are global: instance declarations
+    "implicitly leak out of a module when anything in the module is used
+    by another module", so the two Monoid-of-int instances of Figure 6
+    would be rejected wherever they are placed.
+
+    {!Global} mode reproduces that behaviour inside our checker: every
+    model declaration is checked for overlap against all models declared
+    anywhere in the program so far, and overlap is an error.  The test
+    suite and the [fig6/overlap] experiment run the same program under
+    both modes to reproduce the paper's contrast. *)
+
+type mode =
+  | Lexical  (** the paper's FG semantics: scoped, shadowable models *)
+  | Global  (** Haskell-style: program-wide instances, overlap rejected *)
+
+let mode_name = function Lexical -> "lexical" | Global -> "global"

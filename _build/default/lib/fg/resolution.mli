@@ -1,0 +1,11 @@
+(** Model resolution modes — the Section 3.2 ablation.
+
+    {!Lexical} is the paper's FG semantics: models are lexically scoped,
+    shadowable, and may overlap in separate scopes (Figure 6).
+    {!Global} reproduces Haskell-style instances: every model is checked
+    for overlap against all models declared anywhere in the program, so
+    Figure 6 is rejected — exactly the contrast the paper draws. *)
+
+type mode = Lexical | Global
+
+val mode_name : mode -> string

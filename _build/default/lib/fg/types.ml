@@ -1,0 +1,432 @@
+(** Type-level machinery of System FG: well-formedness, where-clause
+    processing, member/dictionary layout, and translation of FG types to
+    System F types.
+
+    This module implements the paper's auxiliary functions:
+
+    - {!assoc_scope} is [ba(c, τ̄)]: the associated types of a concept
+      and of everything it (transitively) refines, mapped to their
+      concept-qualified projections [C<τ̄>.s].
+    - {!member_lookup} is [b(c, τ̄, n̄, Γ)]: the members reachable from a
+      concept through refinement, each with its type (under the
+      parameter and associated-type substitution) and the projection
+      path to it inside the dictionary.
+    - {!process_where} is [bw]/[bm]: processing a where clause in order,
+      introducing proxy model entries for each requirement and for
+      everything it refines (with diamond deduplication), generating a
+      fresh type parameter per associated type together with the
+      equation [s' = C<τ̄>.s], recording the concept's own same-type
+      requirements, and computing each requirement's dictionary type.
+    - {!translate_ty} is [Γ ⊢ τ ⇒ τ'] (Figures 8 and 12): every type is
+      first replaced by its equivalence-class representative, and
+      [forall] types gain one extra type parameter per associated type
+      plus one dictionary parameter per requirement.
+
+    The where-clause {!plan} is deliberately a {e syntactic} function of
+    the binder list and constraint list (plus the concept table): type
+    abstraction and type application must agree on the number and order
+    of the extra type and dictionary parameters, and the application
+    site's richer equality context must not change the layout.  Diamond
+    deduplication therefore compares requirement arguments syntactically
+    (up to alpha), not up to the equality relation. *)
+
+open Ast
+open Fg_util
+module F = Fg_systemf.Ast
+module Smap = Names.Smap
+
+type plan = {
+  p_slots : (string * (string * ty list * string)) list;
+      (** fresh type-parameter name -> the projection [C<τ̄>.s] it
+          stands for, in binder order; τ̄ written in terms of the
+          abstraction's own binders *)
+  p_dicts : (string * (string * ty list) * F.ty) list;
+      (** dictionary variable -> top-level requirement and its
+          dictionary type, in where-clause order *)
+}
+
+let no_requirements plan = plan.p_dicts = []
+
+let arity_check ?loc what name ~expected ~got =
+  if expected <> got then
+    Diag.wf_error ?loc "%s %s expects %d type argument(s) but got %d" what
+      name expected got
+
+(* ------------------------------------------------------------------ *)
+(* ba: associated types in scope for a concept instantiation           *)
+
+(** [assoc_scope env (c, args)] maps every associated-type name visible
+    in concept [c] — its own and those of the concepts it transitively
+    refines — to its qualified projection.  On a name collision the
+    first binding wins: the concept's own associated types shadow
+    refined ones, and earlier refinements shadow later ones. *)
+let rec assoc_scope ?loc env (c, args) : (string * ty) list =
+  let decl = Env.lookup_concept_exn ?loc env c in
+  arity_check ?loc "concept" c
+    ~expected:(List.length decl.c_params)
+    ~got:(List.length args);
+  let own = List.map (fun s -> (s, TAssoc (c, args, s))) decl.c_assoc in
+  let params = List.combine decl.c_params args in
+  List.fold_left
+    (fun acc (c', rargs) ->
+      let rargs' = List.map (subst_ty_list (params @ acc)) rargs in
+      let inherited = assoc_scope ?loc env (c', rargs') in
+      acc
+      @ List.filter (fun (s, _) -> not (List.mem_assoc s acc)) inherited)
+    own decl.c_refines
+
+(** Substitution applied to a concept's member types and same-type
+    requirements when the concept is instantiated at [args]: parameters
+    to arguments, associated-type names to qualified projections. *)
+let instantiation_subst ?loc env (c, args) =
+  let decl = Env.lookup_concept_exn ?loc env c in
+  List.combine decl.c_params args @ assoc_scope ?loc env (c, args)
+
+(** Direct refinements of [c<args>], instantiated. *)
+let refinements ?loc env (c, args) : (string * ty list) list =
+  let decl = Env.lookup_concept_exn ?loc env c in
+  let s = instantiation_subst ?loc env (c, args) in
+  List.map
+    (fun (c', rargs) -> (c', List.map (subst_ty_list s) rargs))
+    decl.c_refines
+
+(** Nested requirements [require C'<σ̄>;] of [c<args>], instantiated
+    (Section 6 extension): like refinements they contribute proxies and
+    nested dictionaries, but no member names. *)
+let requires ?loc env (c, args) : (string * ty list) list =
+  let decl = Env.lookup_concept_exn ?loc env c in
+  let s = instantiation_subst ?loc env (c, args) in
+  List.map
+    (fun (c', rargs) -> (c', List.map (subst_ty_list s) rargs))
+    decl.c_requires
+
+(** The concept's same-type requirements, instantiated. *)
+let same_requirements ?loc env (c, args) : (ty * ty) list =
+  let decl = Env.lookup_concept_exn ?loc env c in
+  let s = instantiation_subst ?loc env (c, args) in
+  List.map
+    (fun (a, b) -> (subst_ty_list s a, subst_ty_list s b))
+    decl.c_same
+
+(* ------------------------------------------------------------------ *)
+(* b: member lookup with dictionary paths                              *)
+
+(** [member_lookup env (c, args) x] finds member [x] in concept [c] or
+    in a concept it refines (depth-first, the concept's own members
+    first), returning its instantiated type and the projection path into
+    the dictionary for [c<args>].  The layout matches Figure 7: a
+    dictionary is a tuple whose first [|refines|] components are the
+    refined concepts' dictionaries and whose remaining components are
+    the concept's own members in declaration order. *)
+let rec member_lookup ?loc env (c, args) x : (ty * int list) option =
+  let decl = Env.lookup_concept_exn ?loc env c in
+  let s = instantiation_subst ?loc env (c, args) in
+  let n_refines = List.length decl.c_refines + List.length decl.c_requires in
+  match
+    List.find_index (fun (y, _) -> String.equal x y) decl.c_members
+  with
+  | Some i ->
+      let ty = subst_ty_list s (snd (List.nth decl.c_members i)) in
+      Some (ty, [ n_refines + i ])
+  | None ->
+      let rec try_refines j = function
+        | [] -> None
+        | (c', rargs) :: rest -> (
+            let rargs' = List.map (subst_ty_list s) rargs in
+            match member_lookup ?loc env (c', rargs') x with
+            | Some (ty, path) -> Some (ty, j :: path)
+            | None -> try_refines (j + 1) rest)
+      in
+      try_refines 0 decl.c_refines
+
+(** All members reachable from [c<args>], with types and paths; own
+    members shadow refined ones of the same name (tests, docs, REPL). *)
+let rec all_members ?loc env (c, args) : (string * ty * int list) list =
+  let decl = Env.lookup_concept_exn ?loc env c in
+  let s = instantiation_subst ?loc env (c, args) in
+  let n_refines = List.length decl.c_refines + List.length decl.c_requires in
+  let own =
+    List.mapi
+      (fun i (x, ty) -> (x, subst_ty_list s ty, [ n_refines + i ]))
+      decl.c_members
+  in
+  let inherited =
+    List.concat
+      (List.mapi
+         (fun j (c', rargs) ->
+           let rargs' = List.map (subst_ty_list s) rargs in
+           List.map
+             (fun (x, ty, path) -> (x, ty, j :: path))
+             (all_members ?loc env (c', rargs')))
+         decl.c_refines)
+  in
+  own
+  @ List.filter
+      (fun (x, _, _) -> not (List.exists (fun (y, _, _) -> x = y) own))
+      inherited
+
+(* ------------------------------------------------------------------ *)
+(* Well-formedness and translation of types (mutually recursive with
+   where-clause processing)                                            *)
+
+let rec wf_ty ?loc env (t : ty) : unit =
+  match t with
+  | TBase _ -> ()
+  | TVar a ->
+      if not (Env.tyvar_in_scope env a) then
+        Diag.wf_error ?loc "unbound type variable '%s'" a
+  | TArrow (args, ret) ->
+      List.iter (wf_ty ?loc env) args;
+      wf_ty ?loc env ret
+  | TTuple ts -> List.iter (wf_ty ?loc env) ts
+  | TList t -> wf_ty ?loc env t
+  | TAssoc (c, args, s) -> (
+      let decl = Env.lookup_concept_exn ?loc env c in
+      arity_check ?loc "concept" c
+        ~expected:(List.length decl.c_params)
+        ~got:(List.length args);
+      List.iter (wf_ty ?loc env) args;
+      if not (List.mem s decl.c_assoc) then
+        Diag.wf_error ?loc "concept %s has no associated type '%s'" c s;
+      (* TYASC: the projection is only meaningful under a model. *)
+      match Env.lookup_model env c args with
+      | Some _ -> ()
+      | None ->
+          Diag.wf_error ?loc
+            "associated type %s requires a model of %s in scope"
+            (Pretty.ty_to_string t)
+            (Pretty.constr_to_string (CModel (c, args))))
+  | TForall (tvs, constrs, body) ->
+      (match Names.find_duplicate tvs with
+      | Some d ->
+          Diag.wf_error ?loc "duplicate type parameter '%s' in forall" d
+      | None -> ());
+      List.iter
+        (fun a ->
+          if Env.tyvar_in_scope env a then
+            Diag.wf_error ?loc
+              "type parameter '%s' shadows a type variable in scope" a)
+        tvs;
+      let env', _plan = process_where ?loc env tvs constrs in
+      wf_ty ?loc env' body
+
+(* bw / bm: process a where clause in order.  Checks well-formedness of
+   each constraint against the environment extended so far (so later
+   requirements may mention earlier requirements' associated types),
+   introduces proxy models and their equations, and computes the plan. *)
+and process_where ?loc env (binders : string list) (constrs : constr list) :
+    Env.t * plan =
+  (match Names.find_duplicate binders with
+  | Some d -> Diag.wf_error ?loc "duplicate type parameter '%s'" d
+  | None -> ());
+  List.iter
+    (fun a ->
+      if Env.tyvar_in_scope env a then
+        Diag.wf_error ?loc "type parameter '%s' shadows a type variable in scope"
+          a)
+    binders;
+  let env = Env.bind_tyvars env binders in
+  let seen : (string * ty list) list ref = ref [] in
+  let slots = ref [] in
+  let dicts = ref [] in
+  (* Visit one requirement and everything it refines, pre-order. *)
+  let rec visit env dict_var path (c, args) : Env.t =
+    if
+      List.exists
+        (fun (c', args') ->
+          String.equal c c'
+          && List.length args = List.length args'
+          && List.for_all2 ty_equal args args')
+        !seen
+    then env (* diamond: already processed with the same arguments *)
+    else begin
+      seen := (c, args) :: !seen;
+      let decl = Env.lookup_concept_exn ?loc env c in
+      (* Fresh type parameter per associated type, with its defining
+         equation s' = C<τ̄>.s. *)
+      let env, assoc_map =
+        List.fold_left_map
+          (fun env s ->
+            let v = Env.fresh env s in
+            slots := (v, (c, args, s)) :: !slots;
+            let env = Env.assume env (TVar v) (TAssoc (c, args, s)) in
+            (env, (s, TVar v)))
+          env decl.c_assoc
+      in
+      let env =
+        Env.bind_model env
+          {
+            me_concept = c;
+            me_params = [];
+            me_constrs = [];
+            me_args = args;
+            me_dict = dict_var;
+            me_path = path;
+            me_assoc =
+              List.fold_left
+                (fun m (s, v) -> Smap.add s v m)
+                Smap.empty assoc_map;
+            me_proxy = true;
+          }
+      in
+      (* Assume the concept's same-type requirements. *)
+      let env =
+        Env.assume_all env (same_requirements ?loc env (c, args))
+      in
+      (* Recurse into refinements, then nested requirements; their
+         dictionaries occupy the leading tuple slots in that order. *)
+      let refs = refinements ?loc env (c, args) in
+      let reqs = requires ?loc env (c, args) in
+      let n_refs = List.length refs in
+      let env =
+        List.fold_left
+          (fun env (j, r) -> visit env dict_var (path @ [ j ]) r)
+          env
+          (List.mapi (fun j r -> (j, r)) refs)
+      in
+      List.fold_left
+        (fun env (j, r) -> visit env dict_var (path @ [ n_refs + j ]) r)
+        env
+        (List.mapi (fun j r -> (j, r)) reqs)
+    end
+  in
+  let env =
+    List.fold_left
+      (fun env constr ->
+        match constr with
+        | CModel (c, args) ->
+            let decl = Env.lookup_concept_exn ?loc env c in
+            arity_check ?loc "concept" c
+              ~expected:(List.length decl.c_params)
+              ~got:(List.length args);
+            List.iter (wf_ty ?loc env) args;
+            let d = Env.fresh env c in
+            let env = visit env d [] (c, args) in
+            dicts := (d, (c, args)) :: !dicts;
+            env
+        | CSame (a, b) ->
+            wf_ty ?loc env a;
+            wf_ty ?loc env b;
+            Env.assume env a b)
+      env constrs
+  in
+  (* Dictionary types are computed once the whole clause is in scope, so
+     a requirement's type may mention any requirement's associated
+     types via their representatives. *)
+  let p_dicts =
+    List.rev_map
+      (fun (d, (c, args)) -> (d, (c, args), dict_type ?loc env (c, args)))
+      !dicts
+  in
+  (env, { p_slots = List.rev !slots; p_dicts })
+
+(* The dictionary type δ for a model of [c<args>] (Figure 7 layout):
+   nested dictionaries for refined concepts first, then the translated
+   member types. *)
+and dict_type ?loc env (c, args) : F.ty =
+  let decl = Env.lookup_concept_exn ?loc env c in
+  let s = instantiation_subst ?loc env (c, args) in
+  let refine_dicts =
+    List.map (fun r -> dict_type ?loc env r)
+      (refinements ?loc env (c, args) @ requires ?loc env (c, args))
+  in
+  let member_tys =
+    List.map
+      (fun (_, ty) -> translate_ty ?loc env (subst_ty_list s ty))
+      decl.c_members
+  in
+  F.TTuple (refine_dicts @ member_tys)
+
+(* Γ ⊢ τ ⇒ τ': replace by the class representative, then translate
+   structurally; foralls get assoc-type parameters and dictionary
+   parameters per their where clause. *)
+and translate_ty ?loc env (t : ty) : F.ty =
+  match Env.ty_repr ?loc env t with
+  | TBase b -> F.TBase b
+  | TVar a -> F.TVar a
+  | TArrow (args, ret) ->
+      F.TArrow (List.map (translate_ty ?loc env) args, translate_ty ?loc env ret)
+  | TTuple ts -> F.TTuple (List.map (translate_ty ?loc env) ts)
+  | TList t -> F.TList (translate_ty ?loc env t)
+  | TAssoc (c, args, s) ->
+      Diag.translate_error ?loc
+        "associated type %s has no known binding (no model of %s in scope?)"
+        (Pretty.ty_to_string (TAssoc (c, args, s)))
+        (Pretty.constr_to_string (CModel (c, args)))
+  | TForall (tvs, constrs, body) ->
+      let env', plan = process_where ?loc env tvs constrs in
+      let body' = translate_ty ?loc env' body in
+      if no_requirements plan then F.TForall (tvs, body')
+      else
+        F.TForall
+          ( tvs @ List.map fst plan.p_slots,
+            F.TArrow (List.map (fun (_, _, d) -> d) plan.p_dicts, body') )
+
+(* ------------------------------------------------------------------ *)
+(* Instantiating a plan at a type-application site                     *)
+
+(** The extra System F type arguments for a type application: the
+    representative of each associated-type slot's projection, after
+    substituting actual type arguments for the binders. *)
+let plan_slot_actuals ?loc env ~subst:(s : (string * ty) list) (plan : plan) :
+    F.ty list =
+  List.map
+    (fun (_, (c, args, assoc)) ->
+      let args' = List.map (subst_ty_list s) args in
+      translate_ty ?loc env (TAssoc (c, args', assoc)))
+    plan.p_slots
+
+(** The System F dictionary expression for a resolved model.  A ground
+    model's dictionary is its (possibly projected) dictionary variable;
+    a parameterized model's dictionary function is instantiated at the
+    matched types and applied to the (recursively built) dictionaries of
+    its own requirements — exactly a type application of the polymorphic
+    dictionary. *)
+let rec model_dict_exp ?loc env (fm : Env.found_model) : F.exp =
+  let me = fm.Env.fm_entry in
+  let base = F.nth_path ?loc (F.var ?loc me.Env.me_dict) me.Env.me_path in
+  if me.Env.me_params = [] then base
+  else begin
+    let actual p =
+      match List.assoc_opt p fm.Env.fm_subst with
+      | Some t -> t
+      | None ->
+          Diag.resolve_error ?loc
+            "parameterized model of %s: parameter '%s' not determined by \
+             the matched arguments"
+            me.Env.me_concept p
+    in
+    (* Rename the binders so the plan can be recomputed here, then
+       instantiate it — mirroring the TAPP rule. *)
+    let fresh_params = List.map (fun a -> Env.fresh env a) me.Env.me_params in
+    let rename =
+      List.map2 (fun a b -> (a, TVar b)) me.Env.me_params fresh_params
+    in
+    let constrs_r = List.map (subst_constr_list rename) me.Env.me_constrs in
+    let _, plan = process_where ?loc env fresh_params constrs_r in
+    let subst =
+      List.map2 (fun fp p -> (fp, actual p)) fresh_params me.Env.me_params
+    in
+    let ty_args =
+      List.map (fun p -> translate_ty ?loc env (actual p)) me.Env.me_params
+    in
+    if no_requirements plan then F.tyapp ?loc base ty_args
+    else
+      let slot_actuals = plan_slot_actuals ?loc env ~subst plan in
+      let dict_actuals = plan_dict_actuals ?loc env ~subst plan in
+      F.app ?loc (F.tyapp ?loc base (ty_args @ slot_actuals)) dict_actuals
+  end
+
+(** The dictionary arguments for a type application: for each top-level
+    requirement, the dictionary expression of the resolved model. *)
+and plan_dict_actuals ?loc env ~subst:(s : (string * ty) list) (plan : plan) :
+    F.exp list =
+  List.map
+    (fun (_, (c, args), _) ->
+      let args' = List.map (subst_ty_list s) args in
+      match Env.lookup_model ?loc env c args' with
+      | Some fm -> model_dict_exp ?loc env fm
+      | None ->
+          Diag.resolve_error ?loc "no model of %s in scope"
+            (Pretty.constr_to_string (CModel (c, args'))))
+    plan.p_dicts

@@ -1,0 +1,1 @@
+lib/syntax/lexer.ml: Array Diag Fg_util List Loc String Token

@@ -1,0 +1,1 @@
+lib/syntax/lexer.mli: Fg_util Token

@@ -1,0 +1,1 @@
+lib/syntax/parser_base.ml: Array Diag Fg_util Fmt Lexer List Loc Token

@@ -1,0 +1,1 @@
+lib/syntax/parser_base.mli: Fg_util Format Token

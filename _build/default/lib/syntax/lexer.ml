@@ -1,0 +1,174 @@
+(** Hand-written scanner shared by the System F and FG parsers.
+
+    Produces the full token stream eagerly (programs are small; the
+    parsers want arbitrary lookahead for cheap).  Supports [//] line
+    comments and nestable [/* ... */] block comments.
+
+    ['<'] and ['>'] are always lexed as single tokens, never combined
+    into shifts, so nested concept applications like [C<D<int>>] lex
+    correctly; the parsers disambiguate comparison operators from
+    type-argument brackets by context. *)
+
+open Fg_util
+
+type t = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let create ?(file = "<input>") src = { src; file; pos = 0; line = 1; col = 1 }
+
+let current_pos lx : Loc.pos = { line = lx.line; col = lx.col; offset = lx.pos }
+
+let eof lx = lx.pos >= String.length lx.src
+
+let peek_char lx = if eof lx then '\000' else lx.src.[lx.pos]
+
+let peek_char2 lx =
+  if lx.pos + 1 >= String.length lx.src then '\000' else lx.src.[lx.pos + 1]
+
+let advance lx =
+  if not (eof lx) then begin
+    if lx.src.[lx.pos] = '\n' then begin
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+    end
+    else lx.col <- lx.col + 1;
+    lx.pos <- lx.pos + 1
+  end
+
+let error lx fmt =
+  let p = current_pos lx in
+  let loc = Loc.make ~file:lx.file ~start_pos:p ~end_pos:p in
+  Diag.lex_error ~loc fmt
+
+let is_ident_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let rec skip_trivia lx =
+  match peek_char lx with
+  | ' ' | '\t' | '\r' | '\n' ->
+      advance lx;
+      skip_trivia lx
+  | '/' when peek_char2 lx = '/' ->
+      while (not (eof lx)) && peek_char lx <> '\n' do
+        advance lx
+      done;
+      skip_trivia lx
+  | '/' when peek_char2 lx = '*' ->
+      advance lx;
+      advance lx;
+      skip_block_comment lx 1;
+      skip_trivia lx
+  | _ -> ()
+
+and skip_block_comment lx depth =
+  if depth = 0 then ()
+  else if eof lx then error lx "unterminated block comment"
+  else if peek_char lx = '*' && peek_char2 lx = '/' then begin
+    advance lx;
+    advance lx;
+    skip_block_comment lx (depth - 1)
+  end
+  else if peek_char lx = '/' && peek_char2 lx = '*' then begin
+    advance lx;
+    advance lx;
+    skip_block_comment lx (depth + 1)
+  end
+  else begin
+    advance lx;
+    skip_block_comment lx depth
+  end
+
+let read_ident lx =
+  let start = lx.pos in
+  while is_ident_char (peek_char lx) do
+    advance lx
+  done;
+  String.sub lx.src start (lx.pos - start)
+
+let read_int lx =
+  let start = lx.pos in
+  while is_digit (peek_char lx) do
+    advance lx
+  done;
+  let s = String.sub lx.src start (lx.pos - start) in
+  match int_of_string_opt s with
+  | Some n -> n
+  | None -> error lx "integer literal out of range: %s" s
+
+(* Recognize one token; [skip_trivia] has already run. *)
+let next_token lx : Token.t =
+  let c = peek_char lx in
+  if eof lx then Token.EOF
+  else if is_digit c then Token.INT (read_int lx)
+  else if is_ident_start c then begin
+    let s = read_ident lx in
+    if Token.is_keyword s then Token.KW s
+    else if s.[0] >= 'A' && s.[0] <= 'Z' then Token.UIDENT s
+    else Token.LIDENT s
+  end
+  else begin
+    let two tok =
+      advance lx;
+      advance lx;
+      tok
+    in
+    let one tok =
+      advance lx;
+      tok
+    in
+    match (c, peek_char2 lx) with
+    | '-', '>' -> two Token.ARROW
+    | '=', '>' -> two Token.DARROW
+    | '=', '=' -> two Token.EQEQ
+    | '!', '=' -> two Token.NEQ
+    | '<', '=' -> two Token.LE
+    | '>', '=' -> two Token.GE
+    | '&', '&' -> two Token.ANDAND
+    | '|', '|' -> two Token.BARBAR
+    | '(', _ -> one Token.LPAREN
+    | ')', _ -> one Token.RPAREN
+    | '[', _ -> one Token.LBRACKET
+    | ']', _ -> one Token.RBRACKET
+    | '{', _ -> one Token.LBRACE
+    | '}', _ -> one Token.RBRACE
+    | '<', _ -> one Token.LT
+    | '>', _ -> one Token.GT
+    | ',', _ -> one Token.COMMA
+    | ';', _ -> one Token.SEMI
+    | ':', _ -> one Token.COLON
+    | '.', _ -> one Token.DOT
+    | '=', _ -> one Token.EQ
+    | '*', _ -> one Token.STAR
+    | '+', _ -> one Token.PLUS
+    | '-', _ -> one Token.MINUS
+    | '/', _ -> one Token.SLASH
+    | '%', _ -> one Token.PERCENT
+    | '!', _ -> one Token.BANG
+    | c, _ -> error lx "unexpected character %C" c
+  end
+
+(** Lex the whole input to an array of located tokens, ending in [EOF]. *)
+let tokenize ?file src =
+  let lx = create ?file src in
+  let toks = ref [] in
+  let continue = ref true in
+  while !continue do
+    skip_trivia lx;
+    let start_pos = current_pos lx in
+    let tok = next_token lx in
+    let end_pos = current_pos lx in
+    let loc = Loc.make ~file:lx.file ~start_pos ~end_pos in
+    toks := (tok, loc) :: !toks;
+    if tok = Token.EOF then continue := false
+  done;
+  Array.of_list (List.rev !toks)

@@ -1,0 +1,7 @@
+(** Hand-written scanner shared by the System F and FG parsers.
+    Supports [//] line comments and nestable [/* ... */] block comments;
+    ['<']/['>'] are always single tokens (so [C<D<int>>] lexes). *)
+
+(** Lex the whole input eagerly to located tokens, ending in [EOF].
+    Raises a located lexer diagnostic on bad input. *)
+val tokenize : ?file:string -> string -> (Token.t * Fg_util.Loc.t) array

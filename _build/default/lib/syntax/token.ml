@@ -1,0 +1,91 @@
+(** Tokens shared by the System F and System FG concrete syntaxes.
+
+    Both languages are lexed by the same scanner ({!Lexer}); the parsers
+    differ only in which keywords and forms they accept.  Keywords are a
+    closed set checked at lex time, so an identifier can never collide
+    with one. *)
+
+type t =
+  | INT of int
+  | LIDENT of string  (** lowercase identifier: variables, type variables *)
+  | UIDENT of string  (** uppercase identifier: concept names *)
+  | KW of string  (** keyword, one of {!keywords} *)
+  | LPAREN
+  | RPAREN
+  | LBRACKET
+  | RBRACKET
+  | LBRACE
+  | RBRACE
+  | LT
+  | GT
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | EQ  (** [=] *)
+  | EQEQ  (** [==] *)
+  | NEQ  (** [!=] *)
+  | ARROW  (** [->] *)
+  | DARROW  (** [=>] *)
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | LE
+  | GE
+  | ANDAND
+  | BARBAR
+  | BANG
+  | EOF
+
+(** Keywords of both languages.  The FG-only ones ([concept], [model],
+    [refines], [types], [same], [where]) are simply never accepted by the
+    System F parser. *)
+let keywords =
+  [
+    "let"; "in"; "fun"; "tfun"; "fix"; "if"; "then"; "else"; "true"; "false";
+    "int"; "bool"; "unit"; "list"; "fn"; "forall"; "where"; "concept";
+    "model"; "refines"; "require"; "types"; "type"; "same"; "nth"; "not"; "tuple";
+    "using";
+  ]
+
+let is_keyword s = List.mem s keywords
+
+let pp ppf = function
+  | INT n -> Fmt.pf ppf "integer literal %d" n
+  | LIDENT s -> Fmt.pf ppf "identifier '%s'" s
+  | UIDENT s -> Fmt.pf ppf "identifier '%s'" s
+  | KW s -> Fmt.pf ppf "keyword '%s'" s
+  | LPAREN -> Fmt.string ppf "'('"
+  | RPAREN -> Fmt.string ppf "')'"
+  | LBRACKET -> Fmt.string ppf "'['"
+  | RBRACKET -> Fmt.string ppf "']'"
+  | LBRACE -> Fmt.string ppf "'{'"
+  | RBRACE -> Fmt.string ppf "'}'"
+  | LT -> Fmt.string ppf "'<'"
+  | GT -> Fmt.string ppf "'>'"
+  | COMMA -> Fmt.string ppf "','"
+  | SEMI -> Fmt.string ppf "';'"
+  | COLON -> Fmt.string ppf "':'"
+  | DOT -> Fmt.string ppf "'.'"
+  | EQ -> Fmt.string ppf "'='"
+  | EQEQ -> Fmt.string ppf "'=='"
+  | NEQ -> Fmt.string ppf "'!='"
+  | ARROW -> Fmt.string ppf "'->'"
+  | DARROW -> Fmt.string ppf "'=>'"
+  | STAR -> Fmt.string ppf "'*'"
+  | PLUS -> Fmt.string ppf "'+'"
+  | MINUS -> Fmt.string ppf "'-'"
+  | SLASH -> Fmt.string ppf "'/'"
+  | PERCENT -> Fmt.string ppf "'%%'"
+  | LE -> Fmt.string ppf "'<='"
+  | GE -> Fmt.string ppf "'>='"
+  | ANDAND -> Fmt.string ppf "'&&'"
+  | BARBAR -> Fmt.string ppf "'||'"
+  | BANG -> Fmt.string ppf "'!'"
+  | EOF -> Fmt.string ppf "end of input"
+
+let to_string t = Fmt.str "%a" pp t
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,1 @@
+lib/systemf/ast.ml: Fg_util List Loc Names String

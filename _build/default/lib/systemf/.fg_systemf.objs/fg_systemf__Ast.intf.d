@@ -1,0 +1,1 @@
+lib/systemf/ast.mli: Fg_util Loc

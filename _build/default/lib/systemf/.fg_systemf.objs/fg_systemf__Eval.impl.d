@@ -1,0 +1,1 @@
+lib/systemf/eval.ml: Ast Diag Fg_util Fmt List Names Pp_util Prims String

@@ -1,0 +1,1 @@
+lib/systemf/eval.mli: Ast Fg_util Fmt

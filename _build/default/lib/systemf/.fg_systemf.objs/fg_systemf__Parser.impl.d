@@ -1,0 +1,1 @@
+lib/systemf/parser.ml: Ast Fg_syntax Fg_util List Parser_base Prims Token

@@ -1,0 +1,1 @@
+lib/systemf/parser.mli: Ast

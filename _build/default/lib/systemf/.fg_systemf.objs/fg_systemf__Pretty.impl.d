@@ -1,0 +1,1 @@
+lib/systemf/pretty.ml: Ast Fg_util Fmt Pp_util

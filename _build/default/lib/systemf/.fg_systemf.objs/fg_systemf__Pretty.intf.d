@@ -1,0 +1,1 @@
+lib/systemf/pretty.mli: Ast Fmt

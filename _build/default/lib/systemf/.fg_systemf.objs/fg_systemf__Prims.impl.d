@@ -1,0 +1,1 @@
+lib/systemf/prims.ml: Ast Fg_util Hashtbl List

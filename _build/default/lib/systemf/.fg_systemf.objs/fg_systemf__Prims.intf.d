@@ -1,0 +1,1 @@
+lib/systemf/prims.mli: Ast Fg_util

@@ -1,0 +1,1 @@
+lib/systemf/step.ml: Ast Diag Eval Fg_util List Loc Names Option Prims String

@@ -1,0 +1,1 @@
+lib/systemf/step.mli: Ast Eval Fg_util

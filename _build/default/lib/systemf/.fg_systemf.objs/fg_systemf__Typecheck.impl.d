@@ -1,0 +1,1 @@
+lib/systemf/typecheck.ml: Ast Diag Fg_util List Names Pretty Prims Printf

@@ -1,0 +1,1 @@
+lib/systemf/typecheck.mli: Ast Fg_util

@@ -1,0 +1,85 @@
+(** Abstract syntax of System F — the calculus of paper Figure 2 with
+    multi-parameter functions and type abstractions, tuples with [nth]
+    projection (dictionaries), [let], [fix], [if], base types, lists and
+    primitive constants. *)
+
+open Fg_util
+
+type base = TInt | TBool | TUnit
+
+type ty =
+  | TBase of base
+  | TVar of string
+  | TArrow of ty list * ty  (** [fn(t1, ..., tn) -> t] *)
+  | TTuple of ty list  (** dictionaries *)
+  | TList of ty
+  | TForall of string list * ty
+
+type lit = LInt of int | LBool of bool | LUnit
+
+type exp = { desc : desc; loc : Loc.t }
+
+and desc =
+  | Var of string
+  | Lit of lit
+  | Prim of string
+  | App of exp * exp list
+  | Abs of (string * ty) list * exp
+  | TyAbs of string list * exp
+  | TyApp of exp * ty list
+  | Let of string * exp * exp
+  | Tuple of exp list
+  | Nth of exp * int  (** 0-based projection *)
+  | Fix of string * ty * exp
+  | If of exp * exp * exp
+
+(** {1 Smart constructors} *)
+
+val mk : ?loc:Loc.t -> desc -> exp
+val var : ?loc:Loc.t -> string -> exp
+val lit : ?loc:Loc.t -> lit -> exp
+val int : ?loc:Loc.t -> int -> exp
+val bool : ?loc:Loc.t -> bool -> exp
+val unit : ?loc:Loc.t -> unit -> exp
+val prim : ?loc:Loc.t -> string -> exp
+val app : ?loc:Loc.t -> exp -> exp list -> exp
+val abs : ?loc:Loc.t -> (string * ty) list -> exp -> exp
+val tyabs : ?loc:Loc.t -> string list -> exp -> exp
+val tyapp : ?loc:Loc.t -> exp -> ty list -> exp
+val let_ : ?loc:Loc.t -> string -> exp -> exp -> exp
+val tuple : ?loc:Loc.t -> exp list -> exp
+val nth : ?loc:Loc.t -> exp -> int -> exp
+val fix : ?loc:Loc.t -> string -> ty -> exp -> exp
+val if_ : ?loc:Loc.t -> exp -> exp -> exp -> exp
+
+(** [nth_path e [n1; ...; nk]] builds [(nth ... (nth e n1) ... nk)] —
+    the dictionary-path projections of the MEM and TAPP rules. *)
+val nth_path : ?loc:Loc.t -> exp -> int list -> exp
+
+(** {1 Type operations} *)
+
+module Smap := Fg_util.Names.Smap
+module Sset := Fg_util.Names.Sset
+
+val base_equal : base -> base -> bool
+val ftv : ty -> Sset.t
+
+(** Capture-avoiding simultaneous substitution. *)
+val subst_ty : ty Smap.t -> ty -> ty
+
+val subst_ty_list : (string * ty) list -> ty -> ty
+
+(** Alpha-equivalence — the comparison Theorem checking uses. *)
+val alpha_equal : ty -> ty -> bool
+
+val ty_size : ty -> int
+
+(** {1 Expression helpers} *)
+
+val exp_size : exp -> int
+
+(** Structural equality, ignoring locations (not up to term alpha). *)
+val exp_equal : exp -> exp -> bool
+
+(** Substitute types for type variables throughout an expression. *)
+val subst_ty_exp : ty Smap.t -> exp -> exp

@@ -1,0 +1,6 @@
+(** Recursive-descent parser for System F concrete syntax.  Infix
+    operators are sugar for the primitives ([a + b] parses as
+    [iadd(a, b)]); primitive names are reserved identifiers. *)
+
+val exp_of_string : ?file:string -> string -> Ast.exp
+val ty_of_string : ?file:string -> string -> Ast.ty

@@ -1,0 +1,127 @@
+(** Pretty printer for System F.
+
+    Output is valid concrete syntax: [Parser.exp_of_string] applied to
+    the rendering of a term yields the same term back (a property the
+    test suite checks by round-tripping).  Layout follows the paper's
+    examples: multi-argument [fn] types, tuple types with [*], [nth]
+    projections, bracketed type application. *)
+
+open Ast
+open Fg_util
+
+(* Type precedence levels:
+   0 — forall, fn (right-open)
+   1 — tuple ( * )
+   2 — list application
+   3 — atoms *)
+let rec pp_ty_prec prec ppf t =
+  match t with
+  | TBase TInt -> Fmt.string ppf "int"
+  | TBase TBool -> Fmt.string ppf "bool"
+  | TBase TUnit -> Fmt.string ppf "unit"
+  | TVar a -> Fmt.string ppf a
+  | TArrow (args, ret) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[fn(%a) ->@ %a@]"
+            (Pp_util.comma_sep (pp_ty_prec 0))
+            args (pp_ty_prec 0) ret)
+        ppf ()
+  (* 0/1-tuples have no infix syntax; the explicit form keeps
+     dictionary types round-trippable. *)
+  | TTuple ([] | [ _ ]) ->
+      let ts = (match t with TTuple ts -> ts | _ -> assert false) in
+      Fmt.pf ppf "tuple(%a)" (Pp_util.comma_sep (pp_ty_prec 0)) ts
+  | TTuple ts ->
+      Pp_util.parens_if (prec > 1)
+        (fun ppf () ->
+          Fmt.pf ppf "@[%a@]" (Fmt.list ~sep:(Fmt.any " *@ ") (pp_ty_prec 2)) ts)
+        ppf ()
+  | TList t ->
+      Pp_util.parens_if (prec > 2)
+        (fun ppf () -> Fmt.pf ppf "list %a" (pp_ty_prec 3) t)
+        ppf ()
+  | TForall (tvs, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[forall %a.@ %a@]"
+            (Fmt.list ~sep:Fmt.sp Fmt.string)
+            tvs (pp_ty_prec 0) body)
+        ppf ()
+
+let pp_ty ppf t = pp_ty_prec 0 ppf t
+
+let pp_lit ppf = function
+  | LInt n -> Fmt.int ppf n
+  | LBool b -> Fmt.bool ppf b
+  | LUnit -> Fmt.string ppf "()"
+
+(* Expression precedence:
+   0 — let / fun / tfun / fix / if (right-open)
+   1 — application, type application, nth
+   2 — atoms *)
+let rec pp_exp_prec prec ppf e =
+  match e.desc with
+  | Var x -> Fmt.string ppf x
+  | Prim p -> Fmt.string ppf p
+  | Lit l -> pp_lit ppf l
+  | Tuple ([] | [ _ ]) ->
+      let es = (match e.desc with Tuple es -> es | _ -> assert false) in
+      Fmt.pf ppf "tuple(@[%a@])" (Pp_util.comma_sep (pp_exp_prec 0)) es
+  | Tuple es -> Fmt.pf ppf "(@[%a@])" (Pp_util.comma_sep (pp_exp_prec 0)) es
+  | App (f, args) ->
+      Pp_util.parens_if (prec > 1)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>%a(%a)@]" (pp_exp_prec 1) f
+            (Pp_util.comma_sep (pp_exp_prec 0))
+            args)
+        ppf ()
+  | TyApp (f, tys) ->
+      Pp_util.parens_if (prec > 1)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>%a[%a]@]" (pp_exp_prec 1) f
+            (Pp_util.comma_sep pp_ty) tys)
+        ppf ()
+  | Nth (e, k) ->
+      Pp_util.parens_if (prec > 1)
+        (fun ppf () -> Fmt.pf ppf "nth %a %d" (pp_exp_prec 2) e k)
+        ppf ()
+  | Abs (params, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>fun (@[%a@]) =>@ %a@]"
+            (Pp_util.comma_sep pp_param) params (pp_exp_prec 0) body)
+        ppf ()
+  | TyAbs (tvs, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>tfun %a =>@ %a@]"
+            (Fmt.list ~sep:Fmt.sp Fmt.string)
+            tvs (pp_exp_prec 0) body)
+        ppf ()
+  | Let (x, rhs, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<v>@[<hov 2>let %s =@ %a in@]@ %a@]" x (pp_exp_prec 0)
+            rhs (pp_exp_prec 0) body)
+        ppf ()
+  | Fix (x, ty, body) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hov 2>fix (%s : %a) =>@ %a@]" x pp_ty ty
+            (pp_exp_prec 0) body)
+        ppf ()
+  | If (c, t, f) ->
+      Pp_util.parens_if (prec > 0)
+        (fun ppf () ->
+          Fmt.pf ppf "@[<hv>if %a@ then %a@ else %a@]" (pp_exp_prec 0) c
+            (pp_exp_prec 0) t (pp_exp_prec 0) f)
+        ppf ()
+
+and pp_param ppf (x, t) = Fmt.pf ppf "%s : %a" x pp_ty t
+
+let pp_exp ppf e = pp_exp_prec 0 ppf e
+
+let ty_to_string t = Pp_util.to_string pp_ty t
+let exp_to_string e = Pp_util.to_string pp_exp e
+let exp_to_flat_string e = Pp_util.to_flat_string pp_exp e

@@ -1,0 +1,11 @@
+(** Pretty printer for System F.  Output is valid concrete syntax and
+    round-trips through {!Parser}. *)
+
+val pp_ty : Ast.ty Fmt.t
+val pp_exp : Ast.exp Fmt.t
+
+val ty_to_string : Ast.ty -> string
+val exp_to_string : Ast.exp -> string
+
+(** One-line rendering (whitespace collapsed); for test expectations. *)
+val exp_to_flat_string : Ast.exp -> string

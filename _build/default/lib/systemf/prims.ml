@@ -1,0 +1,92 @@
+(** Catalogue of primitive constants shared by System F and System FG.
+
+    The paper assumes ambient constants such as [iadd], [imult], [cons],
+    [car], [cdr], [null] and [nil] (Figures 3, 5, 6).  Each primitive has
+    a (possibly polymorphic) System F type scheme; FG reuses the same
+    catalogue by embedding these types (FG types are a superset).
+
+    A primitive is fully applied as [prim[tys](args)]; partial
+    application is permitted operationally (a primitive value simply
+    accumulates arguments until its arity is reached). *)
+
+open Ast
+
+type info = {
+  name : string;
+  ty : ty;  (** closed type scheme *)
+  arity : int;  (** term arity after full type instantiation; 0 for [nil] *)
+}
+
+let a = "a"
+
+let arrow args ret = TArrow (args, ret)
+let int_ = TBase TInt
+let bool_ = TBase TBool
+
+let table : info list =
+  [
+    (* Integer arithmetic *)
+    { name = "iadd"; ty = arrow [ int_; int_ ] int_; arity = 2 };
+    { name = "isub"; ty = arrow [ int_; int_ ] int_; arity = 2 };
+    { name = "imult"; ty = arrow [ int_; int_ ] int_; arity = 2 };
+    { name = "idiv"; ty = arrow [ int_; int_ ] int_; arity = 2 };
+    { name = "imod"; ty = arrow [ int_; int_ ] int_; arity = 2 };
+    { name = "ineg"; ty = arrow [ int_ ] int_; arity = 1 };
+    { name = "imin"; ty = arrow [ int_; int_ ] int_; arity = 2 };
+    { name = "imax"; ty = arrow [ int_; int_ ] int_; arity = 2 };
+    (* Integer comparison *)
+    { name = "ilt"; ty = arrow [ int_; int_ ] bool_; arity = 2 };
+    { name = "ile"; ty = arrow [ int_; int_ ] bool_; arity = 2 };
+    { name = "igt"; ty = arrow [ int_; int_ ] bool_; arity = 2 };
+    { name = "ige"; ty = arrow [ int_; int_ ] bool_; arity = 2 };
+    { name = "ieq"; ty = arrow [ int_; int_ ] bool_; arity = 2 };
+    { name = "ineq"; ty = arrow [ int_; int_ ] bool_; arity = 2 };
+    (* Booleans *)
+    { name = "band"; ty = arrow [ bool_; bool_ ] bool_; arity = 2 };
+    { name = "bor"; ty = arrow [ bool_; bool_ ] bool_; arity = 2 };
+    { name = "bnot"; ty = arrow [ bool_ ] bool_; arity = 1 };
+    { name = "beq"; ty = arrow [ bool_; bool_ ] bool_; arity = 2 };
+    (* Lists *)
+    { name = "nil"; ty = TForall ([ a ], TList (TVar a)); arity = 0 };
+    {
+      name = "cons";
+      ty = TForall ([ a ], arrow [ TVar a; TList (TVar a) ] (TList (TVar a)));
+      arity = 2;
+    };
+    { name = "car"; ty = TForall ([ a ], arrow [ TList (TVar a) ] (TVar a)); arity = 1 };
+    {
+      name = "cdr";
+      ty = TForall ([ a ], arrow [ TList (TVar a) ] (TList (TVar a)));
+      arity = 1;
+    };
+    {
+      name = "null";
+      ty = TForall ([ a ], arrow [ TList (TVar a) ] bool_);
+      arity = 1;
+    };
+    {
+      name = "length";
+      ty = TForall ([ a ], arrow [ TList (TVar a) ] int_);
+      arity = 1;
+    };
+    {
+      name = "append";
+      ty =
+        TForall
+          ([ a ], arrow [ TList (TVar a); TList (TVar a) ] (TList (TVar a)));
+      arity = 2;
+    };
+  ]
+
+let by_name = Hashtbl.create 32
+
+let () = List.iter (fun i -> Hashtbl.replace by_name i.name i) table
+
+let lookup name = Hashtbl.find_opt by_name name
+
+let lookup_exn ?loc name =
+  match lookup name with
+  | Some i -> i
+  | None -> Fg_util.Diag.type_error ?loc "unknown primitive '%s'" name
+
+let is_prim name = Hashtbl.mem by_name name

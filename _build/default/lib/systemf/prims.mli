@@ -1,0 +1,15 @@
+(** Catalogue of primitive constants shared by System F and System FG:
+    integer arithmetic/comparison, booleans, and list operations
+    ([cons], [car], [cdr], [null], [nil], [length], [append]) — the
+    ambient constants the paper's example programs assume. *)
+
+type info = {
+  name : string;
+  ty : Ast.ty;  (** closed (possibly polymorphic) type scheme *)
+  arity : int;  (** term arity after type instantiation; 0 for [nil] *)
+}
+
+val table : info list
+val lookup : string -> info option
+val lookup_exn : ?loc:Fg_util.Loc.t -> string -> info
+val is_prim : string -> bool

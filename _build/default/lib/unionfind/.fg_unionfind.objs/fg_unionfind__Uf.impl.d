@@ -1,0 +1,1 @@
+lib/unionfind/uf.ml: Array Fg_util Hashtbl List

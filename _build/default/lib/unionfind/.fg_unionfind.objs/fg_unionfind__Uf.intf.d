@@ -1,0 +1,1 @@
+lib/unionfind/uf.mli:

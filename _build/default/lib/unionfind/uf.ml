@@ -1,0 +1,117 @@
+(** Imperative union-find with union by rank and path compression.
+
+    Elements are dense integer ids handed out by {!make_set}.  This is
+    the core data structure behind the congruence-closure decision
+    procedure for FG's same-type constraints (paper Section 5, citing
+    Nelson–Oppen); it is also used on its own by the translation to pick
+    equivalence-class representatives.
+
+    All operations are amortized near-constant time (inverse Ackermann).
+    The structure grows on demand; ids must come from {!make_set}. *)
+
+type t = {
+  mutable parent : int array;
+  mutable rank : int array;
+  mutable size : int;  (** number of live elements *)
+}
+
+let create ?(capacity = 16) () =
+  let capacity = max capacity 1 in
+  { parent = Array.make capacity 0; rank = Array.make capacity 0; size = 0 }
+
+let length t = t.size
+
+let ensure_capacity t n =
+  if n > Array.length t.parent then begin
+    let cap = max n (2 * Array.length t.parent) in
+    let parent = Array.make cap 0 in
+    let rank = Array.make cap 0 in
+    Array.blit t.parent 0 parent 0 t.size;
+    Array.blit t.rank 0 rank 0 t.size;
+    t.parent <- parent;
+    t.rank <- rank
+  end
+
+(** Allocate a fresh singleton class and return its id. *)
+let make_set t =
+  let id = t.size in
+  ensure_capacity t (id + 1);
+  t.parent.(id) <- id;
+  t.rank.(id) <- 0;
+  t.size <- id + 1;
+  id
+
+let check t x =
+  if x < 0 || x >= t.size then
+    Fg_util.Diag.ice "union-find: id %d out of range [0, %d)" x t.size
+
+(** Representative of [x]'s class, with path compression. *)
+let rec find t x =
+  check t x;
+  let p = t.parent.(x) in
+  if p = x then x
+  else begin
+    let root = find t p in
+    t.parent.(x) <- root;
+    root
+  end
+
+let equiv t x y = find t x = find t y
+
+(** [union t x y] merges the classes of [x] and [y]; returns the root of
+    the merged class.  Union by rank keeps trees shallow. *)
+let union t x y =
+  let rx = find t x and ry = find t y in
+  if rx = ry then rx
+  else if t.rank.(rx) < t.rank.(ry) then begin
+    t.parent.(rx) <- ry;
+    ry
+  end
+  else if t.rank.(rx) > t.rank.(ry) then begin
+    t.parent.(ry) <- rx;
+    rx
+  end
+  else begin
+    t.parent.(ry) <- rx;
+    t.rank.(rx) <- t.rank.(rx) + 1;
+    rx
+  end
+
+(** [union_into t ~winner x] merges so that [winner]'s root becomes the
+    representative, regardless of rank.  The FG translation needs control
+    over which member of a class is the canonical representative (e.g.
+    preferring a plain type variable over an associated-type projection),
+    which plain rank-based union does not provide. *)
+let union_into t ~winner x =
+  let rw = find t winner and rx = find t x in
+  if rw <> rx then begin
+    t.parent.(rx) <- rw;
+    if t.rank.(rw) <= t.rank.(rx) then t.rank.(rw) <- t.rank.(rx) + 1
+  end;
+  rw
+
+(** All classes as lists of members, each headed by its representative.
+    O(n α(n)); intended for tests and debugging output. *)
+let classes t =
+  let tbl = Hashtbl.create 16 in
+  for x = t.size - 1 downto 0 do
+    let r = find t x in
+    let cur = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (x :: cur)
+  done;
+  Hashtbl.fold
+    (fun r members acc -> (r :: List.filter (fun x -> x <> r) members) :: acc)
+    tbl []
+
+let count_classes t =
+  let seen = Hashtbl.create 16 in
+  for x = 0 to t.size - 1 do
+    Hashtbl.replace seen (find t x) ()
+  done;
+  Hashtbl.length seen
+
+(** Deep copy; the congruence closure snapshots its union-find when a
+    scope is entered so that scoped same-type constraints can be
+    discarded on exit. *)
+let copy t =
+  { parent = Array.copy t.parent; rank = Array.copy t.rank; size = t.size }

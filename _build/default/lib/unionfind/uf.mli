@@ -1,0 +1,41 @@
+(** Imperative union-find with union by rank and path compression.
+
+    Elements are dense integer ids handed out by {!make_set}.  This is
+    the substrate of the congruence-closure decision procedure for FG's
+    same-type constraints (paper Section 5, citing Nelson–Oppen).  All
+    operations are amortized near-constant time (inverse Ackermann). *)
+
+type t
+
+(** [create ?capacity ()] — an empty structure; grows on demand. *)
+val create : ?capacity:int -> unit -> t
+
+(** Number of elements allocated so far. *)
+val length : t -> int
+
+(** Allocate a fresh singleton class and return its id. *)
+val make_set : t -> int
+
+(** Representative of the element's class (with path compression).
+    Raises an internal diagnostic on out-of-range ids. *)
+val find : t -> int -> int
+
+(** Are the two elements in the same class? *)
+val equiv : t -> int -> int -> bool
+
+(** Merge two classes; returns the root of the merged class. *)
+val union : t -> int -> int -> int
+
+(** [union_into t ~winner x] merges so that [winner]'s root becomes the
+    representative regardless of rank — used when the client must
+    control which member represents a class. *)
+val union_into : t -> winner:int -> int -> int
+
+(** All classes as member lists, each headed by its representative.
+    O(n α(n)); intended for tests and debugging. *)
+val classes : t -> int list list
+
+val count_classes : t -> int
+
+(** Deep copy; the original and the copy evolve independently. *)
+val copy : t -> t

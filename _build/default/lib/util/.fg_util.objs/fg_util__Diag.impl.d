@@ -1,0 +1,1 @@
+lib/util/diag.ml: Fmt Loc Stdlib

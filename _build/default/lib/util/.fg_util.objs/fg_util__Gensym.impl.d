@@ -1,0 +1,1 @@
+lib/util/gensym.ml: List Printf

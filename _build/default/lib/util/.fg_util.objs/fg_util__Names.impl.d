@@ -1,0 +1,1 @@
+lib/util/names.ml: Map Set String

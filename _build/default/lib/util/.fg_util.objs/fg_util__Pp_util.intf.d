@@ -1,0 +1,1 @@
+lib/util/pp_util.mli: Fmt

@@ -1,0 +1,63 @@
+(** Diagnostics: located errors raised by every phase of the pipeline.
+
+    All user-facing failures (lexing, parsing, well-formedness, type
+    checking, model resolution, evaluation of stuck terms) are reported
+    as a {!Error} carrying a source span, a phase tag and a rendered
+    message.  Internal invariant violations use {!ice} ("internal
+    compiler error") so that bugs in the implementation are
+    distinguishable from bugs in the input program. *)
+
+type phase =
+  | Lexer
+  | Parser
+  | Wf  (** well-formedness of types, concepts and models *)
+  | Typecheck
+  | Resolve  (** model lookup / where-clause satisfaction *)
+  | Translate
+  | Eval
+  | Internal
+
+let phase_name = function
+  | Lexer -> "lex error"
+  | Parser -> "parse error"
+  | Wf -> "ill-formed"
+  | Typecheck -> "type error"
+  | Resolve -> "resolution error"
+  | Translate -> "translation error"
+  | Eval -> "runtime error"
+  | Internal -> "internal error"
+
+type diagnostic = { phase : phase; loc : Loc.t; message : string }
+
+exception Error of diagnostic
+
+let pp ppf d =
+  if Loc.is_dummy d.loc then
+    Fmt.pf ppf "%s: %s" (phase_name d.phase) d.message
+  else Fmt.pf ppf "%a: %s: %s" Loc.pp d.loc (phase_name d.phase) d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+let error ?(loc = Loc.dummy) phase fmt =
+  Fmt.kstr (fun message -> raise (Error { phase; loc; message })) fmt
+
+let lex_error ?loc fmt = error ?loc Lexer fmt
+let parse_error ?loc fmt = error ?loc Parser fmt
+let wf_error ?loc fmt = error ?loc Wf fmt
+let type_error ?loc fmt = error ?loc Typecheck fmt
+let resolve_error ?loc fmt = error ?loc Resolve fmt
+let translate_error ?loc fmt = error ?loc Translate fmt
+let eval_error ?loc fmt = error ?loc Eval fmt
+
+(** Internal invariant violation; not attributable to the input program. *)
+let ice fmt = error Internal fmt
+
+(** [guard cond phase fmt ...] raises unless [cond] holds. *)
+let guard cond ?loc phase fmt =
+  if cond then Fmt.kstr (fun _ -> ()) fmt else error ?loc phase fmt
+
+(** Run [f ()] and capture any diagnostic as [Error d]. *)
+let protect f = try Ok (f ()) with Error d -> Stdlib.Error d
+
+let protect_msg f =
+  match protect f with Ok v -> Ok v | Error d -> Stdlib.Error (to_string d)

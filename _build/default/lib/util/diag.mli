@@ -1,0 +1,44 @@
+(** Diagnostics: located errors raised by every phase of the pipeline.
+    All user-facing failures are an {!Error} carrying a span, a phase
+    tag and a message; internal invariant violations use {!ice}. *)
+
+type phase =
+  | Lexer
+  | Parser
+  | Wf  (** well-formedness of types, concepts and models *)
+  | Typecheck
+  | Resolve  (** model lookup / where-clause satisfaction *)
+  | Translate
+  | Eval
+  | Internal
+
+val phase_name : phase -> string
+
+type diagnostic = { phase : phase; loc : Loc.t; message : string }
+
+exception Error of diagnostic
+
+val pp : diagnostic Fmt.t
+val to_string : diagnostic -> string
+
+(** Raise a located diagnostic with a format string. *)
+val error : ?loc:Loc.t -> phase -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val lex_error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val parse_error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val wf_error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val type_error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val resolve_error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val translate_error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val eval_error : ?loc:Loc.t -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** Internal invariant violation; not attributable to the program. *)
+val ice : ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [guard cond phase fmt ...] raises unless [cond] holds. *)
+val guard : bool -> ?loc:Loc.t -> phase -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** Run and capture any diagnostic as [Error]. *)
+val protect : (unit -> 'a) -> ('a, diagnostic) result
+
+val protect_msg : (unit -> 'a) -> ('a, string) result

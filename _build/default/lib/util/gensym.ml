@@ -1,0 +1,24 @@
+(** Fresh-name generation.
+
+    The translation from FG to System F introduces dictionary variables
+    ([Monoid_18]), extra type parameters for associated types ([elt_4])
+    and representative names.  A {!t} is an explicit supply so that
+    independent pipeline runs are deterministic and reproducible: the
+    paper's examples show names like [Semigroup_61] whose exact digits
+    are immaterial, but tests rely on two runs over the same program
+    producing identical output. *)
+
+type t = { mutable next : int }
+
+let create () = { next = 0 }
+
+let reset g = g.next <- 0
+
+(** [fresh g base] returns ["base_N"] for the next counter value [N]. *)
+let fresh g base =
+  let n = g.next in
+  g.next <- n + 1;
+  Printf.sprintf "%s_%d" base n
+
+(** [fresh_many g base k] returns [k] distinct names sharing [base]. *)
+let fresh_many g base k = List.init k (fun _ -> fresh g base)

@@ -1,0 +1,16 @@
+(** Fresh-name generation: an explicit, deterministic supply.
+
+    The translation introduces dictionary variables ([Monoid_18]) and
+    associated-type parameters ([elt_4]); an explicit supply keeps
+    independent pipeline runs reproducible. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** [fresh g base] returns ["base_N"] for the next counter value. *)
+val fresh : t -> string -> string
+
+(** [fresh_many g base k] returns [k] distinct names sharing [base]. *)
+val fresh_many : t -> string -> int -> string list

@@ -1,0 +1,45 @@
+(** Source locations and spans.
+
+    Every token produced by a lexer carries a {!span}; AST nodes keep the
+    span of the syntax they were parsed from so that diagnostics can point
+    back into the source.  Programs constructed programmatically (e.g. the
+    corpus builders or the random generator) use {!dummy}. *)
+
+type pos = {
+  line : int;  (** 1-based line number *)
+  col : int;  (** 1-based column number *)
+  offset : int;  (** 0-based byte offset into the source *)
+}
+
+type span = { file : string; start_pos : pos; end_pos : pos }
+
+type t = span
+
+let start_pos_of_file = { line = 1; col = 1; offset = 0 }
+
+let dummy =
+  { file = "<none>"; start_pos = start_pos_of_file; end_pos = start_pos_of_file }
+
+let is_dummy s = s.file = "<none>"
+
+let make ~file ~start_pos ~end_pos = { file; start_pos; end_pos }
+
+(** [merge a b] spans from the start of [a] to the end of [b].  If either
+    side is a dummy span the other side wins, so synthesized nodes inherit
+    whatever location information is available. *)
+let merge a b =
+  if is_dummy a then b
+  else if is_dummy b then a
+  else { file = a.file; start_pos = a.start_pos; end_pos = b.end_pos }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+let pp ppf s =
+  if is_dummy s then Fmt.string ppf "<unknown location>"
+  else if s.start_pos.line = s.end_pos.line then
+    Fmt.pf ppf "%s:%d:%d-%d" s.file s.start_pos.line s.start_pos.col
+      s.end_pos.col
+  else
+    Fmt.pf ppf "%s:%a-%a" s.file pp_pos s.start_pos pp_pos s.end_pos
+
+let to_string s = Fmt.str "%a" pp s

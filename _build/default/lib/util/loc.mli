@@ -1,0 +1,24 @@
+(** Source locations and spans.  Tokens and AST nodes carry spans so
+    diagnostics point back into the source; programmatically built
+    programs use {!dummy}. *)
+
+type pos = {
+  line : int;  (** 1-based *)
+  col : int;  (** 1-based *)
+  offset : int;  (** 0-based byte offset *)
+}
+
+type span = { file : string; start_pos : pos; end_pos : pos }
+type t = span
+
+val start_pos_of_file : pos
+val dummy : t
+val is_dummy : t -> bool
+val make : file:string -> start_pos:pos -> end_pos:pos -> t
+
+(** Start of the first to end of the second; a dummy side is ignored. *)
+val merge : t -> t -> t
+
+val pp_pos : pos Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string

@@ -1,0 +1,46 @@
+(** String maps/sets and small name utilities used across the pipeline. *)
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+(** [distinct xs] is true when no string occurs twice — the side
+    condition written [distinct t] in the paper's typing rules. *)
+let distinct xs =
+  let rec go seen = function
+    | [] -> true
+    | x :: rest -> (not (Sset.mem x seen)) && go (Sset.add x seen) rest
+  in
+  go Sset.empty xs
+
+(** First duplicate in [xs], if any (for error messages). *)
+let find_duplicate xs =
+  let rec go seen = function
+    | [] -> None
+    | x :: rest -> if Sset.mem x seen then Some x else go (Sset.add x seen) rest
+  in
+  go Sset.empty xs
+
+(** Strip a [_N] gensym suffix: ["Monoid_18"] -> ["Monoid"].  Used by
+    pretty printers when rendering translated code compactly. *)
+let base_name s =
+  match String.rindex_opt s '_' with
+  | None -> s
+  | Some i ->
+      let suffix = String.sub s (i + 1) (String.length s - i - 1) in
+      if suffix <> "" && String.for_all (fun c -> c >= '0' && c <= '9') suffix
+      then String.sub s 0 i
+      else s
+
+let is_lower_ident s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true | _ -> false)
+       s
+
+let is_upper_ident s =
+  String.length s > 0
+  && (match s.[0] with 'A' .. 'Z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '\'' -> true | _ -> false)
+       s

@@ -1,0 +1,16 @@
+(** String maps/sets and small name utilities used across the pipeline. *)
+
+module Smap : Map.S with type key = string
+module Sset : Set.S with type elt = string
+
+(** No string occurs twice — the paper's [distinct t̄] side condition. *)
+val distinct : string list -> bool
+
+(** First duplicate, if any (for error messages). *)
+val find_duplicate : string list -> string option
+
+(** Strip a [_N] gensym suffix: ["Monoid_18"] -> ["Monoid"]. *)
+val base_name : string -> string
+
+val is_lower_ident : string -> bool
+val is_upper_ident : string -> bool

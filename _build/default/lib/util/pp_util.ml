@@ -1,0 +1,41 @@
+(** Shared pretty-printing helpers built on [Fmt]. *)
+
+let comma_sep pp = Fmt.list ~sep:Fmt.comma pp
+
+let semi_sep pp = Fmt.list ~sep:(Fmt.any ";@ ") pp
+
+(** [angles pp] prints [<x, y, z>]. *)
+let angles pp ppf xs = Fmt.pf ppf "@[<hov 1><%a>@]" (comma_sep pp) xs
+
+(** [parens_if b pp] wraps in parentheses when [b]. *)
+let parens_if b pp ppf x =
+  if b then Fmt.pf ppf "(@[%a@])" pp x else pp ppf x
+
+(** Render with a right margin suitable for terminals and test output.
+    Note: [Format] silently misbehaves when the margin exceeds its
+    internal maximum, so large requests are clamped to a safe value. *)
+let to_string ?(margin = 100) pp x =
+  let margin = min margin 1_000_000 in
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Format.pp_set_margin ppf margin;
+  Fmt.pf ppf "%a" pp x;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+(** One-line rendering: newlines and runs of spaces collapsed.  Useful in
+    test expectations where layout is irrelevant. *)
+let to_flat_string pp x =
+  let s = to_string ~margin:1_000_000 pp x in
+  let buf = Buffer.create (String.length s) in
+  let pending_space = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\n' | '\t' -> pending_space := true
+      | c ->
+          if !pending_space && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          pending_space := false;
+          Buffer.add_char buf c)
+    s;
+  Buffer.contents buf

@@ -1,0 +1,15 @@
+(** Shared pretty-printing helpers built on [Fmt]. *)
+
+val comma_sep : 'a Fmt.t -> 'a list Fmt.t
+val semi_sep : 'a Fmt.t -> 'a list Fmt.t
+
+(** [<x, y, z>]. *)
+val angles : 'a Fmt.t -> 'a list Fmt.t
+
+val parens_if : bool -> 'a Fmt.t -> 'a Fmt.t
+
+(** Render with a terminal-friendly margin (default 100). *)
+val to_string : ?margin:int -> 'a Fmt.t -> 'a -> string
+
+(** One-line rendering: newlines and space runs collapsed. *)
+val to_flat_string : 'a Fmt.t -> 'a -> string

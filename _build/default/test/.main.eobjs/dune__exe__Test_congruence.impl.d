@@ -1,0 +1,1 @@
+test/test_congruence.ml: Alcotest Array Fg_congruence Fg_util List QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Check Corpus Fg_core Fg_util Interp List Parser Pipeline Pretty

@@ -1,0 +1,1 @@
+test/test_defaults.ml: Alcotest Ast Astring_contains Check Fg_core Fg_systemf Fg_util Interp Parser Pipeline Prelude

@@ -1,0 +1,1 @@
+test/test_diagnostics.ml: Alcotest Fg_core Fg_util Pipeline Resolution

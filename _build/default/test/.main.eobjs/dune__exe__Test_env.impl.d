@@ -1,0 +1,1 @@
+test/test_env.ml: Alcotest Ast Astring_contains Env Fg_core Fg_util List Parser Pretty

@@ -1,0 +1,1 @@
+test/test_equality.ml: Alcotest Ast Equality Fg_core Fg_util List Parser Pretty Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_fg_check.ml: Alcotest Astring_contains Check Corpus Fg_core Fg_util Interp Parser Pipeline Pretty

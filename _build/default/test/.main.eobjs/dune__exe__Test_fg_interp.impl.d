@@ -1,0 +1,1 @@
+test/test_fg_interp.ml: Alcotest Astring_contains Check Corpus Fg_core Fg_systemf Fg_util Interp Parser

@@ -1,0 +1,1 @@
+test/test_fg_parser.ml: Alcotest Ast Corpus Fg_core Fg_util List Parser Pretty

@@ -1,0 +1,1 @@
+test/test_fg_pretty.ml: Alcotest Ast Astring_contains Check Corpus Fg_core Fg_systemf Fg_util List Parser Pretty

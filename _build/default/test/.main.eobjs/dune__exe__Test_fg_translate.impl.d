@@ -1,0 +1,1 @@
+test/test_fg_translate.ml: Alcotest Astring_contains Check Corpus Fg_core Fg_systemf List Parser String

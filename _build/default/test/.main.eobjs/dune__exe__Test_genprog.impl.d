@@ -1,0 +1,1 @@
+test/test_genprog.ml: Alcotest Astring_contains Check Fg_core Fg_systemf Fg_util Genprog Interp List Parser Pipeline Printf

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Fg_core Fg_util Graph_lib Interp List Pipeline Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_implicit.ml: Alcotest Astring_contains Check Fg_core Fg_util Interp Parser Pipeline Prelude Pretty Printf

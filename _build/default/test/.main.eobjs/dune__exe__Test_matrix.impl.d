@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Astring_contains Fg_core Fg_util Interp List Matrix_lib Pipeline Prelude Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_named_models.ml: Alcotest Astring_contains Fg_core Fg_util Interp Pipeline Resolution

@@ -1,0 +1,1 @@
+test/test_parameterized.ml: Alcotest Astring_contains Check Fg_core Fg_systemf Fg_util Interp List Parser Pipeline Prelude Printf QCheck QCheck_alcotest Resolution

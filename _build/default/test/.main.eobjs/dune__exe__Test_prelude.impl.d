@@ -1,0 +1,1 @@
+test/test_prelude.ml: Alcotest Fg_core Fg_util Interp List Pipeline Prelude Printf QCheck QCheck_alcotest Resolution

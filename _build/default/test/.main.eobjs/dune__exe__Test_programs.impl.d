@@ -1,0 +1,1 @@
+test/test_programs.ml: Alcotest Array Corpus Fg_core Fg_util Filename Interp List Pipeline Printf String Sys

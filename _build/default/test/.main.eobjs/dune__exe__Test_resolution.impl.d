@@ -1,0 +1,1 @@
+test/test_resolution.ml: Alcotest Astring_contains Corpus Fg_core Fg_util Interp List Pipeline Resolution

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Array Astring_contains Fg_syntax Fg_util Lexer List Parser_base Token

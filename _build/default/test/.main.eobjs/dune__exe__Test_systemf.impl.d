@@ -1,0 +1,1 @@
+test/test_systemf.ml: Alcotest Ast Astring_contains Eval Fg_core Fg_systemf Fg_util List Parser Pretty QCheck QCheck_alcotest Typecheck

@@ -1,0 +1,1 @@
+test/test_systemf_step.ml: Alcotest Ast Astring_contains Fg_core Fg_systemf Fg_util List Parser Pretty QCheck QCheck_alcotest Step

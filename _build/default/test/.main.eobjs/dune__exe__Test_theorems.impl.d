@@ -1,0 +1,1 @@
+test/test_theorems.ml: Alcotest Ast Check Corpus Fg_core Fg_systemf Fg_util Gen List Parser Prelude Pretty Printf QCheck QCheck_alcotest Resolution Theorems

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Ast Astring_contains Env Fg_core Fg_systemf Fg_util List Parser Pretty Types

@@ -1,0 +1,1 @@
+test/test_unionfind.ml: Alcotest Array Fg_unionfind Fg_util List QCheck QCheck_alcotest

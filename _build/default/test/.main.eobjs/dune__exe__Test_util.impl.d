@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Diag Fg_util Fmt Gensym List Loc Names Pp_util String

@@ -1,0 +1,164 @@
+(* End-to-end tests of the fgc command-line tool: each subcommand run
+   as a subprocess against the real binary. *)
+
+let fgc = "../bin/fgc.exe"
+
+let run_cmd args ~stdin_text =
+  let out_file = Filename.temp_file "fgc_out" ".txt" in
+  let in_file = Filename.temp_file "fgc_in" ".txt" in
+  let oc = open_out in_file in
+  output_string oc stdin_text;
+  close_out oc;
+  let cmd =
+    Printf.sprintf "%s %s < %s > %s 2>&1" (Filename.quote fgc) args
+      (Filename.quote in_file) (Filename.quote out_file)
+  in
+  let code = Sys.command cmd in
+  let ic = open_in out_file in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  Sys.remove out_file;
+  Sys.remove in_file;
+  (code, String.trim out)
+
+let check_out args expected =
+  let code, out = run_cmd args ~stdin_text:"" in
+  Alcotest.(check int) (args ^ " exit code") 0 code;
+  Alcotest.(check string) args expected out
+
+let test_run () =
+  check_out "run -e '1 + 2 * 3'" "7";
+  check_out "run -p -e 'accumulate(cons[int](20, cons[int](22, nil[int])))'"
+    "42"
+
+let test_run_verbose () =
+  let code, out = run_cmd "run -e '(1, true)' -v" ~stdin_text:"" in
+  Alcotest.(check int) "exit" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [ "type        : int * bool"; "value       : (1, true)"; "theorem     : holds" ]
+
+let test_check () =
+  check_out "check -e 'fun (x : int) => x'" "fn(int) -> int"
+
+let test_translate () =
+  let code, out =
+    run_cmd
+      "translate -e 'concept N<t> { m : t; } in model N<int> { m = 9; } in \
+       N<int>.m' -t"
+      ~stdin_text:""
+  in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "dictionary" true
+    (Astring_contains.contains ~needle:"tuple(9)" out);
+  Alcotest.(check bool) "type comment" true
+    (Astring_contains.contains ~needle:"// : int" out)
+
+let test_verify () =
+  let code, out = run_cmd "verify -e '41 + 1'" ~stdin_text:"" in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "holds" true
+    (Astring_contains.contains ~needle:"theorem          : holds" out)
+
+let test_elaborate () =
+  let code, out =
+    run_cmd "elaborate -p -e 'contains(cons[int](1, nil[int]), 1)'"
+      ~stdin_text:""
+  in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "explicit instantiation inserted" true
+    (Astring_contains.contains ~needle:"contains[list int](" out)
+
+let test_error_exit_code () =
+  let code, out = run_cmd "run -e '1 + true'" ~stdin_text:"" in
+  Alcotest.(check int) "nonzero exit" 1 code;
+  Alcotest.(check bool) "message" true
+    (Astring_contains.contains ~needle:"expected int but got bool" out)
+
+let test_global_flag () =
+  let overlapping =
+    "'concept C<t> { v : t; } in let a = model C<int> { v = 1; } in C<int>.v \
+     in let b = model C<int> { v = 2; } in C<int>.v in a + b'"
+  in
+  let code, _ = run_cmd ("run -e " ^ overlapping) ~stdin_text:"" in
+  Alcotest.(check int) "lexical accepts" 0 code;
+  let code2, out2 =
+    run_cmd ("run --global-models -e " ^ overlapping) ~stdin_text:""
+  in
+  Alcotest.(check int) "global rejects" 1 code2;
+  Alcotest.(check bool) "overlap diagnostic" true
+    (Astring_contains.contains ~needle:"overlapping model" out2)
+
+let test_corpus_listing () =
+  let code, out = run_cmd "corpus" ~stdin_text:"" in
+  Alcotest.(check int) "exit" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [ "fig5_accumulate"; "fig6_overlap"; "merge_example"; "named_models" ]
+
+let test_corpus_run () =
+  let code, out = run_cmd "corpus fig6_overlap" ~stdin_text:"" in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "value" true
+    (Astring_contains.contains ~needle:"value: (3, 2) (expected (3, 2))" out)
+
+let test_eq () =
+  let code, out =
+    run_cmd "eq -a 'C<int>.elt == int' 'list C<int>.elt == list int'"
+      ~stdin_text:""
+  in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "true verdict" true
+    (Astring_contains.contains ~needle:"true" out);
+  Alcotest.(check bool) "repr" true
+    (Astring_contains.contains ~needle:"repr lhs: list int" out)
+
+let test_stdin_input () =
+  let code, out = run_cmd "run" ~stdin_text:"let x = 6 in x * 7" in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check string) "stdin program" "42" out
+
+let test_repl_session () =
+  let session =
+    ":prelude\n\
+     accumulate(cons[int](1, cons[int](2, nil[int])))\n\
+     concept Show<t> { sh : fn(t) -> int; }\n\
+     model Show<bool> { sh = fun (b : bool) => if b then 1 else 0; }\n\
+     Show<bool>.sh(true)\n\
+     :type accumulate\n\
+     :quit\n"
+  in
+  let code, out = run_cmd "repl" ~stdin_text:session in
+  Alcotest.(check int) "exit" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [
+      "- : int = 3";
+      "defined.";
+      "- : int = 1";
+      "- : forall t where Monoid<t>. fn(list t) -> t";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "run" `Quick test_run;
+    Alcotest.test_case "run --verbose" `Quick test_run_verbose;
+    Alcotest.test_case "check" `Quick test_check;
+    Alcotest.test_case "translate --type" `Quick test_translate;
+    Alcotest.test_case "verify" `Quick test_verify;
+    Alcotest.test_case "elaborate" `Quick test_elaborate;
+    Alcotest.test_case "error exit code" `Quick test_error_exit_code;
+    Alcotest.test_case "--global-models" `Quick test_global_flag;
+    Alcotest.test_case "corpus listing" `Quick test_corpus_listing;
+    Alcotest.test_case "corpus run" `Quick test_corpus_run;
+    Alcotest.test_case "eq" `Quick test_eq;
+    Alcotest.test_case "stdin input" `Quick test_stdin_input;
+    Alcotest.test_case "repl session" `Quick test_repl_session;
+  ]

@@ -1,0 +1,127 @@
+(* Tests for the direct FG interpreter: values, runtime model
+   resolution, lexical scoping at runtime, and failure modes. *)
+
+open Fg_core
+
+let run ?fuel src =
+  let e = Parser.exp_of_string src in
+  ignore (Check.typecheck e);
+  Interp.run_value ?fuel e
+
+let check_value ?fuel src expected =
+  Alcotest.(check string) src expected (Interp.value_to_string (run ?fuel src))
+
+let monoid_full = Corpus.monoid_prelude ^ Corpus.monoid_int_add
+
+let test_basics () =
+  check_value "1 + 2 * 3" "7";
+  check_value "(fun (x : int) => x * x)(7)" "49";
+  check_value "if true then (1, 2) else (3, 4)" "(1, 2)";
+  check_value "nth (10, 20, 30) 1" "20";
+  check_value "let x = 4 in x + x" "8";
+  check_value "cons[int](1, cons[int](2, nil[int]))" "[1, 2]"
+
+let test_member_resolution () =
+  check_value (monoid_full ^ "Monoid<int>.identity_elt") "0";
+  check_value (monoid_full ^ "Monoid<int>.binary_op(20, 22)") "42";
+  check_value (monoid_full ^ "Semigroup<int>.binary_op(1, 2)") "3"
+
+let test_generic_call () =
+  check_value
+    (monoid_full
+   ^ "(tfun t where Monoid<t> => fun (x : t) => Semigroup<t>.binary_op(x, x))[int](21)")
+    "42"
+
+let test_call_site_resolution () =
+  (* the model is looked up where the instantiation happens, not where
+     the generic function was defined *)
+  check_value
+    (Corpus.monoid_prelude
+   ^ {|let f = tfun t where Monoid<t> => fun (x : t) => Monoid<t>.identity_elt in
+model Semigroup<int> { binary_op = imult; } in
+model Monoid<int> { identity_elt = 99; } in
+f[int](1)|})
+    "99"
+
+let test_runtime_shadowing () =
+  check_value
+    (Corpus.monoid_prelude
+   ^ {|let f = tfun t where Monoid<t> => fun (x : t) => Monoid<t>.identity_elt in
+model Semigroup<int> { binary_op = iadd; } in
+model Monoid<int> { identity_elt = 1; } in
+let a = f[int](0) in
+model Semigroup<int> { binary_op = imult; } in
+model Monoid<int> { identity_elt = 2; } in
+let b = f[int](0) in
+(a, b)|})
+    "(1, 2)"
+
+let test_assoc_normalization () =
+  (* requirement Monoid<Iterator<i>.elt> resolved at a ground call *)
+  check_value (Corpus.iterator_accumulate.source) "7"
+
+let test_alias_runtime () =
+  check_value "type t = int in (fun (x : t) => x + 1)(1)" "2"
+
+let test_fuel () =
+  match
+    Fg_util.Diag.protect (fun () ->
+        run ~fuel:100
+          "(fix (f : fn(int) -> int) => fun (x : int) => f(x + 1))(0)")
+  with
+  | Ok _ -> Alcotest.fail "expected fuel exhaustion"
+  | Error d ->
+      Alcotest.(check bool) "fuel" true
+        (Astring_contains.contains ~needle:"fuel" d.message)
+
+let test_flat_values () =
+  let v = run "(1, (true, ()), cons[int](5, nil[int]))" in
+  let f = Interp.flatten v in
+  Alcotest.(check string) "flat rendering" "(1, (true, ()), [5])"
+    (Interp.flat_to_string f);
+  Alcotest.(check bool) "flat equality" true
+    (Interp.flat_equal f
+       (Interp.FlTuple
+          [
+            Interp.FlInt 1;
+            Interp.FlTuple [ Interp.FlBool true; Interp.FlUnit ];
+            Interp.FlList [ Interp.FlInt 5 ];
+          ]))
+
+let test_flat_f_agreement () =
+  (* flatten and flatten_f produce the same flat for the same data *)
+  let fg = run "(1, true)" in
+  let f =
+    Fg_systemf.Eval.run_value (Fg_systemf.Parser.exp_of_string "(1, true)")
+  in
+  Alcotest.(check bool) "cross-language flat equality" true
+    (Interp.flat_equal (Interp.flatten fg) (Interp.flatten_f f))
+
+let test_functions_flatten_opaque () =
+  let v = run "fun (x : int) => x" in
+  Alcotest.(check bool) "function is FlFun" true
+    (Interp.flat_equal (Interp.flatten v) Interp.FlFun)
+
+let test_deep_recursion () =
+  (* the interpreter handles a few thousand recursive calls *)
+  check_value
+    "(fix (sum : fn(int) -> int) => fun (n : int) => if n == 0 then 0 else n \
+     + sum(n - 1))(1000)"
+    "500500"
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basics;
+    Alcotest.test_case "member resolution" `Quick test_member_resolution;
+    Alcotest.test_case "generic call" `Quick test_generic_call;
+    Alcotest.test_case "call-site resolution" `Quick test_call_site_resolution;
+    Alcotest.test_case "runtime shadowing" `Quick test_runtime_shadowing;
+    Alcotest.test_case "assoc normalization" `Quick test_assoc_normalization;
+    Alcotest.test_case "alias at runtime" `Quick test_alias_runtime;
+    Alcotest.test_case "fuel" `Quick test_fuel;
+    Alcotest.test_case "flat values" `Quick test_flat_values;
+    Alcotest.test_case "flat cross-language" `Quick test_flat_f_agreement;
+    Alcotest.test_case "functions flatten opaque" `Quick
+      test_functions_flatten_opaque;
+    Alcotest.test_case "deep recursion" `Quick test_deep_recursion;
+  ]

@@ -1,0 +1,316 @@
+(* Tests for the FG parser and pretty printer: concrete syntax of
+   concepts, models, where clauses, associated types, same-type
+   constraints — and the delicate '.' disambiguation in type-level
+   where clauses. *)
+
+open Fg_core
+module A = Ast
+
+let parse = Parser.exp_of_string
+let parse_ty = Parser.ty_of_string
+let parse_constr = Parser.constr_of_string
+
+let flat_exp src = Pretty.exp_to_flat_string (parse src)
+let flat_ty src = Fg_util.Pp_util.to_flat_string Pretty.pp_ty (parse_ty src)
+
+let test_member_access () =
+  match (parse "Monoid<int>.binary_op").desc with
+  | A.Member ("Monoid", [ A.TBase A.TInt ], "binary_op") -> ()
+  | _ -> Alcotest.fail "member access shape"
+
+let test_member_multi_arg () =
+  match (parse "OutputIterator<list int, int>.put").desc with
+  | A.Member ("OutputIterator", [ A.TList (A.TBase A.TInt); A.TBase A.TInt ], "put")
+    -> ()
+  | _ -> Alcotest.fail "multi-arg member access"
+
+let test_assoc_type () =
+  match parse_ty "Iterator<i>.elt" with
+  | A.TAssoc ("Iterator", [ A.TVar "i" ], "elt") -> ()
+  | _ -> Alcotest.fail "assoc type shape"
+
+let test_tfun_where () =
+  match (parse "tfun t where Monoid<t> => fun (x : t) => x").desc with
+  | A.TyAbs ([ "t" ], [ A.CModel ("Monoid", [ A.TVar "t" ]) ], _) -> ()
+  | _ -> Alcotest.fail "tfun where shape"
+
+let test_tfun_no_where () =
+  match (parse "tfun t u => 1").desc with
+  | A.TyAbs ([ "t"; "u" ], [], _) -> ()
+  | _ -> Alcotest.fail "tfun without where"
+
+let test_same_type_constraint () =
+  match parse_constr "Iterator<i1>.elt == Iterator<i2>.elt" with
+  | A.CSame
+      ( A.TAssoc ("Iterator", [ A.TVar "i1" ], "elt"),
+        A.TAssoc ("Iterator", [ A.TVar "i2" ], "elt") ) ->
+      ()
+  | _ -> Alcotest.fail "same-type constraint shape"
+
+let test_constr_model () =
+  match parse_constr "Monoid<list int>" with
+  | A.CModel ("Monoid", [ A.TList (A.TBase A.TInt) ]) -> ()
+  | _ -> Alcotest.fail "model constraint shape"
+
+let test_forall_dot_disambiguation () =
+  (* the terminator "." vs the projection "." — three tokens of
+     lookahead decide (see Parser's module comment) *)
+  (* 1. requirement then body type *)
+  (match parse_ty "forall t where Monoid<t>. t" with
+  | A.TForall ([ "t" ], [ A.CModel ("Monoid", _) ], A.TVar "t") -> ()
+  | _ -> Alcotest.fail "simple terminator");
+  (* 2. same-type constraint headed by a projection *)
+  (match parse_ty "forall t where Iterator<t>.elt == int. t" with
+  | A.TForall ([ "t" ], [ A.CSame (A.TAssoc _, A.TBase A.TInt) ], A.TVar "t")
+    ->
+      ()
+  | _ -> Alcotest.fail "projection-headed CSame");
+  (* 3. requirement, then body that is itself a projection *)
+  (match parse_ty "forall t where Iterator<t>. Iterator<t>.elt" with
+  | A.TForall ([ "t" ], [ A.CModel ("Iterator", _) ], A.TAssoc _) -> ()
+  | _ -> Alcotest.fail "projection body");
+  (* 4. requirement then bare-variable body (the ambiguous-looking one:
+     parses as terminator + TVar) *)
+  match parse_ty "forall t where Iterator<t>. elt" with
+  | A.TForall ([ "t" ], [ A.CModel ("Iterator", _) ], A.TVar "elt") -> ()
+  | _ -> Alcotest.fail "bare variable body"
+
+let test_concept_decl () =
+  let src =
+    {|concept Iterator<i> {
+        types elt;
+        next : fn(i) -> i;
+        curr : fn(i) -> elt;
+      } in 0|}
+  in
+  match (parse src).desc with
+  | A.ConceptDecl (d, _) ->
+      Alcotest.(check string) "name" "Iterator" d.c_name;
+      Alcotest.(check (list string)) "params" [ "i" ] d.c_params;
+      Alcotest.(check (list string)) "assoc" [ "elt" ] d.c_assoc;
+      Alcotest.(check (list string)) "members" [ "next"; "curr" ]
+        (List.map fst d.c_members)
+  | _ -> Alcotest.fail "concept decl shape"
+
+let test_concept_refines_same () =
+  let src =
+    {|concept IntIter<i> {
+        refines Iterator<i>, Eq<i>;
+        same Iterator<i>.elt == int;
+      } in 0|}
+  in
+  match (parse src).desc with
+  | A.ConceptDecl (d, _) ->
+      Alcotest.(check (list string)) "refines" [ "Iterator"; "Eq" ]
+        (List.map fst d.c_refines);
+      Alcotest.(check int) "same count" 1 (List.length d.c_same)
+  | _ -> Alcotest.fail "refines/same shape"
+
+let test_model_decl () =
+  let src =
+    {|model Iterator<list int> {
+        types elt = int;
+        next = fun (ls : list int) => cdr[int](ls);
+      } in 0|}
+  in
+  match (parse src).desc with
+  | A.ModelDecl (d, _) ->
+      Alcotest.(check string) "concept" "Iterator" d.m_concept;
+      Alcotest.(check int) "one assoc" 1 (List.length d.m_assoc);
+      Alcotest.(check (list string)) "members" [ "next" ]
+        (List.map fst d.m_members)
+  | _ -> Alcotest.fail "model decl shape"
+
+let test_empty_model () =
+  match (parse "model Ring<int> { } in 0").desc with
+  | A.ModelDecl (d, _) ->
+      Alcotest.(check int) "no assoc" 0 (List.length d.m_assoc);
+      Alcotest.(check int) "no members" 0 (List.length d.m_members)
+  | _ -> Alcotest.fail "empty model"
+
+let test_type_alias () =
+  match (parse "type t = list int in 0").desc with
+  | A.TypeAlias ("t", A.TList (A.TBase A.TInt), _) -> ()
+  | _ -> Alcotest.fail "type alias shape"
+
+let test_forall_in_member_type () =
+  (* polymorphic members are allowed by the grammar *)
+  let src = "concept C<t> { poly : forall a. fn(a, t) -> a; } in 0" in
+  match (parse src).desc with
+  | A.ConceptDecl (d, _) -> (
+      match List.assoc "poly" d.c_members with
+      | A.TForall ([ "a" ], [], _) -> ()
+      | _ -> Alcotest.fail "member type shape")
+  | _ -> Alcotest.fail "concept shape"
+
+let test_nested_angle_brackets () =
+  (* C<D<int>.elt> — '>' tokens never combine *)
+  match parse_ty "Outer<Inner<int>.elt>.out" with
+  | A.TAssoc ("Outer", [ A.TAssoc ("Inner", [ A.TBase A.TInt ], "elt") ], "out")
+    ->
+      ()
+  | _ -> Alcotest.fail "nested angles"
+
+let test_comparison_vs_angles () =
+  (* '<' as comparison in expressions still works *)
+  Alcotest.(check string) "comparison" "ilt(a, b)" (flat_exp "a < b");
+  (* and '>' likewise *)
+  Alcotest.(check string) "greater" "igt(x, 2)" (flat_exp "x > 2")
+
+let test_pretty_roundtrip () =
+  List.iter
+    (fun src ->
+      let e = parse src in
+      let printed = Pretty.exp_to_string e in
+      let e2 = parse printed in
+      if not (A.ty_equal (A.TVar "x") (A.TVar "x")) then ();
+      Alcotest.(check string) src
+        (Pretty.exp_to_flat_string e)
+        (Pretty.exp_to_flat_string e2))
+    [
+      Corpus.fig5_accumulate.source;
+      Corpus.fig6_overlap.source;
+      Corpus.merge_example.source;
+      Corpus.diamond_refinement.source;
+      Corpus.refine_at_assoc.source;
+      "type t = int in fun (x : t) => x";
+      "tfun a b where a == b => fun (x : a) => x";
+    ]
+
+let test_ty_roundtrip () =
+  List.iter
+    (fun src -> Alcotest.(check string) src (flat_ty src) (flat_ty (flat_ty src |> fun s -> s)))
+    [
+      "forall t where Monoid<t>. fn(t) -> t";
+      "forall i1 i2 where Iterator<i1>, Iterator<i2>, Iterator<i1>.elt == Iterator<i2>.elt. fn(i1, i2) -> bool";
+      "Iterator<list int>.elt";
+      "fn(Iterator<i>.elt) -> bool";
+      "tuple(int) * tuple()";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      match Fg_util.Diag.protect (fun () -> parse src) with
+      | Ok _ -> Alcotest.failf "%s: expected parse error" src
+      | Error d ->
+          Alcotest.(check bool) "phase" true
+            (d.phase = Fg_util.Diag.Parser || d.phase = Fg_util.Diag.Lexer))
+    [
+      "concept c<t> { } in 0" (* lowercase concept name *);
+      "concept C<> { } in 0" (* no params *);
+      "model C<int> { x : int; } in 0" (* ':' in model *);
+      "concept C<t> { x = 1; } in 0" (* '=' in concept *);
+      "tfun => 1" (* no binders *);
+      "Monoid<int>" (* member access without member *);
+      "type T = int in 0" (* uppercase alias *);
+    ]
+
+let test_keywords_reserved () =
+  (* keywords cannot be identifiers *)
+  List.iter
+    (fun src ->
+      match Fg_util.Diag.protect (fun () -> parse src) with
+      | Ok _ -> Alcotest.failf "%s: expected parse error" src
+      | Error _ -> ())
+    [ "let let = 1 in 0"; "fun (in : int) => 0"; "let concept = 1 in 0" ]
+
+let test_extension_syntax_shapes () =
+  (* named model *)
+  (match (parse "model m = Eq<int> { eq = ieq; } in 0").desc with
+  | A.ModelDecl ({ m_name = Some "m"; m_params = []; _ }, _) -> ()
+  | _ -> Alcotest.fail "named model shape");
+  (* parameterized model without context *)
+  (match (parse "model <t> Eq<list t> { eq = ieq; } in 0").desc with
+  | A.ModelDecl ({ m_name = None; m_params = [ "t" ]; m_constrs = []; _ }, _)
+    -> ()
+  | _ -> Alcotest.fail "parameterized shape");
+  (* parameterized model with context *)
+  (match
+     (parse "model <t> where Eq<t> => Eq<list t> { eq = ieq; } in 0").desc
+   with
+  | A.ModelDecl
+      ( { m_params = [ "t" ]; m_constrs = [ A.CModel ("Eq", [ A.TVar "t" ]) ]; _ },
+        _ ) ->
+      ()
+  | _ -> Alcotest.fail "context shape");
+  (* named AND parameterized *)
+  (match
+     (parse "model m = <t> Eq<list t> { eq = ieq; } in 0").desc
+   with
+  | A.ModelDecl ({ m_name = Some "m"; m_params = [ "t" ]; _ }, _) -> ()
+  | _ -> Alcotest.fail "named parameterized shape");
+  (* using *)
+  (match (parse "using m in 1 + 1").desc with
+  | A.Using ("m", _) -> ()
+  | _ -> Alcotest.fail "using shape");
+  (* require item *)
+  (match (parse "concept C<c> { types i; require It<i>; } in 0").desc with
+  | A.ConceptDecl ({ c_requires = [ ("It", [ A.TVar "i" ]) ]; _ }, _) -> ()
+  | _ -> Alcotest.fail "require shape");
+  (* default member *)
+  match
+    (parse "concept C<t> { v : t; w : t = C<t>.v; } in 0").desc
+  with
+  | A.ConceptDecl ({ c_defaults = [ ("w", _) ]; c_members; _ }, _) ->
+      Alcotest.(check (list string)) "members" [ "v"; "w" ]
+        (List.map fst c_members)
+  | _ -> Alcotest.fail "default shape"
+
+let test_extension_syntax_errors () =
+  List.iter
+    (fun src ->
+      match Fg_util.Diag.protect (fun () -> parse src) with
+      | Ok _ -> Alcotest.failf "%s: expected parse error" src
+      | Error _ -> ())
+    [
+      "model <t> where Eq<t> Eq<list t> { } in 0" (* missing => *);
+      "model <> Eq<int> { } in 0" (* empty params *);
+      "using M in 0" (* uppercase name *);
+      "using m 0" (* missing in *);
+      "concept C<t> { require it<t>; } in 0" (* lowercase concept *);
+    ]
+
+let test_locations () =
+  let e = parse "let x = 1 in\n  x + y" in
+  match e.desc with
+  | A.Let (_, _, body) -> (
+      match body.desc with
+      | A.App (_, [ _; y ]) ->
+          Alcotest.(check int) "y line" 2 y.loc.start_pos.line;
+          Alcotest.(check int) "y col" 7 y.loc.start_pos.col
+      | _ -> Alcotest.fail "body shape")
+  | _ -> Alcotest.fail "let shape"
+
+let suite =
+  [
+    Alcotest.test_case "member access" `Quick test_member_access;
+    Alcotest.test_case "multi-arg member access" `Quick test_member_multi_arg;
+    Alcotest.test_case "associated type" `Quick test_assoc_type;
+    Alcotest.test_case "tfun with where" `Quick test_tfun_where;
+    Alcotest.test_case "tfun without where" `Quick test_tfun_no_where;
+    Alcotest.test_case "same-type constraint" `Quick test_same_type_constraint;
+    Alcotest.test_case "model constraint" `Quick test_constr_model;
+    Alcotest.test_case "forall '.' disambiguation" `Quick
+      test_forall_dot_disambiguation;
+    Alcotest.test_case "concept declaration" `Quick test_concept_decl;
+    Alcotest.test_case "refines and same items" `Quick
+      test_concept_refines_same;
+    Alcotest.test_case "model declaration" `Quick test_model_decl;
+    Alcotest.test_case "empty model" `Quick test_empty_model;
+    Alcotest.test_case "type alias" `Quick test_type_alias;
+    Alcotest.test_case "polymorphic member type" `Quick
+      test_forall_in_member_type;
+    Alcotest.test_case "nested angle brackets" `Quick
+      test_nested_angle_brackets;
+    Alcotest.test_case "comparison vs angles" `Quick test_comparison_vs_angles;
+    Alcotest.test_case "printer/parser round-trip" `Quick test_pretty_roundtrip;
+    Alcotest.test_case "type printer round-trip" `Quick test_ty_roundtrip;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "keywords reserved" `Quick test_keywords_reserved;
+    Alcotest.test_case "extension syntax shapes" `Quick
+      test_extension_syntax_shapes;
+    Alcotest.test_case "extension syntax errors" `Quick
+      test_extension_syntax_errors;
+    Alcotest.test_case "source locations" `Quick test_locations;
+  ]

@@ -1,0 +1,126 @@
+(* Dedicated tests for the FG pretty printer: exact renderings,
+   precedence-driven parenthesization, and full-corpus round-trips in
+   both languages. *)
+
+open Fg_core
+
+let flat src = Pretty.exp_to_flat_string (Parser.exp_of_string src)
+let flat_ty src =
+  Fg_util.Pp_util.to_flat_string Pretty.pp_ty (Parser.ty_of_string src)
+
+let check_exp src expected = Alcotest.(check string) src expected (flat src)
+let check_ty src expected = Alcotest.(check string) src expected (flat_ty src)
+
+let test_exact_expressions () =
+  check_exp "let x = 1 in x + x" "let x = 1 in iadd(x, x)";
+  check_exp "fun (x : int, y : bool) => (y, x)"
+    "fun (x : int, y : bool) => (y, x)";
+  check_exp "tfun t where Monoid<t> => Monoid<t>.identity_elt"
+    "tfun t where Monoid<t> => Monoid<t>.identity_elt";
+  check_exp "tfun a b where a == b => 1" "tfun a b where a == b => 1";
+  check_exp "using m in C<int>.v" "using m in C<int>.v";
+  check_exp "type t = list int in 0" "type t = list int in 0";
+  check_exp "fix (f : fn(int) -> int) => fun (n : int) => f(n)"
+    "fix (f : fn(int) -> int) => fun (n : int) => f(n)"
+
+let test_precedence_parens () =
+  (* application binds tighter than the open forms *)
+  check_exp "(fun (x : int) => x)(1)" "(fun (x : int) => x)(1)";
+  check_exp "(if true then car[int] else cdr2)(nil[int])"
+    "(if true then car[int] else cdr2)(nil[int])";
+  (* nth keeps its operand atomic *)
+  check_exp "nth (1, 2) 0" "nth (1, 2) 0";
+  check_exp "nth (f(x)) 0" "nth (f(x)) 0";
+  (* nested let prints without spurious parens *)
+  check_exp "let x = let y = 1 in y in x" "let x = let y = 1 in y in x"
+
+let test_exact_types () =
+  check_ty "fn(int, bool) -> list int" "fn(int, bool) -> list int";
+  check_ty "forall t where Monoid<t>. fn(t) -> t"
+    "forall t where Monoid<t>. fn(t) -> t";
+  check_ty "forall i1 i2 where Iterator<i1>, Iterator<i1>.elt == Iterator<i2>.elt. bool"
+    "forall i1 i2 where Iterator<i1>, Iterator<i1>.elt == Iterator<i2>.elt. bool";
+  check_ty "int * list bool * unit" "int * list bool * unit";
+  check_ty "fn(fn(int) -> int) -> int" "fn(fn(int) -> int) -> int";
+  check_ty "(int * bool) * int" "(int * bool) * int";
+  check_ty "list (int * bool)" "list (int * bool)";
+  check_ty "tuple(int) * tuple()" "tuple(int) * tuple()"
+
+let test_concept_rendering () =
+  let src =
+    {|concept Container<c> {
+  types iter;
+  refines Sized<c>;
+  require Iterator<iter>;
+  same Iterator<iter>.elt == int;
+  begin : fn(c) -> iter;
+  empty : fn(c) -> bool = fun (x : c) => true;
+} in 0|}
+  in
+  let d =
+    match (Parser.exp_of_string src).Ast.desc with
+    | Ast.ConceptDecl (d, _) -> d
+    | _ -> Alcotest.fail "shape"
+  in
+  let rendered = Fg_util.Pp_util.to_flat_string Pretty.pp_concept_decl d in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle rendered))
+    [
+      "types iter;"; "refines Sized<c>;"; "require Iterator<iter>;";
+      "same Iterator<iter>.elt == int;"; "begin : fn(c) -> iter;";
+      "empty : fn(c) -> bool = fun (x : c) => true;";
+    ]
+
+let test_model_rendering () =
+  let render src =
+    match (Parser.exp_of_string src).Ast.desc with
+    | Ast.ModelDecl (d, _) ->
+        Fg_util.Pp_util.to_flat_string Pretty.pp_model_decl d
+    | _ -> Alcotest.fail "shape"
+  in
+  Alcotest.(check string) "ground"
+    "model Eq<int> { eq = ieq; }"
+    (render "model Eq<int> { eq = ieq; } in 0");
+  Alcotest.(check bool) "named" true
+    (Astring_contains.contains ~needle:"model m = Eq<int>"
+       (render "model m = Eq<int> { eq = ieq; } in 0"));
+  Alcotest.(check bool) "parameterized with context" true
+    (Astring_contains.contains ~needle:"model <t> where Eq<t> => Eq<list t>"
+       (render
+          "model <t> where Eq<t> => Eq<list t> { eq = fun (a : list t, b : list t) => true; } in 0"))
+
+let test_corpus_roundtrip_both_languages () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      (* FG round-trip *)
+      let ast = Parser.exp_of_string e.source in
+      let re = Parser.exp_of_string (Pretty.exp_to_string ast) in
+      Alcotest.(check string) (e.name ^ " fg-roundtrip")
+        (Pretty.exp_to_flat_string ast)
+        (Pretty.exp_to_flat_string re);
+      (* translated F round-trip *)
+      match e.expected with
+      | Corpus.Value _ ->
+          let f = Check.translate ast in
+          let rf = Fg_systemf.Parser.exp_of_string
+              (Fg_systemf.Pretty.exp_to_string f)
+          in
+          Alcotest.(check bool) (e.name ^ " f-roundtrip") true
+            (Fg_systemf.Ast.exp_equal f rf)
+      | Corpus.Fails _ -> ())
+    Corpus.all
+
+let suite =
+  [
+    Alcotest.test_case "exact expression renderings" `Quick
+      test_exact_expressions;
+    Alcotest.test_case "precedence parenthesization" `Quick
+      test_precedence_parens;
+    Alcotest.test_case "exact type renderings" `Quick test_exact_types;
+    Alcotest.test_case "concept rendering" `Quick test_concept_rendering;
+    Alcotest.test_case "model rendering" `Quick test_model_rendering;
+    Alcotest.test_case "corpus round-trips (both languages)" `Quick
+      test_corpus_roundtrip_both_languages;
+  ]

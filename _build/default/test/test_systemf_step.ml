@@ -1,0 +1,136 @@
+(* Tests for the substitution-based small-step System F semantics, and
+   its agreement with the environment-based big-step evaluator. *)
+
+open Fg_systemf
+module A = Ast
+
+let parse = Parser.exp_of_string
+
+let normal_form src =
+  let nf, _ = Step.normalize (parse src) in
+  Pretty.exp_to_flat_string nf
+
+let check src expected =
+  Alcotest.(check string) src expected (normal_form src)
+
+let test_values () =
+  List.iter
+    (fun src -> Alcotest.(check bool) src true (Step.is_value (parse src)))
+    [
+      "42"; "true"; "()"; "fun (x : int) => x"; "tfun a => 1"; "(1, 2)";
+      "nil[int]"; "cons[int](1, nil[int])"; "iadd"; "iadd(1)" (* partial *);
+      "cons[int](1)" (* partial constructor *);
+    ];
+  List.iter
+    (fun src -> Alcotest.(check bool) src false (Step.is_value (parse src)))
+    [
+      "1 + 2"; "(fun (x : int) => x)(1)"; "nth (1, 2) 0"; "let x = 1 in x";
+      "if true then 1 else 2"; "car[int](nil[int])";
+      "(tfun a => fun (x : a) => x)[int]";
+    ]
+
+let test_single_steps () =
+  let step_once src =
+    match Step.step (parse src) with
+    | Some e -> Pretty.exp_to_flat_string e
+    | None -> "<value>"
+  in
+  Alcotest.(check string) "beta" "5" (step_once "(fun (x : int) => x)(5)");
+  Alcotest.(check string) "delta" "3" (step_once "1 + 2");
+  Alcotest.(check string) "let" "7" (step_once "let x = 7 in x");
+  Alcotest.(check string) "tuple proj" "2" (step_once "nth (1, 2) 1");
+  Alcotest.(check string) "if" "1" (step_once "if true then 1 else 2");
+  Alcotest.(check string) "tyapp" "fun (x : int) => x"
+    (step_once "(tfun a => fun (x : a) => x)[int]");
+  (* leftmost-outermost: the function position steps first *)
+  Alcotest.(check string) "left first" "(fun (x : int) => x)(iadd(1, 1))"
+    (step_once "(let f = fun (x : int) => x in f)(1 + 1)")
+
+let test_normalize () =
+  check "1 + 2 * 3" "7";
+  check "(fun (x : int, y : int) => x - y)(10, 4)" "6";
+  check
+    "(fix (f : fn(int) -> int) => fun (n : int) => if n == 0 then 1 else n * \
+     f(n - 1))(5)"
+    "120";
+  check "append[int](cons[int](1, nil[int]), cons[int](2, nil[int]))"
+    "cons[int](1, cons[int](2, nil[int]))";
+  check "cdr[int](cons[int](1, cons[int](2, nil[int])))"
+    "cons[int](2, nil[int])";
+  check "null[bool](nil[bool])" "true";
+  check "length[int](cons[int](5, nil[int]))" "1";
+  check "let add1 = iadd(1) in add1(41)" "42"
+
+let test_capture_avoidance () =
+  (* [y := x] (fun x -> (x, y)) must rename the binder *)
+  let e =
+    A.abs [ ("x", A.TBase A.TInt) ] (A.tuple [ A.var "x"; A.var "y" ])
+  in
+  let r = Step.subst "y" (A.var "x") e in
+  match r.A.desc with
+  | A.Abs ([ (x', _) ], { desc = A.Tuple [ inner; outer ]; _ }) ->
+      Alcotest.(check bool) "binder renamed" true (x' <> "x");
+      (match (inner.A.desc, outer.A.desc) with
+      | A.Var i, A.Var o ->
+          Alcotest.(check string) "bound occurrence follows binder" x' i;
+          Alcotest.(check string) "substituted var is free x" "x" o
+      | _ -> Alcotest.fail "unexpected body")
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_fix_unfold () =
+  let e = parse "fix (f : fn(int) -> int) => fun (n : int) => f(n)" in
+  match Step.step e with
+  | Some e' ->
+      (* one unfolding: a lambda whose body mentions the fix again *)
+      Alcotest.(check bool) "unfolds to a value" true (Step.is_value e');
+      Alcotest.(check bool) "contains the fix" true
+        (Astring_contains.contains ~needle:"fix (f"
+           (Pretty.exp_to_flat_string e'))
+  | None -> Alcotest.fail "fix should step"
+
+let test_stuck_detected () =
+  List.iter
+    (fun src ->
+      match Fg_util.Diag.protect (fun () -> Step.normalize (parse src)) with
+      | Ok _ -> Alcotest.failf "%s: expected stuck/error" src
+      | Error _ -> ())
+    [ "1(2)"; "nth 1 0"; "if 1 then 2 else 3"; "car[int](nil[int])"; "x" ]
+
+let test_agreement_corpus () =
+  List.iter
+    (fun (e : Fg_core.Corpus.entry) ->
+      match e.expected with
+      | Fg_core.Corpus.Value _ ->
+          let f =
+            Fg_core.Check.translate (Fg_core.Parser.exp_of_string e.source)
+          in
+          ignore (Step.check_agreement f)
+      | Fg_core.Corpus.Fails _ -> ())
+    Fg_core.Corpus.all
+
+let prop_agreement_generated =
+  QCheck.Test.make
+    ~name:"big-step and small-step agree on generated translations"
+    ~count:150
+    QCheck.(make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      let fg = Fg_core.Gen.program_of_seed (seed + 31_000_000) in
+      let f = Fg_core.Check.translate fg in
+      match Fg_util.Diag.protect (fun () -> Step.check_agreement f) with
+      | Ok _ -> true
+      | Error d ->
+          QCheck.Test.fail_reportf "seed %d: %s" seed
+            (Fg_util.Diag.to_string d))
+
+let suite =
+  [
+    Alcotest.test_case "value recognition" `Quick test_values;
+    Alcotest.test_case "single steps" `Quick test_single_steps;
+    Alcotest.test_case "normalization" `Quick test_normalize;
+    Alcotest.test_case "capture avoidance" `Quick test_capture_avoidance;
+    Alcotest.test_case "fix unfolding" `Quick test_fix_unfold;
+    Alcotest.test_case "stuck terms detected" `Quick test_stuck_detected;
+    Alcotest.test_case "agreement on corpus translations" `Quick
+      test_agreement_corpus;
+    QCheck_alcotest.to_alcotest prop_agreement_generated;
+  ]

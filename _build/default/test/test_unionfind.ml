@@ -1,0 +1,138 @@
+(* Tests for the union-find substrate, including qcheck properties. *)
+
+module Uf = Fg_unionfind.Uf
+
+let test_basic () =
+  let uf = Uf.create () in
+  let a = Uf.make_set uf and b = Uf.make_set uf and c = Uf.make_set uf in
+  Alcotest.(check bool) "initially distinct" false (Uf.equiv uf a b);
+  Alcotest.(check int) "three classes" 3 (Uf.count_classes uf);
+  ignore (Uf.union uf a b);
+  Alcotest.(check bool) "a~b" true (Uf.equiv uf a b);
+  Alcotest.(check bool) "a!~c" false (Uf.equiv uf a c);
+  Alcotest.(check int) "two classes" 2 (Uf.count_classes uf);
+  ignore (Uf.union uf b c);
+  Alcotest.(check bool) "transitive" true (Uf.equiv uf a c);
+  Alcotest.(check int) "one class" 1 (Uf.count_classes uf)
+
+let test_union_idempotent () =
+  let uf = Uf.create () in
+  let a = Uf.make_set uf and b = Uf.make_set uf in
+  let r1 = Uf.union uf a b in
+  let r2 = Uf.union uf a b in
+  Alcotest.(check int) "same root" r1 r2;
+  Alcotest.(check int) "classes" 1 (Uf.count_classes uf)
+
+let test_union_into () =
+  let uf = Uf.create () in
+  let a = Uf.make_set uf and b = Uf.make_set uf and c = Uf.make_set uf in
+  (* force b's rank up so plain union would pick b *)
+  ignore (Uf.union uf b c);
+  let r = Uf.union_into uf ~winner:a b in
+  Alcotest.(check int) "winner is representative" (Uf.find uf a) r;
+  Alcotest.(check int) "a is root" a (Uf.find uf b);
+  Alcotest.(check bool) "all merged" true (Uf.equiv uf a c)
+
+let test_growth () =
+  let uf = Uf.create ~capacity:1 () in
+  let ids = List.init 100 (fun _ -> Uf.make_set uf) in
+  Alcotest.(check int) "length" 100 (Uf.length uf);
+  List.iteri (fun i id -> Alcotest.(check int) "dense ids" i id) ids;
+  (* chain them all *)
+  List.iter (fun id -> ignore (Uf.union uf (List.hd ids) id)) ids;
+  Alcotest.(check int) "single class" 1 (Uf.count_classes uf)
+
+let test_out_of_range () =
+  let uf = Uf.create () in
+  ignore (Uf.make_set uf);
+  Alcotest.check_raises "find out of range"
+    (Fg_util.Diag.Error
+       {
+         phase = Fg_util.Diag.Internal;
+         loc = Fg_util.Loc.dummy;
+         message = "union-find: id 5 out of range [0, 1)";
+       })
+    (fun () -> ignore (Uf.find uf 5))
+
+let test_classes () =
+  let uf = Uf.create () in
+  let a = Uf.make_set uf and b = Uf.make_set uf and c = Uf.make_set uf in
+  ignore (Uf.union uf a b);
+  let cls = Uf.classes uf in
+  Alcotest.(check int) "two classes" 2 (List.length cls);
+  let sizes = List.sort compare (List.map List.length cls) in
+  Alcotest.(check (list int)) "sizes" [ 1; 2 ] sizes;
+  (* each class is headed by its representative *)
+  List.iter
+    (fun cl -> Alcotest.(check int) "head is root" (Uf.find uf (List.hd cl))
+        (List.hd cl))
+    cls;
+  ignore c
+
+let test_copy_independent () =
+  let uf = Uf.create () in
+  let a = Uf.make_set uf and b = Uf.make_set uf in
+  let snapshot = Uf.copy uf in
+  ignore (Uf.union uf a b);
+  Alcotest.(check bool) "original merged" true (Uf.equiv uf a b);
+  Alcotest.(check bool) "copy untouched" false (Uf.equiv snapshot a b)
+
+(* Property: union-find maintains an equivalence relation consistent
+   with a naive reference implementation. *)
+let prop_matches_reference =
+  QCheck.Test.make ~name:"uf matches naive reference" ~count:200
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun unions ->
+      let uf = Uf.create () in
+      let ids = Array.init 20 (fun _ -> Uf.make_set uf) in
+      (* naive: representative = min element of class, recomputed *)
+      let cls = Array.init 20 (fun i -> i) in
+      let naive_find i =
+        let rec go i = if cls.(i) = i then i else go cls.(i) in
+        go i
+      in
+      List.iter
+        (fun (x, y) ->
+          ignore (Uf.union uf ids.(x) ids.(y));
+          let rx = naive_find x and ry = naive_find y in
+          if rx <> ry then cls.(max rx ry) <- min rx ry)
+        unions;
+      List.for_all
+        (fun (x, y) -> Uf.equiv uf ids.(x) ids.(y) = (naive_find x = naive_find y))
+        (List.concat_map
+           (fun x -> List.map (fun y -> (x, y)) [ 0; 5; 10; 19 ])
+           [ 0; 3; 7; 19 ]))
+
+let prop_class_count =
+  QCheck.Test.make ~name:"class count decreases by exactly merges" ~count:200
+    QCheck.(list (pair (int_bound 9) (int_bound 9)))
+    (fun unions ->
+      let uf = Uf.create () in
+      let ids = Array.init 10 (fun _ -> Uf.make_set uf) in
+      let merges =
+        List.fold_left
+          (fun acc (x, y) ->
+            if Uf.equiv uf ids.(x) ids.(y) then begin
+              ignore (Uf.union uf ids.(x) ids.(y));
+              acc
+            end
+            else begin
+              ignore (Uf.union uf ids.(x) ids.(y));
+              acc + 1
+            end)
+          0 unions
+      in
+      Uf.count_classes uf = 10 - merges)
+
+let suite =
+  [
+    Alcotest.test_case "basic union/find" `Quick test_basic;
+    Alcotest.test_case "idempotent union" `Quick test_union_idempotent;
+    Alcotest.test_case "union_into picks winner" `Quick test_union_into;
+    Alcotest.test_case "dynamic growth" `Quick test_growth;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    Alcotest.test_case "classes listing" `Quick test_classes;
+    Alcotest.test_case "copy is independent" `Quick test_copy_independent;
+    QCheck_alcotest.to_alcotest prop_matches_reference;
+    QCheck_alcotest.to_alcotest prop_class_count;
+  ]

@@ -1,0 +1,117 @@
+(* Tests for the utility substrate: locations, diagnostics, gensym,
+   name helpers, pretty-printing helpers. *)
+
+open Fg_util
+
+let test_loc_merge () =
+  let p1 : Loc.pos = { line = 1; col = 2; offset = 1 } in
+  let p2 : Loc.pos = { line = 3; col = 4; offset = 30 } in
+  let a = Loc.make ~file:"f" ~start_pos:p1 ~end_pos:p1 in
+  let b = Loc.make ~file:"f" ~start_pos:p2 ~end_pos:p2 in
+  let m = Loc.merge a b in
+  Alcotest.(check int) "start line" 1 m.start_pos.line;
+  Alcotest.(check int) "end line" 3 m.end_pos.line;
+  (* merging with dummy keeps the other side *)
+  let m2 = Loc.merge Loc.dummy b in
+  Alcotest.(check bool) "dummy merge" true (m2 = b);
+  let m3 = Loc.merge a Loc.dummy in
+  Alcotest.(check bool) "dummy merge right" true (m3 = a)
+
+let test_loc_render () =
+  let p1 : Loc.pos = { line = 2; col = 5; offset = 10 } in
+  let p2 : Loc.pos = { line = 2; col = 9; offset = 14 } in
+  let s = Loc.make ~file:"prog.fg" ~start_pos:p1 ~end_pos:p2 in
+  Alcotest.(check string) "same-line span" "prog.fg:2:5-9" (Loc.to_string s);
+  Alcotest.(check string) "dummy" "<unknown location>"
+    (Loc.to_string Loc.dummy)
+
+let test_diag_raise () =
+  (match Diag.protect (fun () -> Diag.type_error "bad %s" "thing") with
+  | Error d ->
+      Alcotest.(check string) "message" "bad thing" d.message;
+      Alcotest.(check bool) "phase" true (d.phase = Diag.Typecheck)
+  | Ok _ -> Alcotest.fail "expected error");
+  match Diag.protect (fun () -> 42) with
+  | Ok n -> Alcotest.(check int) "ok passthrough" 42 n
+  | Error _ -> Alcotest.fail "unexpected error"
+
+let test_diag_phases () =
+  let all =
+    Diag.[ Lexer; Parser; Wf; Typecheck; Resolve; Translate; Eval; Internal ]
+  in
+  let names = List.map Diag.phase_name all in
+  Alcotest.(check int) "distinct names" (List.length all)
+    (List.length (List.sort_uniq compare names))
+
+let test_guard () =
+  (* guard passes silently when the condition holds *)
+  Diag.guard true Diag.Typecheck "unused %d" 1;
+  match Diag.protect (fun () -> Diag.guard false Diag.Wf "broke %s" "it") with
+  | Error d ->
+      Alcotest.(check string) "message" "broke it" d.message;
+      Alcotest.(check bool) "phase" true (d.phase = Diag.Wf)
+  | Ok () -> Alcotest.fail "expected failure"
+
+let test_pp_helpers () =
+  Alcotest.(check string) "angles" "<1, 2, 3>"
+    (Pp_util.to_flat_string (Pp_util.angles Fmt.int) [ 1; 2; 3 ]);
+  Alcotest.(check string) "semi_sep" "1; 2"
+    (Pp_util.to_flat_string (Pp_util.semi_sep Fmt.int) [ 1; 2 ])
+
+let test_gensym () =
+  let g = Gensym.create () in
+  Alcotest.(check string) "first" "x_0" (Gensym.fresh g "x");
+  Alcotest.(check string) "second" "x_1" (Gensym.fresh g "x");
+  Alcotest.(check string) "other base" "y_2" (Gensym.fresh g "y");
+  Gensym.reset g;
+  Alcotest.(check string) "after reset" "x_0" (Gensym.fresh g "x");
+  let names = Gensym.fresh_many g "d" 3 in
+  Alcotest.(check (list string)) "fresh_many" [ "d_1"; "d_2"; "d_3" ] names
+
+let test_distinct () =
+  Alcotest.(check bool) "empty" true (Names.distinct []);
+  Alcotest.(check bool) "distinct" true (Names.distinct [ "a"; "b"; "c" ]);
+  Alcotest.(check bool) "dup" false (Names.distinct [ "a"; "b"; "a" ]);
+  Alcotest.(check (option string)) "find none" None
+    (Names.find_duplicate [ "a"; "b" ]);
+  Alcotest.(check (option string)) "find dup" (Some "b")
+    (Names.find_duplicate [ "a"; "b"; "b" ])
+
+let test_base_name () =
+  Alcotest.(check string) "strip" "Monoid" (Names.base_name "Monoid_18");
+  Alcotest.(check string) "no suffix" "Monoid" (Names.base_name "Monoid");
+  Alcotest.(check string) "not numeric" "a_b" (Names.base_name "a_b")
+
+let test_ident_predicates () =
+  Alcotest.(check bool) "lower" true (Names.is_lower_ident "abc_1");
+  Alcotest.(check bool) "underscore start" true (Names.is_lower_ident "_x");
+  Alcotest.(check bool) "upper not lower" false (Names.is_lower_ident "Abc");
+  Alcotest.(check bool) "upper" true (Names.is_upper_ident "Monoid");
+  Alcotest.(check bool) "lower not upper" false (Names.is_upper_ident "monoid");
+  Alcotest.(check bool) "empty" false (Names.is_lower_ident "")
+
+let test_flat_string () =
+  let pp ppf () = Fmt.pf ppf "a@ b@ @[c@ d@]" in
+  Alcotest.(check string) "flattened" "a b c d" (Pp_util.to_flat_string pp ());
+  (* regression: vertical boxes must not be truncated (Format misbehaves
+     when the margin is set to max_int; Pp_util clamps it) *)
+  let ppv ppf () = Fmt.pf ppf "@[<v 2>head {@ body;@]@ }" in
+  Alcotest.(check string) "vbox tail kept" "head { body; }"
+    (Pp_util.to_flat_string ppv ());
+  Alcotest.(check bool) "huge margin ok" true
+    (String.length (Pp_util.to_string ~margin:max_int ppv ()) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "loc merge" `Quick test_loc_merge;
+    Alcotest.test_case "loc render" `Quick test_loc_render;
+    Alcotest.test_case "diag raise/protect" `Quick test_diag_raise;
+    Alcotest.test_case "diag phase names" `Quick test_diag_phases;
+    Alcotest.test_case "guard" `Quick test_guard;
+    Alcotest.test_case "pp helpers" `Quick test_pp_helpers;
+    Alcotest.test_case "gensym" `Quick test_gensym;
+    Alcotest.test_case "distinct names" `Quick test_distinct;
+    Alcotest.test_case "base_name" `Quick test_base_name;
+    Alcotest.test_case "ident predicates" `Quick test_ident_predicates;
+    Alcotest.test_case "flat string" `Quick test_flat_string;
+  ]

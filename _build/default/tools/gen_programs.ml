@@ -1,0 +1,19 @@
+(* Regenerate programs/*.fg from the corpus (run from the repo root):
+     dune exec tools/gen_programs.exe
+   The test suite checks that the files are in sync with the corpus. *)
+
+open Fg_core
+
+let () =
+  List.iter
+    (fun (e : Corpus.entry) ->
+      match e.expected with
+      | Corpus.Value v ->
+          let oc = open_out (Printf.sprintf "programs/%s.fg" e.name) in
+          Printf.fprintf oc "// %s (%s)\n// expected value: %s\n%s\n"
+            e.description e.paper (Interp.flat_to_string v) e.source;
+          close_out oc
+      | Corpus.Fails _ -> ())
+    Corpus.all;
+  Printf.printf "regenerated programs/*.fg (%d files)\n"
+    (List.length Corpus.positive)
