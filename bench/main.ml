@@ -228,13 +228,36 @@ let overhead_tests =
     staged_fg_interp "overhead/fg_direct" fg_ast;
   ]
 
+(* S1: session amortization — the same prelude-using program driven by
+   a shared session (prelude checked once, outside the timed region)
+   against the one-shot pipeline, which re-checks the prelude text
+   every run.  The gap is exactly the per-program cost the session
+   design removes. *)
+let session_tests =
+  let body =
+    Printf.sprintf "accumulate[int](%s)" (C.Prelude.int_list [ 1; 2; 3; 4 ])
+  in
+  let shared = C.Session.with_prelude () in
+  let no_prelude = C.Session.create () in
+  let standalone = C.Corpus.fig5_accumulate.source in
+  [
+    Test.make ~name:"session/prelude_amortized"
+      (Staged.stage (fun () -> ignore (C.Session.run shared body)));
+    Test.make ~name:"session/prelude_fresh_pipeline"
+      (Staged.stage (fun () -> ignore (C.Pipeline.run (C.Prelude.wrap body))));
+    Test.make ~name:"session/no_prelude_shared"
+      (Staged.stage (fun () -> ignore (C.Session.run no_prelude standalone)));
+    Test.make ~name:"session/no_prelude_fresh"
+      (Staged.stage (fun () -> ignore (C.Pipeline.run standalone)));
+  ]
+
 (* ---------------------------------------------------------------- *)
 (* Runner                                                            *)
 
 let all_tests =
   fig_tests @ phase_tests @ theorem_tests @ scale_typecheck_tests
   @ scale_refine_tests @ eq_tests @ extension_tests @ library_tests
-  @ overhead_tests
+  @ overhead_tests @ session_tests
 
 let run_benchmarks () =
   let ols =
@@ -295,9 +318,65 @@ let print_step_counts () =
       ("FG direct interpreter", s_fg);
     ]
 
+(* Batch scaling: wall-clock time to check a batch of substantial
+   generated programs across domain counts.  Achievable speedup is
+   bounded by the machine's core count (printed below); the "stable"
+   column checks order stability against the 1-domain run, so this
+   doubles as a determinism smoke test. *)
+let print_batch_scaling () =
+  let jobs =
+    List.concat
+      (List.init 3 (fun round ->
+           List.map
+             (fun (name, src) -> (Printf.sprintf "%s#%d" name round, src))
+             [
+               ("let_chain_80", C.Genprog.let_chain 80);
+               ("many_models_160", C.Genprog.many_models 160);
+               ("wide_where_32", C.Genprog.wide_where 32);
+               ("refine_diamond_08", C.Genprog.refinement_diamond 8);
+               ("same_type_chain_64", C.Genprog.same_type_chain 64);
+               ("assoc_chain_24", C.Genprog.assoc_chain 24);
+             ]))
+  in
+  let time_batch domains =
+    let s = C.Session.create () in
+    let t0 = Unix.gettimeofday () in
+    let results = C.Session.run_batch ~domains s jobs in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, results)
+  in
+  let base_dt, base = time_batch 1 in
+  Fmt.pr
+    "@.S2 batch scaling (%d generated programs, full pipeline each; %d \
+     core(s) available)@."
+    (List.length jobs)
+    (C.Session.default_domains ());
+  Fmt.pr "%s@." (String.make 66 '-');
+  Fmt.pr "%-12s %12s %10s %8s@." "domains" "wall (ms)" "speedup" "stable";
+  List.iter
+    (fun domains ->
+      let dt, results = if domains = 1 then (base_dt, base) else time_batch domains in
+      let stable =
+        List.for_all2
+          (fun (n1, r1) (n2, r2) ->
+            n1 = n2
+            &&
+            match (r1, r2) with
+            | Ok (a : C.Session.outcome), Ok (b : C.Session.outcome) ->
+                C.Interp.flat_equal a.value b.value
+            | Error _, Error _ -> true
+            | _ -> false)
+          base results
+      in
+      Fmt.pr "%-12d %12.1f %9.2fx %8s@." domains (dt *. 1000.)
+        (base_dt /. dt)
+        (if stable then "yes" else "NO"))
+    [ 1; 2; 4; C.Session.default_domains () ]
+
 let () =
   Fmt.pr "FG benchmark harness (quota %.2fs per test)@." quota;
   Fmt.pr "%s@.@." (String.make 66 '=');
   let results = run_benchmarks () in
   print_results results;
-  print_step_counts ()
+  print_step_counts ();
+  print_batch_scaling ()

@@ -5,14 +5,22 @@
      translate  print the System F translation (optionally its type)
      run        run the full pipeline and print the value
      verify     check the translation-preserves-typing theorem
+     batch      run many programs through the pipeline, in parallel
      corpus     list or run the built-in paper corpus
      eq         decide a same-type query under assumptions
 
-   Programs are read from a file argument or from stdin ("-"). *)
+   All program-driving subcommands go through a {!Fg_core.Session}:
+   with [--prelude] the standard prelude is checked once per session
+   (not per program), and [--stats] reports the phase timers and cache
+   counters the session accumulated.  Programs are read from a file
+   argument or from stdin ("-"). *)
 
 open Cmdliner
 module C = Fg_core
 module F = Fg_systemf
+module Diag = Fg_util.Diag
+module Telemetry = Fg_util.Telemetry
+module Json = Fg_util.Json
 
 let read_input = function
   | "-" ->
@@ -23,23 +31,84 @@ let read_input = function
          done
        with End_of_file -> ());
       ("<stdin>", Buffer.contents b)
-  | path ->
-      let ic = open_in_bin path in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      (path, s)
+  | path -> (
+      match open_in_bin path with
+      | exception Sys_error msg -> Diag.error Diag.Parser "cannot read %s" msg
+      | ic ->
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          (path, s))
 
-let handle f =
-  try
-    f ();
-    0
-  with Fg_util.Diag.Error d ->
-    Fmt.epr "%a@." Fg_util.Diag.pp d;
-    1
+(* ---------------------------------------------------------------- *)
+(* JSON views                                                        *)
+
+let json_of_pos (p : Fg_util.Loc.pos) =
+  Json.Obj [ ("line", Json.Int p.line); ("col", Json.Int p.col) ]
+
+let json_of_diag (d : Diag.diagnostic) =
+  let base =
+    [ ("phase", Json.Str (Diag.phase_name d.phase));
+      ("message", Json.Str d.message) ]
+  in
+  let loc =
+    if Fg_util.Loc.is_dummy d.loc then []
+    else
+      [ ("file", Json.Str d.loc.file);
+        ("start", json_of_pos d.loc.start_pos);
+        ("end", json_of_pos d.loc.end_pos) ]
+  in
+  Json.Obj (base @ loc)
+
+let rec json_of_flat : C.Interp.flat -> Json.t = function
+  | C.Interp.FlInt n -> Json.Int n
+  | C.Interp.FlBool b -> Json.Bool b
+  | C.Interp.FlUnit -> Json.Null
+  | C.Interp.FlList vs -> Json.List (List.map json_of_flat vs)
+  | C.Interp.FlTuple vs ->
+      Json.Obj [ ("tuple", Json.List (List.map json_of_flat vs)) ]
+  | C.Interp.FlFun -> Json.Str "<fun>"
+
+let json_of_outcome ~file (o : C.Session.outcome) =
+  Json.Obj
+    [ ("file", Json.Str file);
+      ("ok", Json.Bool true);
+      ("type", Json.Str (C.Pretty.ty_to_string o.fg_ty));
+      ("value", json_of_flat o.value);
+      ("value_str", Json.Str (C.Interp.flat_to_string o.value));
+      ("theorem", Json.Bool o.theorem_holds);
+      ("direct_steps", Json.Int o.direct_steps);
+      ("translated_steps", Json.Int o.translated_steps) ]
+
+let json_of_failure ~file d =
+  Json.Obj
+    [ ("file", Json.Str file); ("ok", Json.Bool false);
+      ("error", json_of_diag d) ]
+
+let print_json j = print_endline (Json.to_string j)
 
 (* ---------------------------------------------------------------- *)
 (* Common arguments                                                  *)
+
+(* Run a command body; on a diagnostic print it (as JSON when asked)
+   and exit non-zero.  With [--stats], the telemetry accumulated by the
+   command — timers and cache counters included — goes to stderr either
+   way. *)
+let handle ?(json = false) ?(stats = false) f =
+  let before = Telemetry.snapshot () in
+  let finish code =
+    if stats then
+      Fmt.epr "%a@." Telemetry.pp
+        (Telemetry.diff (Telemetry.snapshot ()) before);
+    code
+  in
+  match f () with
+  | () -> finish 0
+  | exception Diag.Error d ->
+      if json then print_json (Json.Obj [ ("ok", Json.Bool false);
+                                          ("error", json_of_diag d) ])
+      else Fmt.epr "%a@." Diag.pp d;
+      finish 1
 
 let expr_arg =
   let doc = "Give the program inline instead of reading a file." in
@@ -57,55 +126,62 @@ let resolution_of_flag g =
   if g then C.Resolution.Global else C.Resolution.Lexical
 
 let with_prelude_flag =
-  let doc = "Wrap the program in the standard prelude (concepts, models \
-             for int/bool/list int, and the generic algorithms)." in
+  let doc = "Check the program under the standard prelude (concepts, \
+             models for int/bool/list int, and the generic algorithms), \
+             cached in the session and checked only once." in
   Arg.(value & flag & info [ "p"; "prelude" ] ~doc)
 
-let get_source file expr with_prelude =
-  let name, src =
-    match expr with Some s -> ("<expr>", s) | None -> read_input file
-  in
-  (name, if with_prelude then C.Prelude.wrap src else src)
+let stats_flag =
+  let doc = "Report phase wall times and cache counters (prelude reuse, \
+             model-resolution hits, congruence rebuilds) on stderr." in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+let format_arg =
+  let doc = "Output format: $(b,text) (default) or $(b,json)." in
+  Arg.(value & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+       & info [ "format" ] ~docv:"FMT" ~doc)
+
+(* The session every subcommand drives: prelude cached at creation when
+   requested, so per-program work excludes it. *)
+let make_session ~global ~with_prelude =
+  let resolution = resolution_of_flag global in
+  if with_prelude then C.Session.with_prelude ~resolution ()
+  else C.Session.create ~resolution ()
+
+let get_source file expr =
+  match expr with Some s -> ("<expr>", s) | None -> read_input file
+
+let file_pos_arg =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
+         ~doc:"Input program file ('-' for stdin).")
 
 (* ---------------------------------------------------------------- *)
 (* check                                                             *)
 
 let check_cmd =
-  let run file expr global with_prelude =
-    handle (fun () ->
-        let name, src = get_source file expr with_prelude in
-        let ty =
-          C.Pipeline.typecheck ~file:name
-            ~resolution:(resolution_of_flag global) src
-        in
-        Fmt.pr "%a@." C.Pretty.pp_ty ty)
-  in
-  let file =
-    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
-           ~doc:"Input program file ('-' for stdin).")
+  let run file expr global with_prelude stats =
+    handle ~stats (fun () ->
+        let name, src = get_source file expr in
+        let s = make_session ~global ~with_prelude in
+        Fmt.pr "%a@." C.Pretty.pp_ty (C.Session.typecheck ~file:name s src))
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Type check an FG program and print its type")
-    Term.(const run $ file $ expr_arg $ global_flag $ with_prelude_flag)
+    Term.(const run $ file_pos_arg $ expr_arg $ global_flag
+          $ with_prelude_flag $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* translate                                                         *)
 
 let translate_cmd =
-  let run file expr global with_prelude show_type =
-    handle (fun () ->
-        let name, src = get_source file expr with_prelude in
-        let f =
-          C.Pipeline.translate ~file:name
-            ~resolution:(resolution_of_flag global) src
-        in
+  let run file expr global with_prelude show_type stats =
+    handle ~stats (fun () ->
+        let name, src = get_source file expr in
+        let s = make_session ~global ~with_prelude in
+        let f = C.Session.translate ~file:name s src in
         Fmt.pr "%a@." F.Pretty.pp_exp f;
         if show_type then
           Fmt.pr "// : %a@." F.Pretty.pp_ty (F.Typecheck.typecheck f))
-  in
-  let file =
-    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
-           ~doc:"Input program file ('-' for stdin).")
   in
   let show_type =
     Arg.(value & flag
@@ -115,33 +191,30 @@ let translate_cmd =
     (Cmd.info "translate"
        ~doc:"Translate an FG program to System F (dictionary passing)")
     Term.(
-      const run $ file $ expr_arg $ global_flag $ with_prelude_flag
-      $ show_type)
+      const run $ file_pos_arg $ expr_arg $ global_flag $ with_prelude_flag
+      $ show_type $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* run                                                               *)
 
 let run_cmd =
-  let run file expr global with_prelude verbose =
-    handle (fun () ->
-        let name, src = get_source file expr with_prelude in
-        let out =
-          C.Pipeline.run ~file:name ~resolution:(resolution_of_flag global)
-            src
-        in
-        if verbose then begin
-          Fmt.pr "type        : %a@." C.Pretty.pp_ty out.fg_ty;
-          Fmt.pr "value       : %a@." C.Interp.pp_flat out.value;
-          Fmt.pr "direct steps: %d@." out.direct_steps;
-          Fmt.pr "trans steps : %d@." out.translated_steps;
-          Fmt.pr "theorem     : %s@."
-            (if out.theorem_holds then "holds" else "VIOLATED")
-        end
-        else Fmt.pr "%a@." C.Interp.pp_flat out.value)
-  in
-  let file =
-    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
-           ~doc:"Input program file ('-' for stdin).")
+  let run file expr global with_prelude verbose format stats =
+    handle ~json:(format = `Json) ~stats (fun () ->
+        let name, src = get_source file expr in
+        let s = make_session ~global ~with_prelude in
+        let out = C.Session.run ~file:name s src in
+        match format with
+        | `Json -> print_json (json_of_outcome ~file:name out)
+        | `Text ->
+            if verbose then begin
+              Fmt.pr "type        : %a@." C.Pretty.pp_ty out.fg_ty;
+              Fmt.pr "value       : %a@." C.Interp.pp_flat out.value;
+              Fmt.pr "direct steps: %d@." out.direct_steps;
+              Fmt.pr "trans steps : %d@." out.translated_steps;
+              Fmt.pr "theorem     : %s@."
+                (if out.theorem_holds then "holds" else "VIOLATED")
+            end
+            else Fmt.pr "%a@." C.Interp.pp_flat out.value)
   in
   let verbose =
     Arg.(value & flag
@@ -155,86 +228,215 @@ let run_cmd =
           evaluate both directly and via the translation, and print the \
           (agreeing) value")
     Term.(
-      const run $ file $ expr_arg $ global_flag $ with_prelude_flag $ verbose)
+      const run $ file_pos_arg $ expr_arg $ global_flag $ with_prelude_flag
+      $ verbose $ format_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* elaborate                                                         *)
 
 let elaborate_cmd =
-  let run file expr global with_prelude =
-    handle (fun () ->
-        let name, src = get_source file expr with_prelude in
-        let ast = C.Parser.exp_of_string ~file:name src in
-        let _, elaborated, _ =
-          C.Check.elaborate ~resolution:(resolution_of_flag global) ast
-        in
+  let run file expr global with_prelude stats =
+    handle ~stats (fun () ->
+        let name, src = get_source file expr in
+        let s = make_session ~global ~with_prelude in
+        let _, elaborated, _ = C.Session.elaborate ~file:name s src in
         Fmt.pr "%a@." C.Pretty.pp_exp elaborated)
-  in
-  let file =
-    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
-           ~doc:"Input program file ('-' for stdin).")
   in
   Cmd.v
     (Cmd.info "elaborate"
        ~doc:
          "Print the elaborated FG program (implicit instantiations made \
           explicit, member defaults filled in)")
-    Term.(const run $ file $ expr_arg $ global_flag $ with_prelude_flag)
+    Term.(const run $ file_pos_arg $ expr_arg $ global_flag
+          $ with_prelude_flag $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* verify                                                            *)
 
 let verify_cmd =
-  let run file expr global with_prelude =
-    handle (fun () ->
-        let name, src = get_source file expr with_prelude in
-        let ast = C.Parser.exp_of_string ~file:name src in
-        let report =
-          C.Theorems.check_translation
-            ~resolution:(resolution_of_flag global) ast
-        in
-        Fmt.pr "FG type          : %a@." C.Pretty.pp_ty report.fg_ty;
-        Fmt.pr "translated type  : %a@." F.Pretty.pp_ty report.expected_f_ty;
-        Fmt.pr "System F assigns : %a@." F.Pretty.pp_ty report.f_ty;
-        Fmt.pr "theorem          : holds@.")
-  in
-  let file =
-    Arg.(value & pos 0 string "-" & info [] ~docv:"FILE"
-           ~doc:"Input program file ('-' for stdin).")
+  let run file expr global with_prelude format stats =
+    handle ~json:(format = `Json) ~stats (fun () ->
+        let name, src = get_source file expr in
+        let s = make_session ~global ~with_prelude in
+        let report = C.Session.verify ~file:name s src in
+        match format with
+        | `Json ->
+            print_json
+              (Json.Obj
+                 [ ("file", Json.Str name);
+                   ("ok", Json.Bool true);
+                   ("fg_type",
+                    Json.Str (C.Pretty.ty_to_string report.fg_ty));
+                   ("translated_type",
+                    Json.Str (F.Pretty.ty_to_string report.expected_f_ty));
+                   ("systemf_type",
+                    Json.Str (F.Pretty.ty_to_string report.f_ty));
+                   ("theorem", Json.Bool true) ])
+        | `Text ->
+            Fmt.pr "FG type          : %a@." C.Pretty.pp_ty report.fg_ty;
+            Fmt.pr "translated type  : %a@." F.Pretty.pp_ty
+              report.expected_f_ty;
+            Fmt.pr "System F assigns : %a@." F.Pretty.pp_ty report.f_ty;
+            Fmt.pr "theorem          : holds@.")
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
          "Check the paper's Theorems 1/2 on this program: the translation \
           type checks in System F at the translated type")
-    Term.(const run $ file $ expr_arg $ global_flag $ with_prelude_flag)
+    Term.(const run $ file_pos_arg $ expr_arg $ global_flag
+          $ with_prelude_flag $ format_arg $ stats_flag)
+
+(* ---------------------------------------------------------------- *)
+(* batch                                                             *)
+
+let domains_arg =
+  let doc = "Number of OCaml domains to verify across (default: the \
+             runtime's recommendation)." in
+  Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N" ~doc)
+
+let batch_cmd =
+  let run files global with_prelude domains format stats =
+    handle ~json:(format = `Json) ~stats (fun () ->
+        let jobs = List.map read_input files in
+        let s = make_session ~global ~with_prelude in
+        let results = C.Session.run_batch ?domains s jobs in
+        let failed = ref 0 in
+        (match format with
+        | `Json ->
+            print_json
+              (Json.List
+                 (List.map
+                    (fun (name, r) ->
+                      match r with
+                      | Ok o -> json_of_outcome ~file:name o
+                      | Error d ->
+                          incr failed;
+                          json_of_failure ~file:name d)
+                    results))
+        | `Text ->
+            List.iter
+              (fun (name, r) ->
+                match r with
+                | Ok (o : C.Session.outcome) ->
+                    Fmt.pr "%-40s %a@." name C.Interp.pp_flat o.value
+                | Error d ->
+                    incr failed;
+                    Fmt.pr "%-40s ERROR %a@." name Diag.pp d)
+              results;
+            Fmt.pr "%d/%d ok@."
+              (List.length results - !failed)
+              (List.length results));
+        if !failed > 0 then
+          Diag.error Diag.Eval "%d of %d programs failed" !failed
+            (List.length results))
+  in
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE"
+           ~doc:"Program files to run ('-' for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run many FG programs through the full pipeline, fanned out over \
+          OCaml domains with a shared session configuration; output order \
+          matches the argument order regardless of the domain count")
+    Term.(const run $ files $ global_flag $ with_prelude_flag $ domains_arg
+          $ format_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* corpus                                                            *)
 
 let corpus_cmd =
-  let run name_opt =
-    handle (fun () ->
-        match name_opt with
-        | None ->
+  let run name_opt all domains format stats =
+    handle ~json:(format = `Json) ~stats (fun () ->
+        match (name_opt, all) with
+        | None, false ->
             List.iter
               (fun (e : C.Corpus.entry) ->
                 Fmt.pr "%-30s %-18s %s@." e.name e.paper e.description)
               C.Corpus.all
-        | Some name -> (
+        | None, true ->
+            (* Run every entry, in parallel; an entry passes when its
+               outcome matches its stated expectation. *)
+            let s = C.Session.create () in
+            let jobs =
+              List.map (fun (e : C.Corpus.entry) -> (e.name, e.source))
+                C.Corpus.all
+            in
+            let results = C.Session.run_batch ?domains s jobs in
+            let failed = ref 0 in
+            let verdicts =
+              List.map2
+                (fun (e : C.Corpus.entry) (name, r) ->
+                  let ok =
+                    match (e.expected, r) with
+                    | C.Corpus.Value expect, Ok (o : C.Session.outcome) ->
+                        C.Interp.flat_equal o.value expect
+                    | C.Corpus.Fails phase, Error (d : Diag.diagnostic) ->
+                        d.phase = phase
+                    | C.Corpus.Value _, Error _
+                    | C.Corpus.Fails _, Ok _ -> false
+                  in
+                  if not ok then incr failed;
+                  (name, ok, r))
+                C.Corpus.all results
+            in
+            (match format with
+            | `Json ->
+                print_json
+                  (Json.List
+                     (List.map
+                        (fun (name, ok, r) ->
+                          match r with
+                          | Ok o ->
+                              (match json_of_outcome ~file:name o with
+                              | Json.Obj fields ->
+                                  Json.Obj
+                                    (("expected_ok", Json.Bool ok) :: fields)
+                              | j -> j)
+                          | Error d ->
+                              (match json_of_failure ~file:name d with
+                              | Json.Obj fields ->
+                                  Json.Obj
+                                    (("expected_ok", Json.Bool ok) :: fields)
+                              | j -> j))
+                        verdicts))
+            | `Text ->
+                List.iter
+                  (fun (name, ok, r) ->
+                    let show =
+                      match r with
+                      | Ok (o : C.Session.outcome) ->
+                          C.Interp.flat_to_string o.value
+                      | Error (d : Diag.diagnostic) ->
+                          "rejected: " ^ Diag.phase_name d.phase
+                    in
+                    Fmt.pr "%-30s %s %s@." name
+                      (if ok then "ok  " else "FAIL")
+                      show)
+                  verdicts;
+                Fmt.pr "%d/%d as expected@."
+                  (List.length verdicts - !failed)
+                  (List.length verdicts));
+            if !failed > 0 then
+              Diag.error Diag.Eval "%d corpus entries off expectation"
+                !failed
+        | Some name, _ -> (
             let e = C.Corpus.find name in
             Fmt.pr "// %s (%s)@.%s@.@." e.description e.paper e.source;
+            let s = C.Session.create () in
             match e.expected with
             | C.Corpus.Value expect ->
-                let out = C.Pipeline.run ~file:e.name e.source in
+                let out = C.Session.run ~file:e.name s e.source in
                 Fmt.pr "value: %a (expected %a)@." C.Interp.pp_flat out.value
                   C.Interp.pp_flat expect
             | C.Corpus.Fails phase -> (
-                match C.Pipeline.run_result ~file:e.name e.source with
+                match C.Session.run_result ~file:e.name s e.source with
                 | Error d ->
                     Fmt.pr "rejected as expected (%s): %s@."
-                      (Fg_util.Diag.phase_name phase)
-                      (Fg_util.Diag.to_string d)
+                      (Diag.phase_name phase)
+                      (Diag.to_string d)
                 | Ok _ -> failwith "expected failure but program succeeded")))
   in
   let entry_arg =
@@ -242,10 +444,17 @@ let corpus_cmd =
          & info [] ~docv:"NAME"
              ~doc:"Corpus entry to show and run (omit to list).")
   in
+  let all_flag =
+    Arg.(value & flag
+         & info [ "all" ]
+             ~doc:"Run every corpus entry (in parallel) and check each \
+                   against its expectation.")
+  in
   Cmd.v
     (Cmd.info "corpus"
        ~doc:"List or run the built-in corpus of paper example programs")
-    Term.(const run $ entry_arg)
+    Term.(const run $ entry_arg $ all_flag $ domains_arg $ format_arg
+          $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* eq: same-type queries                                             *)
@@ -310,5 +519,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; translate_cmd; run_cmd; verify_cmd; elaborate_cmd;
-            corpus_cmd; eq_cmd; repl_cmd;
+            batch_cmd; corpus_cmd; eq_cmd; repl_cmd;
           ]))

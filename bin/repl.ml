@@ -1,8 +1,11 @@
-(* An interactive read-eval-print loop for System FG.
+(* An interactive read-eval-print loop for System FG, driven by a
+   {!Fg_core.Session}.
 
-   Declarations (concept / model / type alias / let) accumulate as the
-   session's scope prefix; expressions are run through the full pipeline
-   (check, translate, verify, evaluate both ways) against that prefix.
+   Declarations (concept / model / type alias / let) accumulate by
+   extending the session — each is checked once, when committed, and
+   never re-checked; expressions run through the full pipeline (check,
+   translate, verify, evaluate both ways) against the session's cached
+   scope.
 
    Commands:
      :help              this message
@@ -11,6 +14,7 @@
      :translate EXPR    show the System F translation
      :prelude           load the standard prelude into scope
      :show              list the declarations in scope
+     :stats             session telemetry (phase times, cache counters)
      :clear             drop all declarations
    Anything else is FG: a declaration (no trailing 'in') or an
    expression.  Multi-line input is supported — the REPL keeps reading
@@ -19,15 +23,10 @@
 module C = Fg_core
 
 type state = {
+  mutable session : C.Session.t;
   mutable decls : string list;  (** reversed accumulated declarations *)
   mutable prelude_loaded : bool;
 }
-
-let prefix st = String.concat "\n" (List.rev st.decls)
-
-let wrap st body =
-  let p = prefix st in
-  if p = "" then body else p ^ "\n" ^ body
 
 let contains ~needle haystack =
   let nl = String.length needle and hl = String.length haystack in
@@ -60,29 +59,38 @@ let incomplete_parse src ~as_decl =
 let print_error d = Fmt.pr "error: %a@." Fg_util.Diag.pp d
 
 let commit_decl st text =
-  (* validate: prefix + new declaration + trivial body must check *)
-  let candidate = wrap st (text ^ "\nin 0") in
-  match
-    Fg_util.Diag.protect (fun () ->
-        ignore (C.Check.typecheck (C.Parser.exp_of_string candidate)))
-  with
-  | Ok () ->
+  (* Extend the session: the new declaration is checked on top of the
+     cached scope; on failure the session is unchanged. *)
+  match C.Session.extend_result st.session (text ^ " in") with
+  | Ok session ->
+      st.session <- session;
       st.decls <- (text ^ " in") :: st.decls;
       Fmt.pr "defined.@."
   | Error d -> print_error d
 
 let eval_expr st text =
-  match C.Pipeline.run_result ~file:"<repl>" (wrap st text) with
+  match C.Session.run_result ~file:"<repl>" st.session text with
   | Ok out ->
       Fmt.pr "- : %a = %a@." C.Pretty.pp_ty out.fg_ty C.Interp.pp_flat
         out.value
   | Error d -> print_error d
 
+(* :type / :translate disable the CPT escape check, so generic values
+   whose types mention locally declared concepts can be inspected; that
+   needs a session configured without the check, built on demand from
+   the accumulated scope. *)
+let relaxed_session st =
+  let prelude =
+    match List.rev st.decls with
+    | [] -> None
+    | ds -> Some (String.concat "\n" ds)
+  in
+  C.Session.create ~escape_check:false ?prelude ()
+
 let show_type st text =
   match
     Fg_util.Diag.protect (fun () ->
-        C.Check.typecheck ~escape_check:false
-          (C.Parser.exp_of_string ~file:"<repl>" (wrap st text)))
+        C.Session.typecheck ~file:"<repl>" (relaxed_session st) text)
   with
   | Ok ty -> Fmt.pr "- : %a@." C.Pretty.pp_ty ty
   | Error d -> print_error d
@@ -90,8 +98,7 @@ let show_type st text =
 let show_translation st text =
   match
     Fg_util.Diag.protect (fun () ->
-        C.Check.translate ~escape_check:false
-          (C.Parser.exp_of_string ~file:"<repl>" (wrap st text)))
+        C.Session.translate ~file:"<repl>" (relaxed_session st) text)
   with
   | Ok f -> Fmt.pr "%a@." Fg_systemf.Pretty.pp_exp f
   | Error d -> print_error d
@@ -100,17 +107,28 @@ let load_prelude st =
   if st.prelude_loaded then Fmt.pr "prelude already loaded.@."
   else begin
     (* strip the final newline; each fragment already ends in "in" *)
-    st.decls <- String.trim C.Prelude.full :: st.decls;
-    st.prelude_loaded <- true;
-    Fmt.pr
-      "prelude loaded: Eq, Ord, Semigroup, Monoid, Group, Iterator, \
-       OutputIterator, Container; models for int/bool/lists; accumulate, \
-       count, contains, copy, min_element, equal_ranges, merge, power, ...@."
+    let text = String.trim C.Prelude.full in
+    match C.Session.extend_result st.session text with
+    | Error d -> print_error d
+    | Ok session ->
+        st.session <- session;
+        st.decls <- text :: st.decls;
+        st.prelude_loaded <- true;
+        Fmt.pr
+          "prelude loaded: Eq, Ord, Semigroup, Monoid, Group, Iterator, \
+           OutputIterator, Container; models for int/bool/lists; accumulate, \
+           count, contains, copy, min_element, equal_ranges, merge, power, \
+           ...@."
   end
+
+let show_stats st =
+  Fmt.pr "%a@." Fg_util.Telemetry.pp (C.Session.stats st.session);
+  Fmt.pr "interned types : %10d@." (C.Session.interned_types st.session)
 
 let help () =
   Fmt.pr
-    ":help, :quit, :type EXPR, :translate EXPR, :prelude, :show, :clear@.\
+    ":help, :quit, :type EXPR, :translate EXPR, :prelude, :show, :stats, \
+     :clear@.\
      declarations (concept/model/type/let, no trailing 'in') accumulate;@.\
      expressions run through the full pipeline.@."
 
@@ -144,7 +162,9 @@ let read_input () =
 
 let main () =
   Fmt.pr "System FG interactive (PLDI 2005 reproduction). :help for help.@.";
-  let st = { decls = []; prelude_loaded = false } in
+  let st =
+    { session = C.Session.create (); decls = []; prelude_loaded = false }
+  in
   let rec loop () =
     match read_input () with
     | None -> Fmt.pr "@."
@@ -154,7 +174,9 @@ let main () =
          else if text = ":quit" || text = ":q" then raise Exit
          else if text = ":help" then help ()
          else if text = ":prelude" then load_prelude st
+         else if text = ":stats" then show_stats st
          else if text = ":clear" then begin
+           st.session <- C.Session.create ();
            st.decls <- [];
            st.prelude_loaded <- false;
            Fmt.pr "cleared.@."

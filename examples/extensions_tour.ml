@@ -19,8 +19,12 @@ module C = Fg_core
 
 let banner s = Fmt.pr "@.=== %s ===@." s
 
+(* One session for the whole tour: the prelude is checked once here and
+   reused by every [show] below. *)
+let session = C.Session.with_prelude ()
+
 let show name body =
-  let out = C.Pipeline.run ~file:name (C.Prelude.wrap body) in
+  let out = C.Session.run ~file:name session body in
   Fmt.pr "%-52s = %a : %a@." body C.Interp.pp_flat out.value C.Pretty.pp_ty
     out.fg_ty
 

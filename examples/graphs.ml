@@ -12,8 +12,12 @@ module C = Fg_core
 
 let banner s = Fmt.pr "@.=== %s ===@." s
 
+(* One session over the graph library: its concepts, models and
+   algorithms are checked once and shared by every [show]. *)
+let session = C.Session.create ~prelude:C.Graph_lib.full ()
+
 let show body =
-  let out = C.Pipeline.run ~file:"graphs" (C.Graph_lib.wrap body) in
+  let out = C.Session.run ~file:"graphs" session body in
   Fmt.pr "%-46s = %a@."
     (if String.length body > 46 then String.sub body 0 46 else body)
     C.Interp.pp_flat out.value

@@ -19,8 +19,12 @@ module C = Fg_core
 
 let section title = Fmt.pr "@.--- %s ---@." title
 
+(* One session for the whole tour: the prelude is checked once here and
+   reused by every [show] below. *)
+let session = C.Session.with_prelude ()
+
 let show name body =
-  let out = C.Pipeline.run ~file:name (C.Prelude.wrap body) in
+  let out = C.Session.run ~file:name session body in
   Fmt.pr "%-14s %-58s = %a : %a@." name body C.Interp.pp_flat out.value
     C.Pretty.pp_ty out.fg_ty
 
@@ -82,6 +86,6 @@ total[list int](|}
     ^ l [ 1; 10; 2; 20; 3 ]
     ^ ")"
   in
-  let out = C.Pipeline.run ~file:"step2" (C.Prelude.wrap body) in
+  let out = C.Session.run ~file:"step2" session body in
   Fmt.pr "%-14s sum of every other element of [1;10;2;20;3] = %a@." "step_by_two"
     C.Interp.pp_flat out.value

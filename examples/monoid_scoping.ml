@@ -53,16 +53,18 @@ let ls = cons[int](2, cons[int](3, cons[int](4, nil[int]))) in
 let () =
   Fmt.pr "=== Overlapping models in separate scopes (Figure 6) ===@.@.";
 
+  (* One session per resolution mode; both programs below are
+     self-contained, so no prelude is loaded. *)
+  let lexical = C.Session.create () in
+  let global = C.Session.create ~resolution:C.Resolution.Global () in
+
   (* FG (lexical) resolution: both models coexist. *)
-  let out = C.Pipeline.run ~file:"monoid_scoping" program in
+  let out = C.Session.run ~file:"monoid_scoping" lexical program in
   Fmt.pr "lexical resolution (FG): %a@." C.Interp.pp_flat out.value;
   Fmt.pr "  -- sum [2;3;4] = 9, product [2;3;4] = 24@.@.";
 
   (* Global (Haskell-style) resolution: rejected. *)
-  (match
-     C.Pipeline.run_result ~file:"monoid_scoping"
-       ~resolution:C.Resolution.Global program
-   with
+  (match C.Session.run_result ~file:"monoid_scoping" global program with
   | Ok _ -> Fmt.pr "global resolution: unexpectedly accepted?!@."
   | Error d ->
       Fmt.pr "global resolution (Haskell-style): REJECTED@.  %s@.@."
@@ -80,6 +82,6 @@ let inner = show[int](7) in
 (outer, inner)
 |}
   in
-  let out = C.Pipeline.run ~file:"shadowing" shadowing in
+  let out = C.Session.run ~file:"shadowing" lexical shadowing in
   Fmt.pr "model shadowing: %a@." C.Interp.pp_flat out.value;
   Fmt.pr "  -- the inner Show<int> model shadows the outer one@."

@@ -19,8 +19,13 @@ module C = Fg_core
 
 let banner s = Fmt.pr "@.=== %s ===@." s
 
+(* One session over the matrix library: concepts, the three named
+   semiring models and mat_mul are checked once, shared by every
+   [show]. *)
+let session = C.Session.create ~prelude:C.Matrix_lib.full ()
+
 let show label body =
-  let out = C.Pipeline.run ~file:"semirings" (C.Matrix_lib.wrap body) in
+  let out = C.Session.run ~file:"semirings" session body in
   Fmt.pr "%-34s = %a@." label C.Interp.pp_flat out.value
 
 let () =

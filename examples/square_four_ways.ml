@@ -62,22 +62,21 @@ square[int](4)
 |}
 
 let () =
+  let lexical = C.Session.create () in
+  let global = C.Session.create ~resolution:C.Resolution.Global () in
+
   banner "(a) FG concepts (the paper's proposal)";
-  let out = C.Pipeline.run ~file:"fig1a" fg_concepts in
+  let out = C.Session.run ~file:"fig1a" lexical fg_concepts in
   Fmt.pr "square(4) = %a@." C.Interp.pp_flat out.value;
   Fmt.pr "translated: %a@." F.Pretty.pp_exp out.f_exp;
 
   banner "(b) type classes = global-instance resolution";
   Fmt.pr "one instance: %a@." C.Interp.pp_flat
-    (C.Pipeline.run ~resolution:C.Resolution.Global ~file:"fig1b" fg_concepts)
-      .value;
+    (C.Session.run ~file:"fig1b" global fg_concepts).value;
   Fmt.pr "with overlapping models in separate scopes:@.";
   Fmt.pr "  lexical (FG)      : %a@." C.Interp.pp_flat
-    (C.Pipeline.run ~file:"fig1b2" overlapping).value;
-  (match
-     C.Pipeline.run_result ~resolution:C.Resolution.Global ~file:"fig1b3"
-       overlapping
-   with
+    (C.Session.run ~file:"fig1b2" lexical overlapping).value;
+  (match C.Session.run_result ~file:"fig1b3" global overlapping with
   | Error d -> Fmt.pr "  global (Haskell)  : REJECTED — %s@." d.message
   | Ok _ -> Fmt.pr "  global (Haskell)  : unexpectedly accepted?!@.");
 
@@ -88,7 +87,7 @@ let () =
   Fmt.pr "square(4) = %a : %a@." F.Eval.pp_value v F.Pretty.pp_ty ty;
 
   banner "(d) by-name operation lookup = one-operation concepts";
-  let out = C.Pipeline.run ~file:"fig1d" by_name in
+  let out = C.Session.run ~file:"fig1d" lexical by_name in
   Fmt.pr "square(4) = %a@." C.Interp.pp_flat out.value;
 
   Fmt.pr

@@ -245,7 +245,13 @@ let subst_constr_list pairs c = subst_constr (subst_of_list pairs) c
 
 let ty_equal (a : ty) (b : ty) : bool =
   let rec go la lb depth a b =
-    match (a, b) with
+    (* Pointer fast path: physically equal subtrees are structurally
+       identical, so they are alpha-equal whenever both sides resolve
+       bound variables through the same (physical) renaming — hash-
+       consed types (see {!Hashcons}) hit this constantly. *)
+    if a == b && la == lb then true
+    else
+      match (a, b) with
     | TBase x, TBase y -> x = y
     | TVar x, TVar y -> (
         match (Smap.find_opt x la, Smap.find_opt y lb) with

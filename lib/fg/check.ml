@@ -141,8 +141,108 @@ let check_concept_decl ?loc env (d : concept_decl) : unit =
 
 (* The judgment returns three things: the FG type, an ELABORATED FG
    expression (implicit instantiations made explicit, so the direct
-   interpreter can run it), and the System F translation. *)
+   interpreter can run it), and the System F translation.
+
+   Declaration forms (concept / model / let / using / type alias) are
+   factored through [check_decl], which does all of a declaration's own
+   work BEFORE the body is checked and returns the extended environment
+   plus a wrapper rebuilding the whole node's result from the body's.
+   [check] composes the two on the spot; {!check_prefix} walks a whole
+   declaration spine once and keeps the environment and composed
+   wrapper around — that is what lets a {!Session} check a shared
+   prelude once and reuse it for every program. *)
 let rec check (env : Env.t) (e : exp) : ty * exp * F.exp =
+  match check_decl env e with
+  | Some (env', body, wrap) -> wrap (check env' body)
+  | None -> check_exp env e
+
+(* One declaration node: [Some (env', body, wrap)] when [e] is a
+   declaration with body [body], where [wrap] turns the body's checked
+   triple into the declaration's.  All side conditions of the
+   declaration itself (well-formedness, member checking, dictionary
+   construction, fresh-name generation) happen here, eagerly, in
+   exactly the order the fused judgment performed them. *)
+and check_decl (env : Env.t) (e : exp) :
+    (Env.t * exp * (ty * exp * F.exp -> ty * exp * F.exp)) option =
+  let loc = e.loc in
+  match e.desc with
+  | Let (x, rhs, body) ->
+      let trhs, rhs_elab, rhs' = check env rhs in
+      Some
+        ( Env.bind_var env x trhs,
+          body,
+          fun (tbody, body_elab, body') ->
+            (tbody, let_ ~loc x rhs_elab body_elab, F.let_ ~loc x rhs' body')
+        )
+  | ConceptDecl (d, body) ->
+      check_concept_decl ~loc env d;
+      let env' = Env.bind_concept env d in
+      (* Generic validation of default bodies: check each under a proxy
+         model of the concept at its own parameters. *)
+      if d.c_defaults <> [] then begin
+        let fresh_params = List.map (fun p -> Env.fresh env' p) d.c_params in
+        let env_d, _ =
+          Types.process_where ~loc env' fresh_params
+            [ CModel (d.c_name, List.map (fun p -> TVar p) fresh_params) ]
+        in
+        let subst =
+          Types.instantiation_subst ~loc env_d
+            (d.c_name, List.map (fun p -> TVar p) fresh_params)
+        in
+        List.iter
+          (fun (x, default) ->
+            let expected = subst_ty_list subst (List.assoc x d.c_members) in
+            let got, _, _ =
+              check env_d (subst_ty_exp (subst_of_list subst) default)
+            in
+            if not (Env.ty_eq ~loc env_d expected got) then
+              type_mismatch ~loc ~expected ~got
+                (Printf.sprintf "default for member '%s' of concept %s" x
+                   d.c_name))
+          d.c_defaults
+      end;
+      Some
+        ( env',
+          body,
+          fun (tbody, body_elab, body') ->
+            if env.Env.escape_check && Sset.mem d.c_name (concept_names tbody)
+            then
+              Diag.type_error ~loc
+                "concept %s escapes its scope in the type %s of the body"
+                d.c_name
+                (Pretty.ty_to_string tbody);
+            (tbody, concept_decl ~loc d body_elab, body') )
+  | ModelDecl (d, body) ->
+      let env_body, wrap = check_model_decl env ~loc d in
+      Some (env_body, body, wrap)
+  | Using (m, body) -> (
+      match Env.lookup_named_model env m with
+      | None -> Diag.resolve_error ~loc "unknown named model '%s'" m
+      | Some entry ->
+          Some
+            ( Env.bind_model env entry,
+              body,
+              fun (tbody, body_elab, body') ->
+                (tbody, using ~loc m body_elab, body') ))
+  | TypeAlias (t, ty, body) ->
+      Types.wf_ty ~loc env ty;
+      if Env.tyvar_in_scope env t then
+        Diag.wf_error ~loc "type alias '%s' shadows a type variable in scope"
+          t;
+      let env' = Env.assume (Env.bind_tyvars env [ t ]) (TVar t) ty in
+      Some
+        ( env',
+          body,
+          fun (tbody, body_elab, body') ->
+            (* translated after the body, as the fused judgment did, so
+               the fresh-name supply is consumed in the same order *)
+            let f_ty = Types.translate_ty ~loc env ty in
+            ( subst_ty_list [ (t, ty) ] tbody,
+              type_alias ~loc t ty body_elab,
+              F.subst_ty_exp (Smap.singleton t f_ty) body' ) )
+  | _ -> None
+
+and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
   let loc = e.loc in
   match e.desc with
   | Var x -> (
@@ -245,10 +345,6 @@ let rec check (env : Env.t) (e : exp) : ty * exp * F.exp =
       let tf, f_elab, f' = check env f in
       let ty, f_exp = elaborate_tyapp env ~loc (Env.ty_repr ~loc env tf, f') tys in
       (ty, tyapp ~loc f_elab tys, f_exp)
-  | Let (x, rhs, body) ->
-      let trhs, rhs_elab, rhs' = check env rhs in
-      let tbody, body_elab, body' = check (Env.bind_var env x trhs) body in
-      (tbody, let_ ~loc x rhs_elab body_elab, F.let_ ~loc x rhs' body')
   | Tuple es ->
       let checked = List.map (check env) es in
       ( TTuple (List.map (fun (t, _, _) -> t) checked),
@@ -293,56 +389,9 @@ let rec check (env : Env.t) (e : exp) : ty * exp * F.exp =
               Diag.type_error ~loc "concept %s has no member '%s'" c x
           | Some (ty, path) ->
               (ty, e, F.nth_path ~loc (Types.model_dict_exp ~loc env fm) path)))
-  | ConceptDecl (d, body) ->
-      check_concept_decl ~loc env d;
-      let env' = Env.bind_concept env d in
-      (* Generic validation of default bodies: check each under a proxy
-         model of the concept at its own parameters. *)
-      if d.c_defaults <> [] then begin
-        let fresh_params = List.map (fun p -> Env.fresh env' p) d.c_params in
-        let env_d, _ =
-          Types.process_where ~loc env' fresh_params
-            [ CModel (d.c_name, List.map (fun p -> TVar p) fresh_params) ]
-        in
-        let subst =
-          Types.instantiation_subst ~loc env_d
-            (d.c_name, List.map (fun p -> TVar p) fresh_params)
-        in
-        List.iter
-          (fun (x, default) ->
-            let expected = subst_ty_list subst (List.assoc x d.c_members) in
-            let got, _, _ =
-              check env_d (subst_ty_exp (subst_of_list subst) default)
-            in
-            if not (Env.ty_eq ~loc env_d expected got) then
-              type_mismatch ~loc ~expected ~got
-                (Printf.sprintf "default for member '%s' of concept %s" x
-                   d.c_name))
-          d.c_defaults
-      end;
-      let tbody, body_elab, body' = check env' body in
-      if env.Env.escape_check && Sset.mem d.c_name (concept_names tbody) then
-        Diag.type_error ~loc
-          "concept %s escapes its scope in the type %s of the body" d.c_name
-          (Pretty.ty_to_string tbody);
-      (tbody, concept_decl ~loc d body_elab, body')
-  | ModelDecl (d, body) -> check_model_decl env ~loc d body
-  | Using (m, body) -> (
-      match Env.lookup_named_model env m with
-      | None -> Diag.resolve_error ~loc "unknown named model '%s'" m
-      | Some entry ->
-          let tbody, body_elab, body' = check (Env.bind_model env entry) body in
-          (tbody, using ~loc m body_elab, body'))
-  | TypeAlias (t, ty, body) ->
-      Types.wf_ty ~loc env ty;
-      if Env.tyvar_in_scope env t then
-        Diag.wf_error ~loc "type alias '%s' shadows a type variable in scope" t;
-      let env' = Env.assume (Env.bind_tyvars env [ t ]) (TVar t) ty in
-      let tbody, body_elab, body' = check env' body in
-      let f_ty = Types.translate_ty ~loc env ty in
-      ( subst_ty_list [ (t, ty) ] tbody,
-        type_alias ~loc t ty body_elab,
-        F.subst_ty_exp (Smap.singleton t f_ty) body' )
+  | Let _ | ConceptDecl _ | ModelDecl _ | Using _ | TypeAlias _ ->
+      (* dispatched through check_decl by [check] *)
+      Diag.ice "check_exp reached a declaration form"
 
 (* MDL: check a model declaration and translate it to a let-bound
    dictionary.  A ground model becomes a tuple (Figure 7).  A
@@ -457,7 +506,8 @@ and infer_ty_args ~loc env (tvs : string list) (params : ty list)
             a)
     tvs
 
-and check_model_decl env ~loc (d : model_decl) body : ty * exp * F.exp =
+and check_model_decl env ~loc (d : model_decl) :
+    Env.t * (ty * exp * F.exp -> ty * exp * F.exp) =
   let c = d.m_concept in
   let decl = Env.lookup_concept_exn ~loc env c in
   Types.arity_check ~loc "concept" c
@@ -675,20 +725,21 @@ and check_model_decl env ~loc (d : model_decl) body : ty * exp * F.exp =
         in
         Env.bind_model base entry
   in
-  let tbody, body_elab, body' = check env_body body in
-  (* The model (and the meaning of its associated-type projections) goes
-     out of scope here; resolve this model's projections in the result
-     type so they do not escape. *)
-  let tbody =
-    if parameterized then tbody
-    else resolve_own_projections c d.m_args d.m_assoc tbody
-  in
-  let d_elab =
-    { d with m_members = List.map (fun (x, a, _) -> (x, a)) member_results }
-  in
-  ( tbody,
-    model_decl ~loc d_elab body_elab,
-    F.let_ ~loc dict_var dict_rhs body' )
+  ( env_body,
+    fun (tbody, body_elab, body') ->
+      (* The model (and the meaning of its associated-type projections)
+         goes out of scope here; resolve this model's projections in the
+         result type so they do not escape. *)
+      let tbody =
+        if parameterized then tbody
+        else resolve_own_projections c d.m_args d.m_assoc tbody
+      in
+      let d_elab =
+        { d with m_members = List.map (fun (x, a, _) -> (x, a)) member_results }
+      in
+      ( tbody,
+        model_decl ~loc d_elab body_elab,
+        F.let_ ~loc dict_var dict_rhs body' ) )
 
 (* Structurally replace this model's associated-type projections
    [c<args>.s] by their assignments, everywhere in a type. *)
@@ -718,6 +769,22 @@ and resolve_own_projections c margs massoc ty =
 
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                        *)
+
+(** Check the declaration spine of [e] — every leading concept / model /
+    let / using / type-alias — and stop at the first non-declaration.
+    Returns the extended environment, the residual body, and the
+    composed wrapper rebuilding whole-program results from body
+    results.  A {!Session} runs this once over its prelude; checking a
+    program against the prelude is then [wrap (check env program)]. *)
+let check_prefix (env : Env.t) (e : exp) :
+    Env.t * exp * (ty * exp * F.exp -> ty * exp * F.exp) =
+  let rec walk env e acc =
+    match check_decl env e with
+    | Some (env', body, wrap) -> walk env' body (wrap :: acc)
+    | None ->
+        (env, e, fun res -> List.fold_left (fun res w -> w res) res acc)
+  in
+  walk env e []
 
 (** Type check a closed FG program, returning its type, its elaborated
     form (implicit instantiations made explicit — the term the direct

@@ -38,3 +38,13 @@ val check_result :
 (** The judgment under an explicit environment (library extension
     point; the entry points above use [Env.create]). *)
 val check : Env.t -> exp -> ty * exp * F.exp
+
+(** Check the declaration spine of a program — every leading concept /
+    model / let / using / type-alias declaration — without checking a
+    body.  Returns the extended environment, the residual (first
+    non-declaration) expression, and a wrapper that rebuilds the whole
+    program's (type, elaborated term, translation) from the body's.
+    This is the primitive behind {!Session}'s cached prelude: the
+    prelude's spine is checked once, then each program is checked as
+    [wrap (check env program)]. *)
+val check_prefix : Env.t -> exp -> Env.t * exp * (ty * exp * F.exp -> ty * exp * F.exp)

@@ -57,6 +57,16 @@ type t = {
   global_models : (string * ty list) list ref;
       (** all models ever declared, program-wide — used only by the
           Haskell-style {!Resolution.Global} ablation's overlap check *)
+  scope_gen : int;
+      (** identifies this environment's (models, eq) pair: bumped by
+          every extension that can change what {!lookup_model} sees, so
+          the resolution cache can key results by scope *)
+  gen_supply : int ref;  (** shared generation supply, never rewound *)
+  resolve_cache : (int * string * ty list, found_model option) Hashtbl.t;
+      (** memoized model resolution, keyed on (scope generation,
+          concept, raw argument types); shared by every environment
+          derived from the same {!create} — in particular by every
+          program checked against one session's prelude scope *)
 }
 
 let create ?(resolution = Resolution.Lexical) ?(escape_check = true) () =
@@ -71,7 +81,17 @@ let create ?(resolution = Resolution.Lexical) ?(escape_check = true) () =
     resolution;
     escape_check;
     global_models = ref [];
+    scope_gen = 0;
+    gen_supply = ref 0;
+    resolve_cache = Hashtbl.create 256;
   }
+
+(* A fresh scope generation.  The supply is shared and monotone, so a
+   generation uniquely names one (models, eq) pair for the lifetime of
+   the cache — results recorded under one scope can never answer a
+   lookup made under another (e.g. two programs declaring different
+   models of the same concept each get private generations). *)
+let next_gen env = { env with scope_gen = (incr env.gen_supply; !(env.gen_supply)) }
 
 (* ------------------------------------------------------------------ *)
 (* Extension                                                           *)
@@ -84,16 +104,19 @@ let bind_tyvars env tvs =
 let bind_concept env (d : concept_decl) =
   { env with concepts = Smap.add d.c_name d env.concepts }
 
-let bind_model env me = { env with models = me :: env.models }
+let bind_model env me = next_gen { env with models = me :: env.models }
 
 let bind_named_model env name me =
+  (* named models are inert until [using] activates them (which goes
+     through {!bind_model}), so the scope generation is unchanged *)
   { env with named_models = Smap.add name me env.named_models }
 
 let lookup_named_model env name = Smap.find_opt name env.named_models
 
-let assume env a b = { env with eq = Equality.assume env.eq a b }
+let assume env a b = next_gen { env with eq = Equality.assume env.eq a b }
 
-let assume_all env pairs = { env with eq = Equality.assume_all env.eq pairs }
+let assume_all env pairs =
+  next_gen { env with eq = Equality.assume_all env.eq pairs }
 
 (* ------------------------------------------------------------------ *)
 (* Lookup                                                              *)
@@ -153,6 +176,21 @@ let rec normalize ?loc ?(depth = 0) env (t : ty) : ty =
     match and their own requirements resolve recursively.
     Innermost-first search implements lexical shadowing (Section 3.2). *)
 and lookup_model ?loc ?(depth = 0) env c args : found_model option =
+  Telemetry.record_model_lookup ();
+  let key = (env.scope_gen, c, args) in
+  match Hashtbl.find_opt env.resolve_cache key with
+  | Some r ->
+      Telemetry.record_resolve_hit ();
+      r
+  | None ->
+      Telemetry.record_resolve_miss ();
+      let r = lookup_model_uncached ?loc ~depth env c args in
+      (* only reached when the search terminated (the depth fuse raises
+         out of here), so the recorded result is depth-independent *)
+      Hashtbl.replace env.resolve_cache key r;
+      r
+
+and lookup_model_uncached ?loc ~depth env c args : found_model option =
   check_depth ?loc depth (Pretty.constr_to_string (CModel (c, args)));
   let args = List.map (normalize ?loc ~depth:(depth + 1) env) args in
   List.find_map

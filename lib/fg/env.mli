@@ -37,6 +37,14 @@ type t = {
       (** enforce the CPT side condition [c ∉ CV(τ)]; on by default *)
   global_models : (string * ty list) list ref;
       (** every model ever declared — the Global ablation's overlap set *)
+  scope_gen : int;
+      (** names this environment's (models, eq) pair; bumped by every
+          extension that can change what {!lookup_model} sees *)
+  gen_supply : int ref;  (** shared, monotone generation supply *)
+  resolve_cache : (int * string * ty list, found_model option) Hashtbl.t;
+      (** memoized model resolution keyed on (scope generation,
+          concept, argument types); shared by all environments derived
+          from one {!create} *)
 }
 
 val create : ?resolution:Resolution.mode -> ?escape_check:bool -> unit -> t

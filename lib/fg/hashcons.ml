@@ -1,0 +1,85 @@
+(** Hash-consed FG types (see the interface).
+
+    Classic bottom-up interning: children are interned first, then the
+    rebuilt node is looked up structurally, so every structurally equal
+    type resolves to one physical node and [==] becomes a sound (and
+    very frequently true) fast path inside {!Ast.ty_equal}. *)
+
+open Ast
+
+type t = { table : (ty, ty) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 256 }
+
+let rec intern tbl (t : ty) : ty =
+  let node =
+    match t with
+    | TBase _ | TVar _ -> t
+    | TArrow (args, ret) ->
+        TArrow (List.map (intern tbl) args, intern tbl ret)
+    | TTuple ts -> TTuple (List.map (intern tbl) ts)
+    | TList t -> TList (intern tbl t)
+    | TAssoc (c, args, s) -> TAssoc (c, List.map (intern tbl) args, s)
+    | TForall (tvs, constrs, body) ->
+        TForall (tvs, List.map (intern_constr tbl) constrs, intern tbl body)
+  in
+  match Hashtbl.find_opt tbl.table node with
+  | Some canonical -> canonical
+  | None ->
+      Hashtbl.add tbl.table node node;
+      node
+
+and intern_constr tbl = function
+  | CModel (c, args) -> CModel (c, List.map (intern tbl) args)
+  | CSame (a, b) -> CSame (intern tbl a, intern tbl b)
+
+let size tbl = Hashtbl.length tbl.table
+
+(* ---------------------------------------------------------------- *)
+(* Expressions: rebuild the spine, sharing the embedded types.        *)
+
+let rec intern_exp tbl (e : exp) : exp =
+  let ty = intern tbl and constr = intern_constr tbl in
+  let go = intern_exp tbl in
+  let desc =
+    match e.desc with
+    | (Var _ | Lit _ | Prim _) as d -> d
+    | App (f, args) -> App (go f, List.map go args)
+    | Abs (params, body) ->
+        Abs (List.map (fun (x, t) -> (x, ty t)) params, go body)
+    | TyAbs (tvs, constrs, body) ->
+        TyAbs (tvs, List.map constr constrs, go body)
+    | TyApp (f, tys) -> TyApp (go f, List.map ty tys)
+    | Let (x, rhs, body) -> Let (x, go rhs, go body)
+    | Tuple es -> Tuple (List.map go es)
+    | Nth (e0, k) -> Nth (go e0, k)
+    | Fix (x, t, body) -> Fix (x, ty t, go body)
+    | If (c, t, f) -> If (go c, go t, go f)
+    | Member (c, args, x) -> Member (c, List.map ty args, x)
+    | ConceptDecl (d, body) ->
+        ConceptDecl
+          ( {
+              d with
+              c_refines =
+                List.map (fun (c, args) -> (c, List.map ty args)) d.c_refines;
+              c_requires =
+                List.map (fun (c, args) -> (c, List.map ty args)) d.c_requires;
+              c_members = List.map (fun (x, t) -> (x, ty t)) d.c_members;
+              c_defaults = List.map (fun (x, e) -> (x, go e)) d.c_defaults;
+              c_same = List.map (fun (a, b) -> (ty a, ty b)) d.c_same;
+            },
+            go body )
+    | ModelDecl (d, body) ->
+        ModelDecl
+          ( {
+              d with
+              m_constrs = List.map constr d.m_constrs;
+              m_args = List.map ty d.m_args;
+              m_assoc = List.map (fun (s, t) -> (s, ty t)) d.m_assoc;
+              m_members = List.map (fun (x, e) -> (x, go e)) d.m_members;
+            },
+            go body )
+    | Using (m, body) -> Using (m, go body)
+    | TypeAlias (t, aliased, body) -> TypeAlias (t, ty aliased, go body)
+  in
+  { e with desc }

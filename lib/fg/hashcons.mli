@@ -1,0 +1,31 @@
+(** Hash-consed FG types: a per-session interning table mapping every
+    structurally distinct type to one canonical physical node.
+
+    Checking a program touches the same types over and over (the
+    prelude's concepts mention [int], [list t] and friends thousands of
+    times), and the checker compares them with {!Ast.ty_equal}, whose
+    first move is a pointer test.  Interning the AST once after parsing
+    makes that pointer test hit for every repeated type, turning the
+    common case of equality from a structural walk into one comparison.
+
+    Tables are not thread-safe; each {!Session} (and so each batch
+    domain) owns its own. *)
+
+type t
+
+val create : unit -> t
+
+(** Canonical node for the type: [intern tbl a == intern tbl b] iff
+    [a] and [b] are structurally equal (binders compared by name, not
+    up to alpha — conservative, so the pointer fast path never lies). *)
+val intern : t -> Ast.ty -> Ast.ty
+
+val intern_constr : t -> Ast.constr -> Ast.constr
+
+(** Rebuild an expression with every embedded type interned (parameter
+    annotations, type arguments, declarations); the expression spine
+    itself is fresh, only types are shared. *)
+val intern_exp : t -> Ast.exp -> Ast.exp
+
+(** Number of distinct interned types (stats/tests). *)
+val size : t -> int

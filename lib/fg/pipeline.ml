@@ -1,69 +1,31 @@
-(** One-stop driver: source text in, everything out.
+(** One-shot driving, kept as a thin compatibility layer over
+    {!Session}: each call builds a fresh session with no prelude, so
+    nothing is amortized.  New code should create a {!Session.t} and
+    reuse it. *)
 
-    Bundles the full reproduction pipeline — parse, type check,
-    translate, re-check the translation in System F, verify the theorem
-    statement, and evaluate both directly and via the translation — into
-    a single call.  The CLI, the examples and much of the test suite go
-    through this module. *)
-
-open Fg_util
-module F = Fg_systemf
-
-type outcome = {
+type outcome = Session.outcome = {
   source : string;
   ast : Ast.exp;
-  fg_ty : Ast.ty;  (** the program's FG type *)
-  f_exp : F.Ast.exp;  (** its System F translation *)
-  f_ty : F.Ast.ty;  (** the System F type of the translation *)
+  fg_ty : Ast.ty;
+  f_exp : Fg_systemf.Ast.exp;
+  f_ty : Fg_systemf.Ast.ty;
   theorem_holds : bool;
-      (** [τ'] alpha-equal to the translation of [τ] — always true when
-          this record exists, since a mismatch raises; recorded for
-          reporting *)
-  value : Interp.flat;  (** the program's value (first-order part) *)
-  direct_steps : int;  (** beta steps taken by the direct interpreter *)
-  translated_steps : int;  (** beta steps taken evaluating the translation *)
+  value : Interp.flat;
+  direct_steps : int;
+  translated_steps : int;
 }
 
-(** Run the whole pipeline on FG source text.  Raises {!Diag.Error} with
-    a located message on any failure. *)
 let run ?file ?resolution ?fuel (source : string) : outcome =
-  let ast = Parser.exp_of_string ?file source in
-  let report = Theorems.check_translation ?resolution ast in
-  let v_direct, direct_steps = Interp.run_program ?fuel report.elaborated in
-  let v_translated, translated_steps = F.Eval.run ?fuel report.f_exp in
-  let direct = Interp.flatten v_direct in
-  let translated = Interp.flatten_f v_translated in
-  if not (Interp.flat_equal direct translated) then
-    Diag.error Diag.Eval
-      "direct interpreter computed %s but the translation computed %s"
-      (Interp.flat_to_string direct)
-      (Interp.flat_to_string translated);
-  {
-    source;
-    ast;
-    fg_ty = report.fg_ty;
-    f_exp = report.f_exp;
-    f_ty = report.f_ty;
-    theorem_holds = true;
-    value = direct;
-    direct_steps;
-    translated_steps;
-  }
+  Session.run ?file ?fuel (Session.create ?resolution ()) source
 
 let run_result ?file ?resolution ?fuel source =
-  Diag.protect (fun () -> run ?file ?resolution ?fuel source)
+  Fg_util.Diag.protect (fun () -> run ?file ?resolution ?fuel source)
 
-(** Type check only (no evaluation); returns the FG type. *)
 let typecheck ?file ?resolution source : Ast.ty =
-  Check.typecheck ?resolution (Parser.exp_of_string ?file source)
+  Session.typecheck ?file (Session.create ?resolution ()) source
 
-(** Translate only; returns the System F term. *)
-let translate ?file ?resolution source : F.Ast.exp =
-  Check.translate ?resolution (Parser.exp_of_string ?file source)
+let translate ?file ?resolution source : Fg_systemf.Ast.exp =
+  Session.translate ?file (Session.create ?resolution ()) source
 
-(** Evaluate via the direct interpreter only (on the elaborated term,
-    so implicit instantiations work). *)
 let interpret ?file ?fuel source : Interp.value =
-  let ast = Parser.exp_of_string ?file source in
-  let _, elaborated, _ = Check.elaborate ast in
-  Interp.run_value ?fuel elaborated
+  Session.interpret ?file ?fuel (Session.create ()) source

@@ -1,10 +1,14 @@
-(** One-stop driver: source text in, everything out — parse, check,
+(** One-shot driving: source text in, everything out — parse, check,
     translate, re-check in System F, verify the theorem statement, and
     evaluate both directly and via the translation (requiring
-    agreement).  The CLI, the examples and much of the test suite go
-    through this module. *)
+    agreement).
 
-type outcome = {
+    @deprecated This is a compatibility shim over {!Session}; each call
+    builds a throwaway session, so the prelude cache, hash-cons table
+    and resolution cache amortize nothing.  Prefer {!Session.create}
+    (or {!Session.with_prelude}) plus {!Session.run}. *)
+
+type outcome = Session.outcome = {
   source : string;
   ast : Ast.exp;
   fg_ty : Ast.ty;

@@ -1,0 +1,253 @@
+(** Session-based driver (see the interface).
+
+    The load-bearing pieces:
+
+    - {!Check.check_prefix} walks the prelude's declaration spine once,
+      yielding the post-prelude environment and a wrapper that embeds a
+      checked body into the prelude's elaboration and translation;
+    - {!Fg_util.Gensym.mark}/[restore] rewind the fresh-name supply to
+      its post-prelude position before every program, so a session's
+      output for a program is identical to a standalone run's and
+      independent of serving order;
+    - the resolution cache and congruence closure live in the shared
+      environment and stay warm across programs (scope generations keep
+      per-program extensions from contaminating each other);
+    - {!run_batch} fans out over [Domain.spawn], one private session
+      per domain (checker state — gensym, hash-cons table, caches — is
+      single-domain by design). *)
+
+open Fg_util
+module F = Fg_systemf
+
+type outcome = {
+  source : string;
+  ast : Ast.exp;
+  fg_ty : Ast.ty;
+  f_exp : F.Ast.exp;
+  f_ty : F.Ast.ty;
+  theorem_holds : bool;
+  value : Interp.flat;
+  direct_steps : int;
+  translated_steps : int;
+}
+
+type t = {
+  res_mode : Resolution.mode;
+  escape_check : bool;
+  prelude_src : string option;
+  env : Env.t;  (** the post-prelude environment *)
+  wrap : Ast.ty * Ast.exp * F.Ast.exp -> Ast.ty * Ast.exp * F.Ast.exp;
+      (** embeds a checked body into the prelude's results *)
+  mark : int;  (** fresh-name supply position after the prelude *)
+  globals_mark : (string * Ast.ty list) list;
+      (** the Global-ablation overlap set after the prelude *)
+  hc : Hashcons.t;
+  created : Telemetry.snapshot;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Construction                                                      *)
+
+(* Check a declaration stack on top of [env], returning the extended
+   environment and the composed wrapper.  The stack is parsed with a
+   dummy [0] body; anything left over after the declaration spine means
+   the text was not purely declarations. *)
+let check_decl_stack hc env src ~file =
+  let ast =
+    Telemetry.time Telemetry.Parse (fun () ->
+        Parser.exp_of_string ~file (src ^ "\n0"))
+  in
+  let ast = Hashcons.intern_exp hc ast in
+  let env', residual, wrap =
+    Telemetry.time Telemetry.Check (fun () -> Check.check_prefix env ast)
+  in
+  (match residual.Ast.desc with
+  | Ast.Lit (Ast.LInt 0) -> ()
+  | _ ->
+      Diag.wf_error ~loc:residual.Ast.loc
+        "session prelude must be a stack of declarations (found a \
+         non-declaration before the end)");
+  (env', wrap)
+
+let create ?(resolution = Resolution.Lexical) ?(escape_check = true) ?prelude
+    () : t =
+  let env0 = Env.create ~resolution ~escape_check () in
+  let hc = Hashcons.create () in
+  let env, wrap =
+    match prelude with
+    | None -> (env0, fun res -> res)
+    | Some src ->
+        Telemetry.record_prelude_build ();
+        check_decl_stack hc env0 src ~file:"<prelude>"
+  in
+  {
+    res_mode = resolution;
+    escape_check;
+    prelude_src = prelude;
+    env;
+    wrap;
+    mark = Gensym.mark env.Env.gensym;
+    globals_mark = !(env.Env.global_models);
+    hc;
+    created = Telemetry.snapshot ();
+  }
+
+let with_prelude ?resolution () = create ?resolution ~prelude:Prelude.full ()
+
+let resolution t = t.res_mode
+let prelude_source t = t.prelude_src
+
+let extend t decls =
+  (* Rewind the supply first so extension points do not depend on how
+     many programs the session has served. *)
+  Gensym.restore t.env.Env.gensym t.mark;
+  t.env.Env.global_models := t.globals_mark;
+  let env', wrap' = check_decl_stack t.hc t.env decls ~file:"<decls>" in
+  {
+    t with
+    prelude_src =
+      Some (Option.fold ~none:decls ~some:(fun p -> p ^ "\n" ^ decls)
+              t.prelude_src);
+    env = env';
+    wrap = (fun res -> t.wrap (wrap' res));
+    mark = Gensym.mark env'.Env.gensym;
+    globals_mark = !(env'.Env.global_models);
+  }
+
+let extend_result t decls = Diag.protect (fun () -> extend t decls)
+
+(* ---------------------------------------------------------------- *)
+(* Per-program checking                                              *)
+
+(* Reset the per-program mutable state the shared environment carries:
+   the fresh-name supply and the Global ablation's overlap set go back
+   to their post-prelude positions, so program N+1 sees exactly the
+   state program 1 saw. *)
+let rewind t =
+  Gensym.restore t.env.Env.gensym t.mark;
+  t.env.Env.global_models := t.globals_mark;
+  Telemetry.record_program ();
+  if t.prelude_src <> None then Telemetry.record_prelude_reuse ()
+
+let parse t ?(file = "<program>") source =
+  let ast =
+    Telemetry.time Telemetry.Parse (fun () ->
+        Parser.exp_of_string ~file source)
+  in
+  Hashcons.intern_exp t.hc ast
+
+(* Parse and check one program under the session environment, returning
+   the program's own AST and the whole-program (prelude-wrapped)
+   elaboration triple. *)
+let check_source ?file t source =
+  let ast = parse t ?file source in
+  rewind t;
+  let triple =
+    Telemetry.time Telemetry.Check (fun () -> t.wrap (Check.check t.env ast))
+  in
+  (ast, triple)
+
+let elaborate ?file t source = snd (check_source ?file t source)
+
+let typecheck ?file t source =
+  let ty, _, _ = elaborate ?file t source in
+  ty
+
+let translate ?file t source =
+  let _, _, f = elaborate ?file t source in
+  f
+
+let verify ?file t source =
+  let triple = elaborate ?file t source in
+  Telemetry.time Telemetry.Verify (fun () ->
+      Theorems.report_of_elaboration triple)
+
+let interpret ?file ?fuel t source =
+  let _, elaborated, _ = elaborate ?file t source in
+  Telemetry.time Telemetry.Eval (fun () -> Interp.run_value ?fuel elaborated)
+
+let run ?file ?fuel t source : outcome =
+  let ast, triple = check_source ?file t source in
+  let report =
+    Telemetry.time Telemetry.Verify (fun () ->
+        Theorems.report_of_elaboration triple)
+  in
+  let (v_direct, direct_steps), (v_translated, translated_steps) =
+    Telemetry.time Telemetry.Eval (fun () ->
+        ( Interp.run_program ?fuel report.Theorems.elaborated,
+          F.Eval.run ?fuel report.Theorems.f_exp ))
+  in
+  let direct = Interp.flatten v_direct in
+  let translated = Interp.flatten_f v_translated in
+  if not (Interp.flat_equal direct translated) then
+    Diag.error Diag.Eval
+      "direct interpreter computed %s but the translation computed %s"
+      (Interp.flat_to_string direct)
+      (Interp.flat_to_string translated);
+  {
+    source;
+    ast;
+    fg_ty = report.Theorems.fg_ty;
+    f_exp = report.Theorems.f_exp;
+    f_ty = report.Theorems.f_ty;
+    theorem_holds = true;
+    value = direct;
+    direct_steps;
+    translated_steps;
+  }
+
+let run_result ?file ?fuel t source =
+  Diag.protect (fun () -> run ?file ?fuel t source)
+
+(* ---------------------------------------------------------------- *)
+(* Parallel batch verification                                       *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let run_batch ?domains ?fuel t (jobs : (string * string) list) :
+    (string * (outcome, Diag.diagnostic) result) list =
+  let jobs = Array.of_list jobs in
+  let n = Array.length jobs in
+  let domains =
+    let d = match domains with Some d -> d | None -> default_domains () in
+    max 1 (min d (max 1 n))
+  in
+  let results = Array.make n None in
+  (* Strided work split: domain d takes jobs d, d+domains, ...  Writes
+     land on disjoint indices, so the array needs no lock; outcomes are
+     per-program deterministic (the supply is rewound before each), so
+     the assembled list is identical for every domain count. *)
+  let work t_local first =
+    let i = ref first in
+    while !i < n do
+      let name, source = jobs.(!i) in
+      results.(!i) <- Some (name, run_result ~file:name ?fuel t_local source);
+      i := !i + domains
+    done
+  in
+  if domains = 1 then work t 0
+  else begin
+    let spawned =
+      List.init (domains - 1) (fun k ->
+          Domain.spawn (fun () ->
+              let t_local =
+                create ~resolution:t.res_mode ~escape_check:t.escape_check
+                  ?prelude:t.prelude_src ()
+              in
+              work t_local (k + 1)))
+    in
+    work t 0;
+    List.iter Domain.join spawned
+  end;
+  Array.to_list
+    (Array.map
+       (function
+         | Some r -> r
+         | None -> Diag.ice "run_batch: unfilled result slot")
+       results)
+
+(* ---------------------------------------------------------------- *)
+(* Observability                                                     *)
+
+let stats t = Telemetry.diff (Telemetry.snapshot ()) t.created
+let interned_types t = Hashcons.size t.hc

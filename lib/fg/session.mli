@@ -1,0 +1,129 @@
+(** The session-based compiler driver: an amortizing, observable,
+    concurrent front door over the FG pipeline.
+
+    A {!t} owns everything that one-shot driving rebuilt per program:
+
+    - a {b cached prelude}: the session's prelude source (any stack of
+      concept / model / let / using / type-alias declarations, e.g.
+      {!Prelude.full}) is parsed and checked {e once} at {!create};
+      every subsequent program is checked directly under the resulting
+      environment and wrapped into the prelude's translation, instead
+      of re-parsing and re-checking the whole prelude text;
+    - a {b hash-consed type table} ({!Hashcons}): each program's AST is
+      interned on parse, so the pointer fast path in {!Ast.ty_equal}
+      fires for every repeated type;
+    - a {b memoized model-resolution cache} (in {!Env}): lookups are
+      keyed on (concept, argument types, scope generation), so the
+      prelude-scope resolutions one program performs are free for the
+      next;
+    - {b telemetry} ({!Fg_util.Telemetry}): per-phase wall time and
+      cache counters, reported by [fgc --stats].
+
+    Programs checked through a session are bit-for-bit identical to
+    standalone runs: the fresh-name supply is rewound to its
+    post-prelude position before each program, so output never depends
+    on how many programs the session has already served.
+
+    A session is single-domain; {!run_batch} verifies N programs across
+    OCaml 5 domains by giving each domain its own session built from
+    the same configuration, with deterministic, order-stable output. *)
+
+open Fg_util
+module F := Fg_systemf
+
+type t
+
+(** Everything the full pipeline produces for one program — the same
+    shape {!Pipeline.outcome} always had. *)
+type outcome = {
+  source : string;
+  ast : Ast.exp;
+  fg_ty : Ast.ty;  (** the program's FG type *)
+  f_exp : F.Ast.exp;  (** its System F translation *)
+  f_ty : F.Ast.ty;  (** the System F type of the translation *)
+  theorem_holds : bool;
+      (** [τ'] alpha-equal to the translation of [τ] — always true when
+          this record exists, since a mismatch raises; recorded for
+          reporting *)
+  value : Interp.flat;  (** the program's value (first-order part) *)
+  direct_steps : int;  (** beta steps taken by the direct interpreter *)
+  translated_steps : int;  (** beta steps evaluating the translation *)
+}
+
+(** [create ?prelude ()] — a new session.  [prelude] is a declaration
+    stack in concrete syntax (each declaration ending in [in], as
+    {!Prelude.full} is written); it is parsed and checked here, once.
+    Raises {!Diag.Error} if the prelude itself is ill-formed. *)
+val create :
+  ?resolution:Resolution.mode -> ?escape_check:bool -> ?prelude:string ->
+  unit -> t
+
+(** A session preloaded with the standard prelude ({!Prelude.full}). *)
+val with_prelude : ?resolution:Resolution.mode -> unit -> t
+
+val resolution : t -> Resolution.mode
+val prelude_source : t -> string option
+
+(** [extend t decls] — a session whose scope additionally contains
+    [decls] (a declaration stack), checked incrementally on top of
+    [t]'s environment; [t] itself is unchanged.  This is how the REPL
+    accumulates declarations without re-checking its history. *)
+val extend : t -> string -> t
+
+val extend_result : t -> string -> (t, Diag.diagnostic) result
+
+(** {1 Per-program operations}
+
+    All of these parse their argument, check it under the session
+    environment, and raise {!Diag.Error} on failure, exactly like the
+    corresponding one-shot {!Pipeline} entry points. *)
+
+(** Full pipeline: check, translate, verify the theorem, evaluate both
+    semantics and require agreement. *)
+val run : ?file:string -> ?fuel:int -> t -> string -> outcome
+
+val run_result :
+  ?file:string -> ?fuel:int -> t -> string ->
+  (outcome, Diag.diagnostic) result
+
+(** Type check only; returns the program's FG type. *)
+val typecheck : ?file:string -> t -> string -> Ast.ty
+
+(** Translate only; returns the whole-program System F term (prelude
+    dictionaries included). *)
+val translate : ?file:string -> t -> string -> F.Ast.exp
+
+(** Elaborate only: (type, elaborated program, translation). *)
+val elaborate : ?file:string -> t -> string -> Ast.ty * Ast.exp * F.Ast.exp
+
+(** Theorem check (Theorems 1/2) without evaluation. *)
+val verify : ?file:string -> t -> string -> Theorems.report
+
+(** Direct interpretation only (of the elaborated program). *)
+val interpret : ?file:string -> ?fuel:int -> t -> string -> Interp.value
+
+(** {1 Parallel batch verification} *)
+
+(** The default domain count: the runtime's recommendation, at least 1. *)
+val default_domains : unit -> int
+
+(** [run_batch ~domains t jobs] — run every [(name, source)] job
+    through the full pipeline, fanned out over [domains] OCaml domains
+    (default {!default_domains}).  The calling session serves one
+    domain; every other domain builds its own session from the same
+    configuration, so no mutable checker state crosses domains.
+    Results come back in job order and are identical for every choice
+    of [domains] (each program's fresh names are rewound
+    per-program). *)
+val run_batch :
+  ?domains:int -> ?fuel:int -> t -> (string * string) list ->
+  (string * (outcome, Diag.diagnostic) result) list
+
+(** {1 Observability} *)
+
+(** Telemetry accumulated process-wide since this session was created
+    (includes work done by batch domains the session spawned). *)
+val stats : t -> Telemetry.snapshot
+
+(** Distinct hash-consed types interned by this session. *)
+val interned_types : t -> int

@@ -33,11 +33,13 @@ type report = {
   expected_f_ty : F.Ast.ty;  (** the translation of τ *)
 }
 
-(** Check Theorem 1/2 on one closed program.  Raises a diagnostic if the
-    program is ill-typed, if the translation fails to re-check in System
-    F, or if the types disagree. *)
-let check_translation ?resolution (e : Ast.exp) : report =
-  let fg_ty, elaborated, f_exp = Check.elaborate ?resolution e in
+(** The theorem statement on an already-elaborated program: re-check the
+    translation in System F and compare its type (up to alpha) against
+    the translation of the FG type.  Factored out so drivers that
+    obtained the elaboration some other way — a {!Session} checking
+    against a cached prelude — run exactly the same verification. *)
+let report_of_elaboration ((fg_ty, elaborated, f_exp) : Ast.ty * Ast.exp * F.Ast.exp)
+    : report =
   let f_ty = F.Typecheck.typecheck f_exp in
   let expected_f_ty = Types.translate_ty (Env.create ()) fg_ty in
   if not (F.Ast.alpha_equal f_ty expected_f_ty) then
@@ -48,6 +50,12 @@ let check_translation ?resolution (e : Ast.exp) : report =
       (F.Pretty.ty_to_string expected_f_ty)
       (F.Pretty.ty_to_string f_ty);
   { fg_ty; elaborated; f_exp; f_ty; expected_f_ty }
+
+(** Check Theorem 1/2 on one closed program.  Raises a diagnostic if the
+    program is ill-typed, if the translation fails to re-check in System
+    F, or if the types disagree. *)
+let check_translation ?resolution (e : Ast.exp) : report =
+  report_of_elaboration (Check.elaborate ?resolution e)
 
 let check_translation_result ?resolution e =
   Diag.protect (fun () -> check_translation ?resolution e)

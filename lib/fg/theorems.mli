@@ -20,6 +20,11 @@ type report = {
     ill-typedness, a failed re-check, or a type mismatch. *)
 val check_translation : ?resolution:Resolution.mode -> Ast.exp -> report
 
+(** The same verification on an elaboration produced elsewhere (e.g. by
+    a {!Session} with a cached prelude): the [(τ, elaborated, f)]
+    triple from {!Check.check}/{!Check.elaborate}. *)
+val report_of_elaboration : Ast.ty * Ast.exp * Fg_systemf.Ast.exp -> report
+
 val check_translation_result :
   ?resolution:Resolution.mode -> Ast.exp ->
   (report, Fg_util.Diag.diagnostic) result

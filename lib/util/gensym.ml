@@ -14,6 +14,14 @@ let create () = { next = 0 }
 
 let reset g = g.next <- 0
 
+(** [mark g] captures the supply position so a later {!restore} can
+    replay from it — how a {!Session} gives every program checked
+    against a shared prelude the same fresh names a standalone run
+    would produce. *)
+let mark g = g.next
+
+let restore g n = g.next <- n
+
 (** [fresh g base] returns ["base_N"] for the next counter value [N]. *)
 let fresh g base =
   let n = g.next in

@@ -9,6 +9,14 @@ type t
 val create : unit -> t
 val reset : t -> unit
 
+(** [mark]/[restore]: capture the supply position and later rewind to
+    it, so independent programs checked against a shared, already-
+    built environment each see the same supply state (deterministic
+    output regardless of checking order). *)
+val mark : t -> int
+
+val restore : t -> int -> unit
+
 (** [fresh g base] returns ["base_N"] for the next counter value. *)
 val fresh : t -> string -> string
 

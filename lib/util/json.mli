@@ -1,0 +1,18 @@
+(** A minimal JSON tree and printer — just enough for the driver's
+    machine-readable output ([fgc --format=json], [--stats]).  Emission
+    only; the toolchain never parses JSON, so there is no reader. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Compact rendering (no insignificant whitespace beyond single
+    spaces); strings are escaped per RFC 8259. *)
+val to_string : t -> string
+
+val pp : t Fmt.t

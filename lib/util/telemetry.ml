@@ -1,0 +1,147 @@
+(** Global driver instrumentation (see the interface).
+
+    Everything is an [Atomic.t Stdlib.int]: increments from parallel
+    batch domains interleave without tearing, and reads are single
+    loads.  Wall time is accumulated in integer nanoseconds so the time
+    accumulators share the same atomic representation as the counters
+    (no atomic floats needed). *)
+
+type phase = Parse | Check | Verify | Eval
+
+let phase_label = function
+  | Parse -> "parse"
+  | Check -> "check"
+  | Verify -> "verify"
+  | Eval -> "eval"
+
+(* ---------------------------------------------------------------- *)
+(* The counters                                                      *)
+
+let parse_ns = Atomic.make 0
+let check_ns = Atomic.make 0
+let verify_ns = Atomic.make 0
+let eval_ns = Atomic.make 0
+let cc_rebuilds = Atomic.make 0
+let model_lookups = Atomic.make 0
+let resolve_hits = Atomic.make 0
+let resolve_misses = Atomic.make 0
+let prelude_builds = Atomic.make 0
+let prelude_reuses = Atomic.make 0
+let programs = Atomic.make 0
+
+let all =
+  [
+    parse_ns; check_ns; verify_ns; eval_ns; cc_rebuilds; model_lookups;
+    resolve_hits; resolve_misses; prelude_builds; prelude_reuses; programs;
+  ]
+
+let bump c = Atomic.incr c
+let record_cc_rebuild () = bump cc_rebuilds
+let record_model_lookup () = bump model_lookups
+let record_resolve_hit () = bump resolve_hits
+let record_resolve_miss () = bump resolve_misses
+let record_prelude_build () = bump prelude_builds
+let record_prelude_reuse () = bump prelude_reuses
+let record_program () = bump programs
+
+let phase_counter = function
+  | Parse -> parse_ns
+  | Check -> check_ns
+  | Verify -> verify_ns
+  | Eval -> eval_ns
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let time phase f =
+  let counter = phase_counter phase in
+  let t0 = now_ns () in
+  let record () = ignore (Atomic.fetch_and_add counter (now_ns () - t0)) in
+  match f () with
+  | v ->
+      record ();
+      v
+  | exception e ->
+      record ();
+      raise e
+
+(* ---------------------------------------------------------------- *)
+(* Snapshots                                                         *)
+
+type snapshot = {
+  parse_ns : int;
+  check_ns : int;
+  verify_ns : int;
+  eval_ns : int;
+  cc_rebuilds : int;
+  model_lookups : int;
+  resolve_hits : int;
+  resolve_misses : int;
+  prelude_builds : int;
+  prelude_reuses : int;
+  programs : int;
+}
+
+let snapshot () =
+  {
+    parse_ns = Atomic.get parse_ns;
+    check_ns = Atomic.get check_ns;
+    verify_ns = Atomic.get verify_ns;
+    eval_ns = Atomic.get eval_ns;
+    cc_rebuilds = Atomic.get cc_rebuilds;
+    model_lookups = Atomic.get model_lookups;
+    resolve_hits = Atomic.get resolve_hits;
+    resolve_misses = Atomic.get resolve_misses;
+    prelude_builds = Atomic.get prelude_builds;
+    prelude_reuses = Atomic.get prelude_reuses;
+    programs = Atomic.get programs;
+  }
+
+let diff (b : snapshot) (a : snapshot) =
+  {
+    parse_ns = b.parse_ns - a.parse_ns;
+    check_ns = b.check_ns - a.check_ns;
+    verify_ns = b.verify_ns - a.verify_ns;
+    eval_ns = b.eval_ns - a.eval_ns;
+    cc_rebuilds = b.cc_rebuilds - a.cc_rebuilds;
+    model_lookups = b.model_lookups - a.model_lookups;
+    resolve_hits = b.resolve_hits - a.resolve_hits;
+    resolve_misses = b.resolve_misses - a.resolve_misses;
+    prelude_builds = b.prelude_builds - a.prelude_builds;
+    prelude_reuses = b.prelude_reuses - a.prelude_reuses;
+    programs = b.programs - a.programs;
+  }
+
+let reset () = List.iter (fun c -> Atomic.set c 0) all
+
+let ms ns = float_of_int ns /. 1e6
+
+let pp ppf (s : snapshot) =
+  Fmt.pf ppf "@[<v>phase wall time:@,";
+  Fmt.pf ppf "  parse          : %10.3f ms@," (ms s.parse_ns);
+  Fmt.pf ppf "  check          : %10.3f ms@," (ms s.check_ns);
+  Fmt.pf ppf "  verify         : %10.3f ms@," (ms s.verify_ns);
+  Fmt.pf ppf "  eval           : %10.3f ms@," (ms s.eval_ns);
+  Fmt.pf ppf "counters:@,";
+  Fmt.pf ppf "  programs       : %10d@," s.programs;
+  Fmt.pf ppf "  prelude builds : %10d@," s.prelude_builds;
+  Fmt.pf ppf "  prelude reuses : %10d@," s.prelude_reuses;
+  Fmt.pf ppf "  cc rebuilds    : %10d@," s.cc_rebuilds;
+  Fmt.pf ppf "  model lookups  : %10d@," s.model_lookups;
+  Fmt.pf ppf "  resolve hits   : %10d@," s.resolve_hits;
+  Fmt.pf ppf "  resolve misses : %10d@]" s.resolve_misses
+
+let to_json (s : snapshot) =
+  Json.Obj
+    [
+      ("parse_ns", Json.Int s.parse_ns);
+      ("check_ns", Json.Int s.check_ns);
+      ("verify_ns", Json.Int s.verify_ns);
+      ("eval_ns", Json.Int s.eval_ns);
+      ("cc_rebuilds", Json.Int s.cc_rebuilds);
+      ("model_lookups", Json.Int s.model_lookups);
+      ("resolve_hits", Json.Int s.resolve_hits);
+      ("resolve_misses", Json.Int s.resolve_misses);
+      ("prelude_builds", Json.Int s.prelude_builds);
+      ("prelude_reuses", Json.Int s.prelude_reuses);
+      ("programs", Json.Int s.programs);
+    ]

@@ -1,0 +1,76 @@
+(** Lightweight, domain-safe instrumentation for the compiler driver.
+
+    A global set of atomic counters and per-phase wall-time
+    accumulators, cheap enough to leave always-on: the library's hot
+    paths ({!Fg_core.Equality} closure rebuilds, model resolution in
+    {!Fg_core.Env}, the session resolution cache) bump counters, the
+    driver ({!Fg_core.Session}) wraps each pipeline phase in {!time}.
+    Counters are process-global and monotone; clients take {!snapshot}s
+    and {!diff} them to attribute work to a region (a program, a batch,
+    a bench run).  All updates go through [Atomic], so parallel batch
+    domains can record into the same counters without tearing. *)
+
+(** The driver phases that are individually timed. *)
+type phase =
+  | Parse  (** FG source to AST *)
+  | Check  (** type checking + elaboration + translation *)
+  | Verify  (** System F re-check and theorem comparison *)
+  | Eval  (** both evaluations (direct and translated) *)
+
+val phase_label : phase -> string
+
+(** Time a phase: runs the thunk, adds the elapsed wall time to the
+    phase's accumulator (also on exceptions), and returns the result. *)
+val time : phase -> (unit -> 'a) -> 'a
+
+(** {1 Counter bump points} *)
+
+val record_cc_rebuild : unit -> unit
+(** A congruence closure was (re)built from its assumption list. *)
+
+val record_model_lookup : unit -> unit
+(** [Env.lookup_model] was asked to resolve a concept requirement. *)
+
+val record_resolve_hit : unit -> unit
+(** The memoized model-resolution cache answered a lookup. *)
+
+val record_resolve_miss : unit -> unit
+(** The memoized model-resolution cache had to compute a lookup. *)
+
+val record_prelude_build : unit -> unit
+(** A session parsed and checked a prelude from scratch. *)
+
+val record_prelude_reuse : unit -> unit
+(** A program was checked against an already-built session prelude. *)
+
+val record_program : unit -> unit
+(** One program went through a driver entry point. *)
+
+(** {1 Snapshots} *)
+
+type snapshot = {
+  parse_ns : int;  (** accumulated wall time per phase, nanoseconds *)
+  check_ns : int;
+  verify_ns : int;
+  eval_ns : int;
+  cc_rebuilds : int;
+  model_lookups : int;
+  resolve_hits : int;
+  resolve_misses : int;
+  prelude_builds : int;
+  prelude_reuses : int;
+  programs : int;
+}
+
+val snapshot : unit -> snapshot
+
+(** [diff later earlier] — the work done between two snapshots. *)
+val diff : snapshot -> snapshot -> snapshot
+
+(** Reset every counter to zero (tests and benchmarks). *)
+val reset : unit -> unit
+
+val pp : snapshot Fmt.t
+
+(** The snapshot as a flat JSON object (stable key names). *)
+val to_json : snapshot -> Json.t

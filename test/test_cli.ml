@@ -123,6 +123,106 @@ let test_stdin_input () =
   Alcotest.(check int) "exit" 0 code;
   Alcotest.(check string) "stdin program" "42" out
 
+let test_run_json () =
+  let code, out =
+    run_cmd "run --format=json -p -e 'power[int](2, 5)'" ~stdin_text:""
+  in
+  Alcotest.(check int) "exit" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [ {|"ok": true|}; {|"type": "int"|}; {|"value": 10|};
+      {|"theorem": true|}; {|"direct_steps"|} ]
+
+let test_json_error () =
+  let code, out = run_cmd "run --format=json -e '1 + true'" ~stdin_text:"" in
+  Alcotest.(check int) "nonzero exit" 1 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [ {|"ok": false|}; {|"phase": "type error"|}; {|"line": 1|};
+      "expected int but got bool" ]
+
+let test_verify_json () =
+  let code, out = run_cmd "verify --format=json -e '41 + 1'" ~stdin_text:"" in
+  Alcotest.(check int) "exit" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [ {|"theorem": true|}; {|"fg_type": "int"|}; {|"systemf_type": "int"|} ]
+
+let test_stats_flag () =
+  let code, out =
+    run_cmd "run --stats -p -e 'power[int](2, 5)'" ~stdin_text:""
+  in
+  Alcotest.(check int) "exit" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [ "10"; "phase wall time"; "prelude builds"; "model lookups" ]
+
+let with_program_files bodies f =
+  let files =
+    List.map
+      (fun body ->
+        let path = Filename.temp_file "fgc_batch" ".fg" in
+        let oc = open_out path in
+        output_string oc body;
+        close_out oc;
+        path)
+      bodies
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Sys.remove files)
+    (fun () -> f files)
+
+let test_batch () =
+  with_program_files
+    [ "power[int](2, 3)"; "power[int](2, 4)"; "1 + true" ]
+    (fun files ->
+      let args =
+        "batch -p --domains 2 "
+        ^ String.concat " " (List.map Filename.quote files)
+      in
+      let code, out = run_cmd args ~stdin_text:"" in
+      (* one program fails, so the batch exits non-zero but still
+         reports every result, in argument order *)
+      Alcotest.(check int) "exit" 1 code;
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true
+            (Astring_contains.contains ~needle out))
+        [ "6"; "8"; "ERROR"; "2/3 ok" ])
+
+let test_batch_json () =
+  with_program_files
+    [ "power[int](2, 3)"; "power[int](2, 4)" ]
+    (fun files ->
+      let args =
+        "batch -p --format=json "
+        ^ String.concat " " (List.map Filename.quote files)
+      in
+      let code, out = run_cmd args ~stdin_text:"" in
+      Alcotest.(check int) "exit" 0 code;
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) needle true
+            (Astring_contains.contains ~needle out))
+        [ {|"value": 6|}; {|"value": 8|}; {|"ok": true|} ])
+
+let test_corpus_all () =
+  let code, out = run_cmd "corpus --all --domains 2" ~stdin_text:"" in
+  Alcotest.(check int) "exit" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [ "fig5_accumulate"; "neg_param_diverging"; "/40 as expected" ]
+
 let test_repl_session () =
   let session =
     ":prelude\n\
@@ -160,5 +260,12 @@ let suite =
     Alcotest.test_case "corpus run" `Quick test_corpus_run;
     Alcotest.test_case "eq" `Quick test_eq;
     Alcotest.test_case "stdin input" `Quick test_stdin_input;
+    Alcotest.test_case "run --format=json" `Quick test_run_json;
+    Alcotest.test_case "json error shape" `Quick test_json_error;
+    Alcotest.test_case "verify --format=json" `Quick test_verify_json;
+    Alcotest.test_case "--stats" `Quick test_stats_flag;
+    Alcotest.test_case "batch" `Quick test_batch;
+    Alcotest.test_case "batch --format=json" `Quick test_batch_json;
+    Alcotest.test_case "corpus --all" `Quick test_corpus_all;
     Alcotest.test_case "repl session" `Quick test_repl_session;
   ]

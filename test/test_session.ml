@@ -1,0 +1,277 @@
+(* The session driver: a cached prelude must be observationally
+   invisible — programs served by a session are identical to standalone
+   pipeline runs — while the caches (prelude, hash-consed types, model
+   resolution) actually amortize, batches are deterministic across
+   domain counts, and extension leaves the original session intact. *)
+
+open Fg_core
+
+let l = Prelude.int_list
+
+(* Translations from a session and from a one-shot pipeline differ only
+   in source locations (a session program starts at line 1; a wrapped
+   one sits below the prelude text), so compare their printed forms. *)
+let f_exp_str (f : Fg_systemf.Ast.exp) = Fg_systemf.Pretty.exp_to_string f
+
+let check_outcome_equal what (a : Session.outcome) (b : Session.outcome) =
+  Alcotest.(check string)
+    (what ^ ": type") (Pretty.ty_to_string a.fg_ty)
+    (Pretty.ty_to_string b.fg_ty);
+  Alcotest.(check string)
+    (what ^ ": translation") (f_exp_str a.f_exp) (f_exp_str b.f_exp);
+  Alcotest.(check bool)
+    (what ^ ": value") true
+    (Interp.flat_equal a.value b.value);
+  Alcotest.(check int) (what ^ ": direct steps") a.direct_steps b.direct_steps;
+  Alcotest.(check int)
+    (what ^ ": translated steps") a.translated_steps b.translated_steps
+
+(* ------------------------------------------------------------------ *)
+(* Session-reuse equivalence                                           *)
+
+let test_session_matches_pipeline () =
+  let s = Session.with_prelude () in
+  List.iter
+    (fun body ->
+      let from_session = Session.run ~file:"t" s body in
+      let fresh = Pipeline.run ~file:"t" (Prelude.wrap body) in
+      check_outcome_equal body from_session fresh)
+    [
+      Printf.sprintf "accumulate[int](%s)" (l [ 1; 2; 3 ]);
+      Printf.sprintf "count[list int](%s, 2)" (l [ 2; 1; 2 ]);
+      "power[int](3, 3)";
+      Printf.sprintf "sum_container[list int](%s)" (l [ 10; 20 ]);
+    ]
+
+let test_repeat_runs_identical () =
+  (* The second run hits the warm caches; its output must not change,
+     and the resolution cache must actually be exercised. *)
+  let s = Session.with_prelude () in
+  let body = Printf.sprintf "accumulate[int](%s)" (l [ 4; 5; 6 ]) in
+  let o1 = Session.run ~file:"t" s body in
+  let before = Fg_util.Telemetry.snapshot () in
+  let o2 = Session.run ~file:"t" s body in
+  let d =
+    Fg_util.Telemetry.diff (Fg_util.Telemetry.snapshot ()) before
+  in
+  check_outcome_equal "second run" o1 o2;
+  Alcotest.(check bool)
+    "second run reused the prelude" true
+    (d.prelude_reuses = 1 && d.prelude_builds = 0);
+  Alcotest.(check bool)
+    "second run hit the resolution cache" true (d.resolve_hits > 0)
+
+let test_session_error_then_recover () =
+  (* A failing program must not poison the session for the next one. *)
+  let s = Session.with_prelude () in
+  (match Session.run_result ~file:"bad" s "unbound_variable_q" with
+  | Error d -> Alcotest.(check bool) "typecheck error" true
+                 (d.phase = Fg_util.Diag.Typecheck)
+  | Ok _ -> Alcotest.fail "expected an error");
+  let o = Session.run ~file:"good" s "power[int](2, 5)" in
+  Alcotest.(check bool) "recovers" true (o.value = Interp.FlInt 10)
+
+(* ------------------------------------------------------------------ *)
+(* Cache invalidation: overlapping model names across programs         *)
+
+let test_overlapping_models_across_programs () =
+  (* Both programs declare Monoid<int> models — with different
+     operations — on top of the same session-cached concepts.  The
+     resolution cache is keyed by scope generation, so program 2 must
+     see ITS model, not program 1's cached resolution. *)
+  let s =
+    Session.create ~prelude:(Corpus.monoid_prelude ^ Corpus.accumulate_def) ()
+  in
+  let sum_prog =
+    Printf.sprintf
+      "model Semigroup<int> { binary_op = iadd; } in\n\
+       model Monoid<int> { identity_elt = 0; } in\n\
+       accumulate[int](%s)" (l [ 2; 3; 4 ])
+  in
+  let product_prog =
+    Printf.sprintf
+      "model Semigroup<int> { binary_op = imult; } in\n\
+       model Monoid<int> { identity_elt = 1; } in\n\
+       accumulate[int](%s)" (l [ 2; 3; 4 ])
+  in
+  let o_sum = Session.run ~file:"sum" s sum_prog in
+  let o_prod = Session.run ~file:"product" s product_prog in
+  Alcotest.(check bool) "sum = 9" true (o_sum.value = Interp.FlInt 9);
+  Alcotest.(check bool) "product = 24" true (o_prod.value = Interp.FlInt 24);
+  (* and again in the other order, from the warm cache *)
+  let o_prod2 = Session.run ~file:"product" s product_prog in
+  let o_sum2 = Session.run ~file:"sum" s sum_prog in
+  check_outcome_equal "sum after product" o_sum o_sum2;
+  check_outcome_equal "product after sum" o_prod o_prod2
+
+let test_local_model_does_not_leak () =
+  (* Program 1 declares a model for a prelude concept; program 2 uses
+     the concept WITHOUT declaring the model and must be rejected. *)
+  let s = Session.create ~prelude:Corpus.monoid_prelude () in
+  let with_model =
+    "model Semigroup<int> { binary_op = iadd; } in\n\
+     model Monoid<int> { identity_elt = 0; } in\n\
+     Monoid<int>.identity_elt"
+  in
+  let without_model = "Monoid<int>.identity_elt" in
+  let o = Session.run ~file:"with" s with_model in
+  Alcotest.(check bool) "model program runs" true (o.value = Interp.FlInt 0);
+  match Session.run_result ~file:"without" s without_model with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "program 1's model leaked into program 2"
+
+(* ------------------------------------------------------------------ *)
+(* Extension                                                           *)
+
+let test_extend () =
+  let base = Session.with_prelude () in
+  let extended =
+    Session.extend base "let triple = fun (x : int) => x + x + x in"
+  in
+  let o = Session.run ~file:"t" extended "triple(14)" in
+  Alcotest.(check bool) "extended scope" true (o.value = Interp.FlInt 42);
+  (* the original session must not see the extension *)
+  (match Session.run_result ~file:"t" base "triple(14)" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "extend mutated the base session");
+  (* and the prelude is still live below the extension *)
+  let o2 =
+    Session.run ~file:"t" extended
+      (Printf.sprintf "triple(accumulate[int](%s))" (l [ 1; 2 ]))
+  in
+  Alcotest.(check bool) "prelude + extension" true (o2.value = Interp.FlInt 9)
+
+let test_extend_rejects_bad_decls () =
+  let s = Session.with_prelude () in
+  (match Session.extend_result s "let broken = undefined_name in" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected extension to fail");
+  (* the failed extension must leave the session usable *)
+  let o = Session.run ~file:"t" s "power[int](2, 3)" in
+  Alcotest.(check bool) "session survives" true (o.value = Interp.FlInt 6)
+
+(* ------------------------------------------------------------------ *)
+(* Batch determinism                                                   *)
+
+let batch_jobs =
+  List.init 12 (fun i ->
+      ( Printf.sprintf "job%02d" i,
+        if i mod 5 = 4 then "this_is_unbound"
+        else if i mod 3 = 2 then
+          Printf.sprintf "count[list int](%s, %d)" (l [ i; i; 1 ]) i
+        else Printf.sprintf "accumulate[int](%s)" (l [ i; i + 1 ]) ))
+
+let run_jobs domains =
+  let s = Session.with_prelude () in
+  Session.run_batch ~domains s batch_jobs
+
+let check_batches_equal a b =
+  List.iter2
+    (fun (n1, r1) (n2, r2) ->
+      Alcotest.(check string) "job order" n1 n2;
+      match (r1, r2) with
+      | Ok o1, Ok o2 -> check_outcome_equal n1 o1 o2
+      | Error d1, Error d2 ->
+          Alcotest.(check string) (n1 ^ ": same diagnostic")
+            (Fg_util.Diag.to_string d1) (Fg_util.Diag.to_string d2)
+      | _ -> Alcotest.failf "%s: verdict differs between batches" n1)
+    a b
+
+let test_batch_deterministic () =
+  let b1 = run_jobs 1 in
+  let b2 = run_jobs 2 in
+  let bn = run_jobs (Session.default_domains ()) in
+  Alcotest.(check int) "all jobs" (List.length batch_jobs) (List.length b1);
+  check_batches_equal b1 b2;
+  check_batches_equal b1 bn;
+  (* and the batch agrees with serving the jobs one by one *)
+  let s = Session.with_prelude () in
+  List.iter2
+    (fun (name, src) (n, r) ->
+      Alcotest.(check string) "order" name n;
+      match (Session.run_result ~file:name s src, r) with
+      | Ok o1, Ok o2 -> check_outcome_equal name o1 o2
+      | Error _, Error _ -> ()
+      | _ -> Alcotest.failf "%s: batch vs single verdict differs" name)
+    batch_jobs b1
+
+let test_batch_more_domains_than_jobs () =
+  let s = Session.with_prelude () in
+  let jobs = [ ("only", "power[int](2, 4)") ] in
+  match Session.run_batch ~domains:8 s jobs with
+  | [ ("only", Ok o) ] ->
+      Alcotest.(check bool) "value" true (o.value = Interp.FlInt 8)
+  | _ -> Alcotest.fail "unexpected batch shape"
+
+let prop_batch_matches_single_on_generated =
+  QCheck.Test.make ~name:"batch over generated programs = single runs"
+    ~count:30
+    QCheck.(make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      (* a small batch of printed generated programs, fanned out over 2
+         domains, must match per-program session runs *)
+      let jobs =
+        List.init 4 (fun i ->
+            ( Printf.sprintf "g%d" i,
+              Pretty.exp_to_string (Gen.program_of_seed (seed + (i * 101))) ))
+      in
+      let s = Session.create () in
+      let batched = Session.run_batch ~domains:2 s jobs in
+      List.for_all2
+        (fun (name, src) (_, r) ->
+          match (Session.run_result ~file:name s src, r) with
+          | Ok a, Ok b ->
+              Interp.flat_equal a.Session.value b.Session.value
+              && f_exp_str a.Session.f_exp = f_exp_str b.Session.f_exp
+          | Error _, Error _ -> true
+          | _ -> false)
+        jobs batched)
+
+(* ------------------------------------------------------------------ *)
+(* Observability                                                       *)
+
+let test_stats_and_interning () =
+  let s = Session.with_prelude () in
+  ignore (Session.run ~file:"t" s "power[int](2, 6)");
+  ignore (Session.run ~file:"t" s "power[int](2, 6)");
+  let st = Session.stats s in
+  Alcotest.(check bool) "check time measured" true (st.check_ns > 0);
+  Alcotest.(check bool) "programs counted" true (st.programs >= 2);
+  Alcotest.(check bool) "prelude reused" true (st.prelude_reuses >= 2);
+  Alcotest.(check bool) "lookups recorded" true (st.model_lookups > 0);
+  Alcotest.(check bool) "cache hits recorded" true (st.resolve_hits > 0);
+  Alcotest.(check bool) "types interned" true (Session.interned_types s > 0)
+
+let test_prelude_must_be_declarations () =
+  match
+    Fg_util.Diag.protect (fun () ->
+        Session.create ~prelude:"1 + 1 in" ())
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-declaration prelude accepted"
+
+let suite =
+  [
+    Alcotest.test_case "session run = pipeline run" `Quick
+      test_session_matches_pipeline;
+    Alcotest.test_case "repeat runs identical, caches hit" `Quick
+      test_repeat_runs_identical;
+    Alcotest.test_case "error then recover" `Quick
+      test_session_error_then_recover;
+    Alcotest.test_case "overlapping models across programs" `Quick
+      test_overlapping_models_across_programs;
+    Alcotest.test_case "local models do not leak" `Quick
+      test_local_model_does_not_leak;
+    Alcotest.test_case "extend adds scope, base untouched" `Quick test_extend;
+    Alcotest.test_case "extend rejects bad declarations" `Quick
+      test_extend_rejects_bad_decls;
+    Alcotest.test_case "batch deterministic across domain counts" `Quick
+      test_batch_deterministic;
+    Alcotest.test_case "batch with more domains than jobs" `Quick
+      test_batch_more_domains_than_jobs;
+    QCheck_alcotest.to_alcotest prop_batch_matches_single_on_generated;
+    Alcotest.test_case "stats and interning observable" `Quick
+      test_stats_and_interning;
+    Alcotest.test_case "prelude must be declarations" `Quick
+      test_prelude_must_be_declarations;
+  ]

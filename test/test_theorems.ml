@@ -6,19 +6,30 @@
 open Fg_core
 
 let test_theorem_on_corpus () =
+  (* The full pipeline — theorem check included — over every positive
+     entry at once, fanned out across domains by the session batch
+     runner (which also exercises its order-stable determinism). *)
+  let jobs =
+    List.filter_map
+      (fun (e : Corpus.entry) ->
+        match e.expected with
+        | Corpus.Value _ -> Some (e.name, e.source)
+        | Corpus.Fails _ -> None)
+      Corpus.all
+  in
+  let s = Session.create () in
+  let results = Session.run_batch s jobs in
+  Alcotest.(check int) "all positive entries ran" (List.length jobs)
+    (List.length results);
   List.iter
-    (fun (e : Corpus.entry) ->
-      match e.expected with
-      | Corpus.Value _ -> (
-          match
-            Theorems.check_translation_result (Parser.exp_of_string e.source)
-          with
-          | Ok _ -> ()
-          | Error d ->
-              Alcotest.failf "theorem fails on %s: %s" e.name
-                (Fg_util.Diag.to_string d))
-      | Corpus.Fails _ -> ())
-    Corpus.all
+    (fun (name, r) ->
+      match r with
+      | Ok (o : Session.outcome) ->
+          Alcotest.(check bool) (name ^ ": theorem") true o.theorem_holds
+      | Error d ->
+          Alcotest.failf "theorem fails on %s: %s" name
+            (Fg_util.Diag.to_string d))
+    results
 
 let test_agreement_on_corpus () =
   List.iter

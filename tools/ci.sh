@@ -1,0 +1,15 @@
+#!/bin/sh
+# CI entry point: build everything, run the full test battery, then a
+# quick benchmark smoke (tiny quota — checks the harness runs and the
+# deterministic tables print, not the numbers).
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build @all"
+dune build @all
+
+echo "== dune runtest"
+dune runtest
+
+echo "== bench smoke (BENCH_QUOTA=0.02)"
+BENCH_QUOTA=0.02 dune exec bench/main.exe
