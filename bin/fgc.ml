@@ -43,22 +43,7 @@ let read_input = function
 (* ---------------------------------------------------------------- *)
 (* JSON views                                                        *)
 
-let json_of_pos (p : Fg_util.Loc.pos) =
-  Json.Obj [ ("line", Json.Int p.line); ("col", Json.Int p.col) ]
-
-let json_of_diag (d : Diag.diagnostic) =
-  let base =
-    [ ("phase", Json.Str (Diag.phase_name d.phase));
-      ("message", Json.Str d.message) ]
-  in
-  let loc =
-    if Fg_util.Loc.is_dummy d.loc then []
-    else
-      [ ("file", Json.Str d.loc.file);
-        ("start", json_of_pos d.loc.start_pos);
-        ("end", json_of_pos d.loc.end_pos) ]
-  in
-  Json.Obj (base @ loc)
+let json_of_diags ds = Json.List (List.map Diag.to_json ds)
 
 let rec json_of_flat : C.Interp.flat -> Json.t = function
   | C.Interp.FlInt n -> Json.Int n
@@ -83,18 +68,18 @@ let json_of_outcome ~file (o : C.Session.outcome) =
 let json_of_failure ~file d =
   Json.Obj
     [ ("file", Json.Str file); ("ok", Json.Bool false);
-      ("error", json_of_diag d) ]
+      ("diagnostics", json_of_diags [ d ]) ]
 
 let print_json j = print_endline (Json.to_string j)
 
 (* ---------------------------------------------------------------- *)
 (* Common arguments                                                  *)
 
-(* Run a command body; on a diagnostic print it (as JSON when asked)
-   and exit non-zero.  With [--stats], the telemetry accumulated by the
-   command — timers and cache counters included — goes to stderr either
-   way. *)
-let handle ?(json = false) ?(stats = false) f =
+(* Run a command body that reports its own exit code; on a diagnostic
+   print it (as JSON when asked) and exit non-zero.  With [--stats],
+   the telemetry accumulated by the command — timers and cache counters
+   included — goes to stderr either way. *)
+let handle_code ?(json = false) ?(stats = false) f =
   let before = Telemetry.snapshot () in
   let finish code =
     if stats then
@@ -103,12 +88,15 @@ let handle ?(json = false) ?(stats = false) f =
     code
   in
   match f () with
-  | () -> finish 0
+  | code -> finish code
   | exception Diag.Error d ->
-      if json then print_json (Json.Obj [ ("ok", Json.Bool false);
-                                          ("error", json_of_diag d) ])
+      if json then
+        print_json (Json.Obj [ ("ok", Json.Bool false);
+                               ("diagnostics", json_of_diags [ d ]) ])
       else Fmt.epr "%a@." Diag.pp d;
       finish 1
+
+let handle ?json ?stats f = handle_code ?json ?stats (fun () -> f (); 0)
 
 let expr_arg =
   let doc = "Give the program inline instead of reading a file." in
@@ -199,22 +187,40 @@ let translate_cmd =
 
 let run_cmd =
   let run file expr global with_prelude verbose format stats =
-    handle ~json:(format = `Json) ~stats (fun () ->
+    handle_code ~json:(format = `Json) ~stats (fun () ->
         let name, src = get_source file expr in
         let s = make_session ~global ~with_prelude in
-        let out = C.Session.run ~file:name s src in
-        match format with
-        | `Json -> print_json (json_of_outcome ~file:name out)
-        | `Text ->
-            if verbose then begin
-              Fmt.pr "type        : %a@." C.Pretty.pp_ty out.fg_ty;
-              Fmt.pr "value       : %a@." C.Interp.pp_flat out.value;
-              Fmt.pr "direct steps: %d@." out.direct_steps;
-              Fmt.pr "trans steps : %d@." out.translated_steps;
-              Fmt.pr "theorem     : %s@."
-                (if out.theorem_holds then "holds" else "VIOLATED")
-            end
-            else Fmt.pr "%a@." C.Interp.pp_flat out.value)
+        (* The recovering pipeline: every independent error in the
+           program comes back in one invocation, plus any warnings. *)
+        let report = C.Session.run_full ~file:name s src in
+        let diags = report.C.Session.diagnostics in
+        (match format with
+        | `Json ->
+            let fields =
+              match report.C.Session.outcome with
+              | Some o -> (
+                  match json_of_outcome ~file:name o with
+                  | Json.Obj fields -> fields
+                  | j -> [ ("result", j) ])
+              | None -> [ ("file", Json.Str name); ("ok", Json.Bool false) ]
+            in
+            print_json
+              (Json.Obj (fields @ [ ("diagnostics", json_of_diags diags) ]))
+        | `Text -> (
+            List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) diags;
+            match report.C.Session.outcome with
+            | None -> ()
+            | Some out ->
+                if verbose then begin
+                  Fmt.pr "type        : %a@." C.Pretty.pp_ty out.fg_ty;
+                  Fmt.pr "value       : %a@." C.Interp.pp_flat out.value;
+                  Fmt.pr "direct steps: %d@." out.direct_steps;
+                  Fmt.pr "trans steps : %d@." out.translated_steps;
+                  Fmt.pr "theorem     : %s@."
+                    (if out.theorem_holds then "holds" else "VIOLATED")
+                end
+                else Fmt.pr "%a@." C.Interp.pp_flat out.value));
+        match report.C.Session.outcome with Some _ -> 0 | None -> 1)
   in
   let verbose =
     Arg.(value & flag

@@ -28,22 +28,23 @@ type state = {
   mutable prelude_loaded : bool;
 }
 
-let contains ~needle haystack =
-  let nl = String.length needle and hl = String.length haystack in
-  let rec go i =
-    if i + nl > hl then false
-    else if String.sub haystack i nl = needle then true
-    else go (i + 1)
-  in
-  nl = 0 || go 0
+let contains = Fg_util.Strutil.contains
 
+(* Classify by the first lexed token rather than a string prefix: this
+   accepts 'using', tab-indented declarations and 'model<...>' variants
+   uniformly, and never misfires on identifiers like 'letter'.  A line
+   that does not even lex is not a declaration — the expression path
+   will report its error. *)
 let is_decl_start line =
-  let starts_with p =
-    String.length line >= String.length p
-    && String.sub line 0 (String.length p) = p
-  in
-  starts_with "concept " || starts_with "model " || starts_with "model<"
-  || starts_with "model <" || starts_with "type " || starts_with "let "
+  match Fg_util.Diag.protect (fun () -> Fg_syntax.Lexer.tokenize line) with
+  | Error _ -> false
+  | Ok toks -> (
+      Array.length toks > 0
+      &&
+      match fst toks.(0) with
+      | Fg_syntax.Token.KW ("concept" | "model" | "type" | "let" | "using") ->
+          true
+      | _ -> false)
 
 (* A parse failure at end of input means "keep typing" — except the
    one a complete declaration produces (the parser reaching the end
@@ -69,11 +70,17 @@ let commit_decl st text =
   | Error d -> print_error d
 
 let eval_expr st text =
-  match C.Session.run_result ~file:"<repl>" st.session text with
-  | Ok out ->
+  (* Recovering pipeline: every independent error (and any warnings)
+     prints before the value — or instead of it, when errors exist. *)
+  let report = C.Session.run_full ~file:"<repl>" st.session text in
+  List.iter
+    (fun d -> Fmt.pr "%a@." Fg_util.Diag.pp d)
+    report.C.Session.diagnostics;
+  match report.C.Session.outcome with
+  | Some out ->
       Fmt.pr "- : %a = %a@." C.Pretty.pp_ty out.fg_ty C.Interp.pp_flat
         out.value
-  | Error d -> print_error d
+  | None -> ()
 
 (* :type / :translate disable the CPT escape check, so generic values
    whose types mention locally declared concepts can be inspected; that

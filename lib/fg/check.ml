@@ -27,13 +27,28 @@ let rec ty_of_f : F.ty -> ty = function
   | F.TForall (tvs, body) -> TForall (tvs, [], ty_of_f body)
 
 let type_mismatch ?loc ~expected ~got what =
-  Diag.type_error ?loc "%s: expected %s but got %s" what
+  Diag.type_error ~code:"FG0303" ?loc "%s: expected %s but got %s" what
     (Pretty.ty_to_string expected)
     (Pretty.ty_to_string got)
 
 let require_equal ?loc env ~expected ~got what =
   if not (Env.ty_eq ?loc env expected got) then
     type_mismatch ?loc ~expected ~got what
+
+(* Term-variable occurrences of a System F term (binders are not
+   subtracted — dictionary variables are gensym-fresh, so any occurrence
+   is a use).  Drives the unused-where-clause-constraint warning. *)
+let rec f_term_vars acc (f : F.exp) =
+  match f.desc with
+  | F.Var x -> Sset.add x acc
+  | F.Lit _ | F.Prim _ -> acc
+  | F.App (g, args) -> List.fold_left f_term_vars (f_term_vars acc g) args
+  | F.Abs (_, b) | F.TyAbs (_, b) | F.TyApp (b, _) | F.Nth (b, _)
+  | F.Fix (_, _, b) ->
+      f_term_vars acc b
+  | F.Let (_, a, b) -> f_term_vars (f_term_vars acc a) b
+  | F.Tuple es -> List.fold_left f_term_vars acc es
+  | F.If (a, b, c) -> f_term_vars (f_term_vars (f_term_vars acc a) b) c
 
 (* ------------------------------------------------------------------ *)
 (* Concept declarations (CPT)                                          *)
@@ -44,22 +59,23 @@ let check_concept_decl ?loc env (d : concept_decl) : unit =
       d.c_name;
   (match Names.find_duplicate d.c_params with
   | Some p ->
-      Diag.wf_error ?loc "duplicate type parameter '%s' in concept %s" p
-        d.c_name
+      Diag.wf_error ~code:"FG0204" ?loc
+        "duplicate type parameter '%s' in concept %s" p d.c_name
   | None -> ());
   (match Names.find_duplicate d.c_assoc with
   | Some s ->
-      Diag.wf_error ?loc "duplicate associated type '%s' in concept %s" s
-        d.c_name
+      Diag.wf_error ~code:"FG0204" ?loc
+        "duplicate associated type '%s' in concept %s" s d.c_name
   | None -> ());
   (match Names.find_duplicate (List.map fst d.c_members) with
   | Some x ->
-      Diag.wf_error ?loc "duplicate member '%s' in concept %s" x d.c_name
+      Diag.wf_error ~code:"FG0204" ?loc "duplicate member '%s' in concept %s"
+        x d.c_name
   | None -> ());
   List.iter
     (fun p ->
       if Env.tyvar_in_scope env p then
-        Diag.wf_error ?loc
+        Diag.wf_error ~code:"FG0205" ?loc
           "type parameter '%s' of concept %s shadows a type variable in scope"
           p d.c_name)
     d.c_params;
@@ -132,8 +148,8 @@ let check_concept_decl ?loc env (d : concept_decl) : unit =
   List.iter
     (fun (x, _) ->
       if not (List.mem_assoc x d.c_members) then
-        Diag.wf_error ?loc "default for '%s', which is not a member of %s" x
-          d.c_name)
+        Diag.wf_error ~code:"FG0206" ?loc
+          "default for '%s', which is not a member of %s" x d.c_name)
     d.c_defaults
 
 (* ------------------------------------------------------------------ *)
@@ -207,7 +223,7 @@ and check_decl (env : Env.t) (e : exp) :
           fun (tbody, body_elab, body') ->
             if env.Env.escape_check && Sset.mem d.c_name (concept_names tbody)
             then
-              Diag.type_error ~loc
+              Diag.type_error ~code:"FG0308" ~loc
                 "concept %s escapes its scope in the type %s of the body"
                 d.c_name
                 (Pretty.ty_to_string tbody);
@@ -217,7 +233,17 @@ and check_decl (env : Env.t) (e : exp) :
       Some (env_body, body, wrap)
   | Using (m, body) -> (
       match Env.lookup_named_model env m with
-      | None -> Diag.resolve_error ~loc "unknown named model '%s'" m
+      | None ->
+          let candidates =
+            List.map fst (Smap.bindings env.Env.named_models)
+          in
+          let notes =
+            match Strutil.nearest ~candidates m with
+            | Some near -> [ Diag.suggest near ]
+            | None -> []
+          in
+          Diag.resolve_error ~code:"FG0403" ~notes ~loc
+            "unknown named model '%s'" m
       | Some entry ->
           Some
             ( Env.bind_model env entry,
@@ -227,8 +253,8 @@ and check_decl (env : Env.t) (e : exp) :
   | TypeAlias (t, ty, body) ->
       Types.wf_ty ~loc env ty;
       if Env.tyvar_in_scope env t then
-        Diag.wf_error ~loc "type alias '%s' shadows a type variable in scope"
-          t;
+        Diag.wf_error ~code:"FG0205" ~loc
+          "type alias '%s' shadows a type variable in scope" t;
       let env' = Env.assume (Env.bind_tyvars env [ t ]) (TVar t) ty in
       Some
         ( env',
@@ -248,7 +274,14 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
   | Var x -> (
       match Env.lookup_var env x with
       | Some t -> (t, e, F.var ~loc x)
-      | None -> Diag.type_error ~loc "unbound variable '%s'" x)
+      | None ->
+          let notes =
+            match Strutil.nearest ~candidates:(Env.var_names env) x with
+            | Some near -> [ Diag.suggest near ]
+            | None -> []
+          in
+          Diag.type_error ~code:"FG0302" ~notes ~loc "unbound variable '%s'" x
+      )
   | Lit (LInt n) -> (TBase TInt, e, F.int ~loc n)
   | Lit (LBool b) -> (TBase TBool, e, F.bool ~loc b)
   | Lit LUnit -> (TBase TUnit, e, F.unit ~loc ())
@@ -261,7 +294,7 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
       let arg_elabs = List.map (fun (_, a, _) -> a) checked in
       let finish params ret head_elab head =
         if List.length params <> List.length args then
-          Diag.type_error ~loc
+          Diag.type_error ~code:"FG0304" ~loc
             "function expects %d argument(s) but is applied to %d"
             (List.length params) (List.length args);
         let args' =
@@ -282,7 +315,7 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
              matching of the parameter types against the argument
              types, then proceed exactly as an explicit TyApp. *)
           if List.length params <> List.length args then
-            Diag.type_error ~loc
+            Diag.type_error ~code:"FG0304" ~loc
               "generic function expects %d argument(s) but is applied to %d"
               (List.length params) (List.length args);
           let actuals = List.map (fun (ta, _, _) -> ta) checked in
@@ -292,15 +325,16 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
           (match Env.ty_repr ~loc env inst_ty with
           | TArrow (params, ret) -> finish params ret inst_elab inst_f
           | t ->
-              Diag.type_error ~loc
+              Diag.type_error ~code:"FG0305" ~loc
                 "implicitly instantiated function has non-function type %s"
                 (Pretty.ty_to_string t))
       | t ->
-          Diag.type_error ~loc "applied expression has non-function type %s"
+          Diag.type_error ~code:"FG0305" ~loc
+            "applied expression has non-function type %s"
             (Pretty.ty_to_string t))
   | Abs (params, body) ->
       (match Names.find_duplicate (List.map fst params) with
-      | Some x -> Diag.type_error ~loc "duplicate parameter '%s'" x
+      | Some x -> Diag.type_error ~code:"FG0204" ~loc "duplicate parameter '%s'" x
       | None -> ());
       let env' =
         List.fold_left
@@ -330,6 +364,29 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
              plan.Types.p_slots)
           tbody
       in
+      (* Unused-constraint warning: a where-clause requirement whose
+         dictionary is never consulted and whose concept contributes no
+         associated types, refinements or requirements (those can
+         satisfy the body through the type level without touching the
+         dictionary) only narrows the callers for nothing. *)
+      if not (Types.no_requirements plan) then begin
+        let used = lazy (f_term_vars Sset.empty body') in
+        List.iter
+          (fun (dv, (cname, cargs), _) ->
+            match Env.lookup_concept env' cname with
+            | Some decl
+              when decl.c_assoc = [] && decl.c_refines = []
+                   && decl.c_requires = [] && decl.c_same = []
+                   && not (Sset.mem dv (Lazy.force used)) ->
+                Diag.warn
+                  !(env.Env.diag)
+                  ~code:"FG0702" ~loc Typecheck
+                  "where-clause constraint %s is never used in this \
+                   abstraction"
+                  (Pretty.constr_to_string (CModel (cname, cargs)))
+            | _ -> ())
+          plan.Types.p_dicts
+      end;
       let fg_ty = TForall (tvs, constrs, tbody) in
       let f_exp =
         if Types.no_requirements plan then F.tyabs ~loc tvs body'
@@ -381,12 +438,14 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
       List.iter (Types.wf_ty ~loc env) args;
       match Env.lookup_model ~loc env c args with
       | None ->
-          Diag.resolve_error ~loc "no model of %s in scope for member access"
+          Diag.resolve_error ~code:"FG0402" ~notes:(Env.no_model_notes env c)
+            ~loc "no model of %s in scope for member access"
             (Pretty.constr_to_string (CModel (c, args)))
       | Some fm -> (
           match Types.member_lookup ~loc env (c, args) x with
           | None ->
-              Diag.type_error ~loc "concept %s has no member '%s'" c x
+              Diag.type_error ~code:"FG0206" ~loc
+                "concept %s has no member '%s'" c x
           | Some (ty, path) ->
               (ty, e, F.nth_path ~loc (Types.model_dict_exp ~loc env fm) path)))
   | Let _ | ConceptDecl _ | ModelDecl _ | Using _ | TypeAlias _ ->
@@ -410,7 +469,7 @@ and elaborate_tyapp env ~loc ((tf_repr : ty), (f' : F.exp)) (tys : ty list) :
   match tf_repr with
   | TForall (tvs, constrs, body) ->
       if List.length tvs <> List.length tys then
-        Diag.type_error ~loc
+        Diag.type_error ~code:"FG0304" ~loc
           "type abstraction expects %d type argument(s) but got %d"
           (List.length tvs) (List.length tys);
       List.iter (Types.wf_ty ~loc env) tys;
@@ -431,11 +490,13 @@ and elaborate_tyapp env ~loc ((tf_repr : ty), (f' : F.exp)) (tys : ty list) :
               match Env.lookup_model ~loc env c args with
               | Some _ -> ()
               | None ->
-                  Diag.resolve_error ~loc "no model of %s in scope"
+                  Diag.resolve_error ~code:"FG0402"
+                    ~notes:(Env.no_model_notes env c) ~loc
+                    "no model of %s in scope"
                     (Pretty.constr_to_string (CModel (c, args))))
           | CSame (a, b) ->
               if not (Env.ty_eq ~loc env a b) then
-                Diag.type_error ~loc
+                Diag.type_error ~code:"FG0307" ~loc
                   "same-type constraint not satisfied: %s is not equal to %s"
                   (Pretty.ty_to_string a) (Pretty.ty_to_string b))
         constrs_r;
@@ -451,7 +512,7 @@ and elaborate_tyapp env ~loc ((tf_repr : ty), (f' : F.exp)) (tys : ty list) :
       in
       (result_ty, f_exp)
   | t ->
-      Diag.type_error ~loc
+      Diag.type_error ~code:"FG0305" ~loc
         "type-applied expression has non-polymorphic type %s"
         (Pretty.ty_to_string t)
 
@@ -471,7 +532,7 @@ and infer_ty_args ~loc env (tvs : string list) (params : ty list)
         match Hashtbl.find_opt bindings a with
         | Some bound ->
             if not (Env.ty_eq ~loc env bound actual) then
-              Diag.type_error ~loc
+              Diag.type_error ~code:"FG0306" ~loc
                 "cannot infer type argument '%s': matched both %s and %s" a
                 (Pretty.ty_to_string bound)
                 (Pretty.ty_to_string actual)
@@ -489,7 +550,7 @@ and infer_ty_args ~loc env (tvs : string list) (params : ty list)
             List.iter2 go ps as_
         | TForall _, _ -> () (* under binders: leave to the final check *)
         | p, a ->
-            Diag.type_error ~loc
+            Diag.type_error ~code:"FG0306" ~loc
               "cannot infer type arguments: parameter type %s does not \
                match argument type %s"
               (Pretty.ty_to_string p) (Pretty.ty_to_string a))
@@ -500,7 +561,7 @@ and infer_ty_args ~loc env (tvs : string list) (params : ty list)
       match Hashtbl.find_opt bindings a with
       | Some t -> t
       | None ->
-          Diag.type_error ~loc
+          Diag.type_error ~code:"FG0306" ~loc
             "cannot infer type argument '%s'; instantiate explicitly with \
              [...]"
             a)
@@ -517,7 +578,7 @@ and check_model_decl env ~loc (d : model_decl) :
   (* Parameter hygiene: every parameter must be determined by the
      modeled types, or resolution could never instantiate it. *)
   (match Names.find_duplicate d.m_params with
-  | Some p -> Diag.wf_error ~loc "duplicate model parameter '%s'" p
+  | Some p -> Diag.wf_error ~code:"FG0204" ~loc "duplicate model parameter '%s'" p
   | None -> ());
   let args_ftv =
     List.fold_left
@@ -553,26 +614,29 @@ and check_model_decl env ~loc (d : model_decl) :
             && List.for_all2 ty_equal args' mine)
           !(env.Env.global_models)
       then
-        Diag.resolve_error ~loc
+        Diag.resolve_error ~code:"FG0404" ~loc
           "overlapping model of %s (global-resolution mode rejects \
            overlapping models anywhere in the program)"
           (Pretty.constr_to_string (CModel (c, d.m_args)));
       env.Env.global_models := (c, mine) :: !(env.Env.global_models));
   (* Associated-type assignments: exactly the required ones. *)
   (match Names.find_duplicate (List.map fst d.m_assoc) with
-  | Some s -> Diag.wf_error ~loc "duplicate associated type assignment '%s'" s
+  | Some s ->
+      Diag.wf_error ~code:"FG0204" ~loc
+        "duplicate associated type assignment '%s'" s
   | None -> ());
   List.iter
     (fun (s, ty) ->
       if not (List.mem s decl.c_assoc) then
-        Diag.wf_error ~loc "concept %s has no associated type '%s'" c s;
+        Diag.wf_error ~code:"FG0206" ~loc
+          "concept %s has no associated type '%s'" c s;
       Types.wf_ty ~loc env_m ty)
     d.m_assoc;
   List.iter
     (fun s ->
       if not (List.mem_assoc s d.m_assoc) then
-        Diag.wf_error ~loc "model of %s does not assign associated type '%s'"
-          c s)
+        Diag.wf_error ~code:"FG0206" ~loc
+          "model of %s does not assign associated type '%s'" c s)
     decl.c_assoc;
   (* The equality context in which requirements are interpreted: the
      model's own associated-type assignments are facts. *)
@@ -619,7 +683,7 @@ and check_model_decl env ~loc (d : model_decl) :
   List.iter
     (fun (a, b) ->
       if not (Env.ty_eq ~loc env_eq a b) then
-        Diag.type_error ~loc
+        Diag.type_error ~code:"FG0307" ~loc
           "model of %s violates same-type requirement: %s is not equal to %s"
           (Pretty.constr_to_string (CModel (c, d.m_args)))
           (Pretty.ty_to_string a) (Pretty.ty_to_string b))
@@ -629,12 +693,13 @@ and check_model_decl env ~loc (d : model_decl) :
      Parameterized models may refer to themselves (recursive
      instances), so the entry is in scope for their member bodies. *)
   (match Names.find_duplicate (List.map fst d.m_members) with
-  | Some x -> Diag.wf_error ~loc "duplicate member definition '%s'" x
+  | Some x ->
+      Diag.wf_error ~code:"FG0204" ~loc "duplicate member definition '%s'" x
   | None -> ());
   List.iter
     (fun (x, _) ->
       if not (List.mem_assoc x decl.c_members) then
-        Diag.wf_error ~loc "concept %s has no member '%s'" c x)
+        Diag.wf_error ~code:"FG0206" ~loc "concept %s has no member '%s'" c x)
     d.m_members;
   let member_subst = Types.instantiation_subst ~loc env_eq (c, d.m_args) in
   (* Missing members fall back to the concept's defaults, instantiated
@@ -664,7 +729,8 @@ and check_model_decl env ~loc (d : model_decl) :
                 (List.assoc_opt x decl.c_defaults)
         with
         | None ->
-            Diag.wf_error ~loc "model of %s does not define member '%s'"
+            Diag.wf_error ~code:"FG0206" ~loc
+              "model of %s does not define member '%s'"
               (Pretty.constr_to_string (CModel (c, d.m_args)))
               x
         | Some e_member ->
@@ -716,6 +782,30 @@ and check_model_decl env ~loc (d : model_decl) :
      associated-type equations (parameterized ones are schematic and
      resolved by normalization instead).  A NAMED model is recorded but
      not activated — [using] activates it. *)
+  (* Shadowed-model warning: an unnamed ground model whose argument
+     types exactly repeat an in-scope (non-proxy) ground model of the
+     same concept makes the earlier one unreachable for the rest of
+     this scope.  Lexical shadowing is a feature (Section 3.2), so this
+     is a warning, not an error — and the Global ablation already
+     rejects the program outright. *)
+  (match (env.Env.resolution, d.m_name, parameterized) with
+  | Resolution.Lexical, None, false ->
+      if
+        List.exists
+          (fun me ->
+            me.Env.me_params = []
+            && (not me.Env.me_proxy)
+            && String.equal me.Env.me_concept c
+            && List.length me.Env.me_args = List.length d.m_args
+            && List.for_all2 ty_equal me.Env.me_args d.m_args)
+          env.Env.models
+      then
+        Diag.warn
+          !(env.Env.diag)
+          ~code:"FG0701" ~loc Resolve
+          "this model of %s shadows an earlier model of the same types"
+          (Pretty.constr_to_string (CModel (c, d.m_args)))
+  | _ -> ());
   let env_body =
     match d.m_name with
     | Some m -> Env.bind_named_model env m entry
@@ -785,6 +875,75 @@ let check_prefix (env : Env.t) (e : exp) :
         (env, e, fun res -> List.fold_left (fun res w -> w res) res acc)
   in
   walk env e []
+
+(* ------------------------------------------------------------------ *)
+(* Recovery                                                            *)
+
+(* The names a failed declaration would have bound.  An unnamed model
+   binds no name, so its concept stands in: later "no model of C<...>"
+   errors are almost certainly consequences of this failure. *)
+let decl_poison (e : exp) : string list =
+  match e.desc with
+  | Let (x, _, _) -> [ x ]
+  | ConceptDecl (d, _) -> [ d.c_name ]
+  | ModelDecl (d, _) -> (
+      match d.m_name with Some m -> [ m ] | None -> [ d.m_concept ])
+  | TypeAlias (t, _, _) -> [ t ]
+  | _ -> []
+
+let decl_body (e : exp) : exp option =
+  match e.desc with
+  | Let (_, _, b)
+  | ConceptDecl (_, b)
+  | ModelDecl (_, b)
+  | Using (_, b)
+  | TypeAlias (_, _, b) ->
+      Some b
+  | _ -> None
+
+(** Is [d] a likely consequence of an earlier failure that poisoned one
+    of [poisoned]?  Diagnostic messages quote user names as ['name'],
+    and failed resolutions read "no model of C<...>"; matching on those
+    shapes suppresses the echo of an error already reported without a
+    structured provenance channel through every raise site. *)
+let is_cascade poisoned (d : Diag.diagnostic) =
+  Sset.exists
+    (fun n ->
+      Strutil.contains ~needle:("'" ^ n ^ "'") d.Diag.message
+      || Strutil.contains ~needle:("no model of " ^ n ^ "<") d.Diag.message)
+    poisoned
+
+(** Like {!check_prefix}, but a declaration that fails to check is
+    reported to [engine] and skipped — its bindings are poisoned (added
+    to the returned set) rather than made, and diagnostics that mention
+    a poisoned name are suppressed as cascades.  [poisoned] seeds the
+    set with names whose declarations were already dropped upstream
+    (the recovering parser).  The composed wrapper covers only the
+    declarations that checked; it rebuilds a meaningful program iff the
+    engine recorded no errors. *)
+let check_prefix_recovering ~engine ?(poisoned = Sset.empty) (env : Env.t)
+    (e : exp) :
+    Env.t * exp * (ty * exp * F.exp -> ty * exp * F.exp) * Sset.t =
+  let rec walk env e acc poisoned =
+    match check_decl env e with
+    | Some (env', body, wrap) -> walk env' body (wrap :: acc) poisoned
+    | None -> (env, e, acc, poisoned)
+    | exception Diag.Error d ->
+        if not (is_cascade poisoned d) then Diag.report engine d;
+        let poisoned =
+          List.fold_left (fun s n -> Sset.add n s) poisoned (decl_poison e)
+        in
+        (* [check_decl] only raises on declaration forms, so the body is
+           always there to continue with. *)
+        (match decl_body e with
+        | Some body -> walk env body acc poisoned
+        | None -> (env, e, acc, poisoned))
+  in
+  let env', residual, acc, poisoned = walk env e [] poisoned in
+  ( env',
+    residual,
+    (fun res -> List.fold_left (fun res w -> w res) res acc),
+    poisoned )
 
 (** Type check a closed FG program, returning its type, its elaborated
     form (implicit instantiations made explicit — the term the direct

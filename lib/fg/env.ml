@@ -67,6 +67,10 @@ type t = {
           concept, raw argument types); shared by every environment
           derived from the same {!create} — in particular by every
           program checked against one session's prelude scope *)
+  diag : Diag.engine ref;
+      (** warning sink, shared by every environment derived from the
+          same {!create}; recovering drivers swap in their own engine
+          for the duration of a run *)
 }
 
 let create ?(resolution = Resolution.Lexical) ?(escape_check = true) () =
@@ -84,6 +88,7 @@ let create ?(resolution = Resolution.Lexical) ?(escape_check = true) () =
     scope_gen = 0;
     gen_supply = ref 0;
     resolve_cache = Hashtbl.create 256;
+    diag = ref (Diag.engine ());
   }
 
 (* A fresh scope generation.  The supply is shared and monotone, so a
@@ -127,10 +132,19 @@ let tyvar_in_scope env a = Sset.mem a env.tyvars
 
 let lookup_concept env c = Smap.find_opt c env.concepts
 
+let concept_names env = List.map fst (Smap.bindings env.concepts)
+let var_names env = List.map fst (Smap.bindings env.vars)
+
 let lookup_concept_exn ?loc env c =
   match lookup_concept env c with
   | Some d -> d
-  | None -> Diag.wf_error ?loc "unknown concept '%s'" c
+  | None ->
+      let notes =
+        match Strutil.nearest ~candidates:(concept_names env) c with
+        | Some near -> [ Diag.suggest near ]
+        | None -> []
+      in
+      Diag.wf_error ~code:"FG0202" ~notes ?loc "unknown concept '%s'" c
 
 (* Resolution depth fuse: parameterized models can require instances of
    themselves at larger types, and ill-behaved sets of models could
@@ -139,7 +153,7 @@ let max_resolution_depth = 64
 
 let check_depth ?loc depth what =
   if depth > max_resolution_depth then
-    Diag.resolve_error ?loc
+    Diag.resolve_error ~code:"FG0405" ?loc
       "model resolution exceeded depth %d while resolving %s (diverging \
        parameterized models?)"
       max_resolution_depth what
@@ -276,11 +290,32 @@ and match_args ?loc ~depth env params pats args : (string * ty) list option =
     | Some subst -> Some subst
     | None -> None
 
+(** All models currently in scope for concept [c] (diagnostics). *)
+let models_of_concept env c =
+  List.filter (fun me -> String.equal me.me_concept c) env.models
+
+(* List the in-scope candidates (argument patterns included) so a
+   near-miss — wrong argument type, missing where-clause — is visible
+   without re-reading the program. *)
+let no_model_notes env c =
+  match models_of_concept env c with
+  | [] -> [ Diag.note "no models of %s are in scope" c ]
+  | candidates ->
+      [
+        Diag.note "models of %s in scope: %s" c
+          (String.concat ", "
+             (List.map
+                (fun me ->
+                  Pretty.constr_to_string (CModel (me.me_concept, me.me_args)))
+                candidates));
+      ]
+
 let lookup_model_exn ?loc env c args =
   match lookup_model ?loc env c args with
   | Some fm -> fm
   | None ->
-      Diag.resolve_error ?loc "no model of %s in scope"
+      Diag.resolve_error ~code:"FG0402" ~notes:(no_model_notes env c) ?loc
+        "no model of %s in scope"
         (Pretty.constr_to_string (CModel (c, args)))
 
 (** Type equality and representatives, normalizing projections through
@@ -294,9 +329,5 @@ let ty_eq_list ?loc env xs ys =
   List.length xs = List.length ys && List.for_all2 (ty_eq ?loc env) xs ys
 
 let ty_repr ?loc env t = Equality.repr env.eq (normalize ?loc env t)
-
-(** All models currently in scope for concept [c] (diagnostics). *)
-let models_of_concept env c =
-  List.filter (fun me -> String.equal me.me_concept c) env.models
 
 let fresh env base = Gensym.fresh env.gensym base

@@ -45,6 +45,10 @@ type t = {
       (** memoized model resolution keyed on (scope generation,
           concept, argument types); shared by all environments derived
           from one {!create} *)
+  diag : Fg_util.Diag.engine ref;
+      (** warning sink shared by all environments derived from one
+          {!create}; recovering drivers swap in their own engine for
+          the duration of a run *)
 }
 
 val create : ?resolution:Resolution.mode -> ?escape_check:bool -> unit -> t
@@ -70,6 +74,11 @@ val tyvar_in_scope : t -> string -> bool
 val lookup_concept : t -> string -> concept_decl option
 val lookup_concept_exn : ?loc:Fg_util.Loc.t -> t -> string -> concept_decl
 
+(** Names in scope, for nearest-name suggestions. *)
+val concept_names : t -> string list
+
+val var_names : t -> string list
+
 (** Normalize a type by resolving associated-type projections through
     the models in scope (parameterized models are schematic, so their
     projections are resolved here by rewriting rather than by equations
@@ -89,6 +98,9 @@ val lookup_model_exn :
 
 (** All models in scope for a concept (diagnostics). *)
 val models_of_concept : t -> string -> model_entry list
+
+(** Candidate-model notes for a failed resolution of concept [c]. *)
+val no_model_notes : t -> string -> Fg_util.Diag.note list
 
 (** Type equality / representatives after {!normalize} — the operations
     the checker uses everywhere. *)

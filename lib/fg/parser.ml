@@ -546,3 +546,138 @@ let constr_of_string ?file src =
   let c = parse_constr p in
   P.expect_eof p;
   c
+
+(* ------------------------------------------------------------------ *)
+(* Recovering entry point                                              *)
+
+let at_decl_kw p =
+  match P.peek p with
+  | T.KW ("concept" | "model" | "let" | "type" | "using") -> true
+  | _ -> false
+
+(* The name a declaration is about to bind, read off the lookahead
+   before parsing commits.  Needed so that a declaration that fails to
+   parse can still poison its binding. *)
+let decl_binder_hint p =
+  match (P.peek p, P.peek2 p) with
+  | T.KW ("let" | "type" | "using"), T.LIDENT x -> Some x
+  | T.KW "concept", T.UIDENT c -> Some c
+  | T.KW "model", T.LIDENT m when P.peek_nth p 2 = T.EQ -> Some m
+  | _ -> None
+
+(* Parse one top-level declaration including its trailing "in",
+   returning the wrap that grafts a body under it.  Precondition: the
+   cursor is at a declaration keyword (so at least one token is always
+   consumed, even on failure). *)
+let parse_decl_step p : exp -> exp =
+  let start = P.loc p in
+  let merged () = Fg_util.Loc.merge start (P.prev_loc p) in
+  match P.peek p with
+  | T.KW "let" ->
+      P.skip p;
+      let x = P.expect_lident p in
+      ignore (P.expect p T.EQ);
+      let rhs = parse_exp p in
+      P.expect_kw p "in";
+      let loc = merged () in
+      fun body -> let_ ~loc x rhs body
+  | T.KW "concept" ->
+      let d = parse_concept_decl p in
+      P.expect_kw p "in";
+      let loc = merged () in
+      fun body -> concept_decl ~loc d body
+  | T.KW "model" ->
+      let d = parse_model_decl p in
+      P.expect_kw p "in";
+      let loc = merged () in
+      fun body -> model_decl ~loc d body
+  | T.KW "type" ->
+      P.skip p;
+      let t = P.expect_lident p in
+      ignore (P.expect p T.EQ);
+      let ty = parse_ty p in
+      P.expect_kw p "in";
+      let loc = merged () in
+      fun body -> type_alias ~loc t ty body
+  | T.KW "using" ->
+      P.skip p;
+      let m = P.expect_lident p in
+      P.expect_kw p "in";
+      let loc = merged () in
+      fun body -> using ~loc m body
+  | _ -> Fg_util.Diag.ice "parse_decl_step: not at a declaration"
+
+(* After a syntax error, skip tokens until the next declaration keyword
+   (or a declaration-terminating "in", which is consumed so the spine
+   resumes after it) at bracket depth <= 0, or EOF.  Depth goes
+   negative when the error was inside brackets the cursor had already
+   entered; any closer then re-anchors at the enclosing level. *)
+let synchronize p =
+  let depth = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    match P.peek p with
+    | T.EOF -> stop := true
+    | T.KW ("concept" | "model" | "let" | "type" | "using") when !depth <= 0 ->
+        stop := true
+    | T.KW "in" when !depth <= 0 ->
+        (* The failed declaration's own terminator: what follows is the
+           rest of the spine (or the residual body), so resume there. *)
+        P.skip p;
+        stop := true
+    | T.LPAREN | T.LBRACE | T.LBRACKET ->
+        incr depth;
+        P.skip p
+    | T.RPAREN | T.RBRACE | T.RBRACKET ->
+        decr depth;
+        P.skip p
+    | _ -> P.skip p
+  done
+
+let exp_of_string_recovering ~engine ?file src =
+  let toks = Lexer.tokenize_recovering ~engine ?file src in
+  let p = P.of_tokens toks in
+  let wraps = ref [] in
+  let poisoned = ref [] in
+  let body = ref None in
+  let finished = ref false in
+  (* Top-level programs are a spine of declarations ending in a residual
+     expression; parse the spine iteratively so a failed declaration can
+     be dropped without losing the ones after it. *)
+  while not !finished do
+    if P.peek p = T.EOF then finished := true
+    else if at_decl_kw p then begin
+      let hint = decl_binder_hint p in
+      match parse_decl_step p with
+      | wrap -> wraps := wrap :: !wraps
+      | exception Fg_util.Diag.Error d ->
+          Fg_util.Diag.report engine d;
+          Option.iter (fun x -> poisoned := x :: !poisoned) hint;
+          synchronize p
+    end
+    else begin
+      match
+        let e = parse_exp p in
+        P.expect_eof p;
+        e
+      with
+      | e ->
+          body := Some e;
+          finished := true
+      | exception Fg_util.Diag.Error d ->
+          Fg_util.Diag.report engine d;
+          synchronize p
+    end
+  done;
+  let body =
+    match !body with
+    | Some e -> e
+    | None ->
+        (* Errors swallowed the residual expression; a unit placeholder
+           lets the checker still walk the declarations that did parse.
+           At least one error was reported, so no caller mistakes the
+           placeholder for a result. *)
+        unit ~loc:Fg_util.Loc.dummy ()
+  in
+  let e = List.fold_left (fun acc w -> w acc) body !wraps in
+  (e, List.rev !poisoned)

@@ -3,5 +3,20 @@
     raise located {!Fg_util.Diag.Error} values on failure. *)
 
 val exp_of_string : ?file:string -> string -> Ast.exp
+
+(** Recovering entry point: lex and parse with error recovery, reporting
+    every diagnostic to [engine] instead of raising.  After a syntax
+    error the parser synchronizes at the next top-level declaration
+    keyword ([concept]/[model]/[let]/[type]/[using]) and keeps going, so
+    one pass reports several independent syntax errors.  Returns the
+    expression assembled from the declarations that did parse (a unit
+    placeholder stands in for an unparseable residual body), plus the
+    names bound by the declarations that were dropped — the checker
+    poisons those to suppress cascading errors. *)
+val exp_of_string_recovering :
+  engine:Fg_util.Diag.engine ->
+  ?file:string ->
+  string ->
+  Ast.exp * string list
 val ty_of_string : ?file:string -> string -> Ast.ty
 val constr_of_string : ?file:string -> string -> Ast.constr

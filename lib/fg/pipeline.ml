@@ -21,6 +21,9 @@ let run ?file ?resolution ?fuel (source : string) : outcome =
 let run_result ?file ?resolution ?fuel source =
   Fg_util.Diag.protect (fun () -> run ?file ?resolution ?fuel source)
 
+let run_full ?file ?resolution ?fuel source : Session.run_report =
+  Session.run_full ?file ?fuel (Session.create ?resolution ()) source
+
 let typecheck ?file ?resolution source : Ast.ty =
   Session.typecheck ?file (Session.create ?resolution ()) source
 

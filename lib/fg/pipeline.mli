@@ -29,6 +29,12 @@ val run_result :
   ?file:string -> ?resolution:Resolution.mode -> ?fuel:int -> string ->
   (outcome, Fg_util.Diag.diagnostic) result
 
+(** One-shot {!Session.run_full}: the whole pipeline with multi-error
+    recovery, returning every diagnostic instead of raising. *)
+val run_full :
+  ?file:string -> ?resolution:Resolution.mode -> ?fuel:int -> string ->
+  Session.run_report
+
 (** Type check only; returns the FG type. *)
 val typecheck :
   ?file:string -> ?resolution:Resolution.mode -> string -> Ast.ty

@@ -166,8 +166,9 @@ let interpret ?file ?fuel t source =
   let _, elaborated, _ = elaborate ?file t source in
   Telemetry.time Telemetry.Eval (fun () -> Interp.run_value ?fuel elaborated)
 
-let run ?file ?fuel t source : outcome =
-  let ast, triple = check_source ?file t source in
+(* Back half of the full pipeline, shared by [run] and [run_full]:
+   theorem check, both evaluations, agreement. *)
+let complete ?fuel ~source ~ast triple : outcome =
   let report =
     Telemetry.time Telemetry.Verify (fun () ->
         Theorems.report_of_elaboration triple)
@@ -196,8 +197,58 @@ let run ?file ?fuel t source : outcome =
     translated_steps;
   }
 
+let run ?file ?fuel t source : outcome =
+  let ast, triple = check_source ?file t source in
+  complete ?fuel ~source ~ast triple
+
 let run_result ?file ?fuel t source =
   Diag.protect (fun () -> run ?file ?fuel t source)
+
+type run_report = {
+  outcome : outcome option;
+  diagnostics : Diag.diagnostic list;
+}
+
+let run_full ?(file = "<program>") ?fuel t source : run_report =
+  let engine = Diag.engine () in
+  (* Route warnings raised anywhere under this run (the environment's
+     sink) into the same engine as the recovered errors. *)
+  let saved = !(t.env.Env.diag) in
+  t.env.Env.diag := engine;
+  Fun.protect
+    ~finally:(fun () -> t.env.Env.diag := saved)
+    (fun () ->
+      let ast, dropped =
+        Telemetry.time Telemetry.Parse (fun () ->
+            Parser.exp_of_string_recovering ~engine ~file source)
+      in
+      let ast = Hashcons.intern_exp t.hc ast in
+      rewind t;
+      let poisoned = Names.Sset.of_list dropped in
+      let env', residual, wrap', poisoned =
+        Telemetry.time Telemetry.Check (fun () ->
+            Check.check_prefix_recovering ~engine ~poisoned t.env ast)
+      in
+      (* The residual body is checked even when declarations failed, so
+         its own independent errors surface in the same invocation;
+         references to poisoned bindings are suppressed as cascades. *)
+      let triple =
+        match
+          Telemetry.time Telemetry.Check (fun () ->
+              t.wrap (wrap' (Check.check env' residual)))
+        with
+        | triple -> Some triple
+        | exception Diag.Error d ->
+            if not (Check.is_cascade poisoned d) then Diag.report engine d;
+            None
+      in
+      let outcome =
+        match triple with
+        | Some triple when not (Diag.has_errors engine) ->
+            Diag.capture engine (fun () -> complete ?fuel ~source ~ast triple)
+        | _ -> None
+      in
+      { outcome; diagnostics = Diag.diagnostics engine })
 
 (* ---------------------------------------------------------------- *)
 (* Parallel batch verification                                       *)

@@ -86,6 +86,22 @@ val run_result :
   ?file:string -> ?fuel:int -> t -> string ->
   (outcome, Diag.diagnostic) result
 
+(** Result of a recovering run: the outcome when the whole pipeline
+    succeeded, plus every diagnostic — errors and warnings, in report
+    order — collected along the way. *)
+type run_report = {
+  outcome : outcome option;  (** [Some] iff no errors were recorded *)
+  diagnostics : Diag.diagnostic list;
+}
+
+(** Full pipeline with multi-error recovery: the lexer skips bad
+    characters, the parser synchronizes at declaration keywords, and
+    the checker poisons failed declarations instead of aborting, so one
+    invocation reports every independent error (cascades from poisoned
+    bindings are suppressed).  Warnings are collected even on
+    success. *)
+val run_full : ?file:string -> ?fuel:int -> t -> string -> run_report
+
 (** Type check only; returns the program's FG type. *)
 val typecheck : ?file:string -> t -> string -> Ast.ty
 

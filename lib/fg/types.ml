@@ -49,7 +49,7 @@ let no_requirements plan = plan.p_dicts = []
 
 let arity_check ?loc what name ~expected ~got =
   if expected <> got then
-    Diag.wf_error ?loc "%s %s expects %d type argument(s) but got %d" what
+    Diag.wf_error ~code:"FG0203" ?loc "%s %s expects %d type argument(s) but got %d" what
       name expected got
 
 (* ------------------------------------------------------------------ *)
@@ -174,7 +174,7 @@ let rec wf_ty ?loc env (t : ty) : unit =
   | TBase _ -> ()
   | TVar a ->
       if not (Env.tyvar_in_scope env a) then
-        Diag.wf_error ?loc "unbound type variable '%s'" a
+        Diag.wf_error ~code:"FG0207" ?loc "unbound type variable '%s'" a
   | TArrow (args, ret) ->
       List.iter (wf_ty ?loc env) args;
       wf_ty ?loc env ret
@@ -187,7 +187,7 @@ let rec wf_ty ?loc env (t : ty) : unit =
         ~got:(List.length args);
       List.iter (wf_ty ?loc env) args;
       if not (List.mem s decl.c_assoc) then
-        Diag.wf_error ?loc "concept %s has no associated type '%s'" c s;
+        Diag.wf_error ~code:"FG0206" ?loc "concept %s has no associated type '%s'" c s;
       (* TYASC: the projection is only meaningful under a model. *)
       match Env.lookup_model env c args with
       | Some _ -> ()
@@ -199,12 +199,12 @@ let rec wf_ty ?loc env (t : ty) : unit =
   | TForall (tvs, constrs, body) ->
       (match Names.find_duplicate tvs with
       | Some d ->
-          Diag.wf_error ?loc "duplicate type parameter '%s' in forall" d
+          Diag.wf_error ~code:"FG0204" ?loc "duplicate type parameter '%s' in forall" d
       | None -> ());
       List.iter
         (fun a ->
           if Env.tyvar_in_scope env a then
-            Diag.wf_error ?loc
+            Diag.wf_error ~code:"FG0205" ?loc
               "type parameter '%s' shadows a type variable in scope" a)
         tvs;
       let env', _plan = process_where ?loc env tvs constrs in
@@ -217,13 +217,13 @@ let rec wf_ty ?loc env (t : ty) : unit =
 and process_where ?loc env (binders : string list) (constrs : constr list) :
     Env.t * plan =
   (match Names.find_duplicate binders with
-  | Some d -> Diag.wf_error ?loc "duplicate type parameter '%s'" d
+  | Some d -> Diag.wf_error ~code:"FG0204" ?loc "duplicate type parameter '%s'" d
   | None -> ());
   List.iter
     (fun a ->
       if Env.tyvar_in_scope env a then
-        Diag.wf_error ?loc "type parameter '%s' shadows a type variable in scope"
-          a)
+        Diag.wf_error ~code:"FG0205" ?loc
+          "type parameter '%s' shadows a type variable in scope" a)
     binders;
   let env = Env.bind_tyvars env binders in
   let seen : (string * ty list) list ref = ref [] in
@@ -427,6 +427,6 @@ and plan_dict_actuals ?loc env ~subst:(s : (string * ty) list) (plan : plan) :
       match Env.lookup_model ?loc env c args' with
       | Some fm -> model_dict_exp ?loc env fm
       | None ->
-          Diag.resolve_error ?loc "no model of %s in scope"
+          Diag.resolve_error ~code:"FG0402" ?loc "no model of %s in scope"
             (Pretty.constr_to_string (CModel (c, args'))))
     plan.p_dicts

@@ -40,10 +40,10 @@ let advance lx =
     lx.pos <- lx.pos + 1
   end
 
-let error lx fmt =
+let error lx ?code fmt =
   let p = current_pos lx in
   let loc = Loc.make ~file:lx.file ~start_pos:p ~end_pos:p in
-  Diag.lex_error ~loc fmt
+  Diag.lex_error ?code ~loc fmt
 
 let is_ident_start = function 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false
 
@@ -72,7 +72,7 @@ let rec skip_trivia lx =
 
 and skip_block_comment lx depth =
   if depth = 0 then ()
-  else if eof lx then error lx "unterminated block comment"
+  else if eof lx then error lx ~code:"FG0002" "unterminated block comment"
   else if peek_char lx = '*' && peek_char2 lx = '/' then begin
     advance lx;
     advance lx;
@@ -103,7 +103,7 @@ let read_int lx =
   let s = String.sub lx.src start (lx.pos - start) in
   match int_of_string_opt s with
   | Some n -> n
-  | None -> error lx "integer literal out of range: %s" s
+  | None -> error lx ~code:"FG0003" "integer literal out of range: %s" s
 
 (* Recognize one token; [skip_trivia] has already run. *)
 let next_token lx : Token.t =
@@ -170,5 +170,33 @@ let tokenize ?file src =
     let loc = Loc.make ~file:lx.file ~start_pos ~end_pos in
     toks := (tok, loc) :: !toks;
     if tok = Token.EOF then continue := false
+  done;
+  Array.of_list (List.rev !toks)
+
+(** Like {!tokenize}, but lexer errors are reported to [engine] and the
+    scan keeps going: the offending character is skipped and the next
+    token is read after it.  The result always ends in [EOF], so the
+    parser can run over whatever tokens survived. *)
+let tokenize_recovering ~engine ?file src =
+  let lx = create ?file src in
+  let toks = ref [] in
+  let continue = ref true in
+  while !continue do
+    match
+      skip_trivia lx;
+      let start_pos = current_pos lx in
+      let tok = next_token lx in
+      let end_pos = current_pos lx in
+      (tok, Loc.make ~file:lx.file ~start_pos ~end_pos)
+    with
+    | tok, loc ->
+        toks := (tok, loc) :: !toks;
+        if tok = Token.EOF then continue := false
+    | exception Diag.Error d ->
+        Diag.report engine d;
+        (* Skip the character the scanner tripped on so the loop makes
+           progress; at end of input (unterminated comment) the next
+           round produces EOF. *)
+        if not (eof lx) then advance lx
   done;
   Array.of_list (List.rev !toks)

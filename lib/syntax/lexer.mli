@@ -5,3 +5,12 @@
 (** Lex the whole input eagerly to located tokens, ending in [EOF].
     Raises a located lexer diagnostic on bad input. *)
 val tokenize : ?file:string -> string -> (Token.t * Fg_util.Loc.t) array
+
+(** Like {!tokenize}, but lexer errors are reported to [engine] (and the
+    offending character skipped) instead of raising, so the scan reaches
+    end of input and the result always ends in [EOF]. *)
+val tokenize_recovering :
+  engine:Fg_util.Diag.engine ->
+  ?file:string ->
+  string ->
+  (Token.t * Fg_util.Loc.t) array

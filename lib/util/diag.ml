@@ -1,11 +1,15 @@
-(** Diagnostics: located errors raised by every phase of the pipeline.
+(** Diagnostics: located errors and warnings produced by every phase of
+    the pipeline.
 
-    All user-facing failures (lexing, parsing, well-formedness, type
-    checking, model resolution, evaluation of stuck terms) are reported
-    as a {!Error} carrying a source span, a phase tag and a rendered
-    message.  Internal invariant violations use {!ice} ("internal
-    compiler error") so that bugs in the implementation are
-    distinguishable from bugs in the input program. *)
+    A {!diagnostic} carries a stable error code ([FG0xxx]), a severity,
+    a source span, a phase tag, a rendered message and zero or more
+    attached notes (hints, candidate lists, suggestions).  Phases that
+    cannot recover raise {!Error}; recovering drivers accumulate
+    diagnostics into an {!engine} and keep going, so a single
+    invocation can report many independent errors.  Internal invariant
+    violations use {!ice} ("internal compiler error") so that bugs in
+    the implementation are distinguishable from bugs in the input
+    program. *)
 
 type phase =
   | Lexer
@@ -27,27 +31,114 @@ let phase_name = function
   | Eval -> "runtime error"
   | Internal -> "internal error"
 
-type diagnostic = { phase : phase; loc : Loc.t; message : string }
+(* Every phase has a generic fallback code; specific failure shapes get
+   their own code at the raise site.  The registry lives in
+   docs/LANGUAGE.md ("Diagnostics") and programs/errors/ pins the codes
+   in CI — pick a fresh number rather than repurposing an old one. *)
+let default_code = function
+  | Lexer -> "FG0001"
+  | Parser -> "FG0101"
+  | Wf -> "FG0201"
+  | Typecheck -> "FG0301"
+  | Resolve -> "FG0401"
+  | Translate -> "FG0501"
+  | Eval -> "FG0601"
+  | Internal -> "FG0901"
+
+type severity = Err | Warn
+
+let severity_name = function Err -> "error" | Warn -> "warning"
+
+type note = { n_loc : Loc.t; n_msg : string }
+
+type diagnostic = {
+  code : string;  (** stable [FG0xxx] code *)
+  severity : severity;
+  phase : phase;
+  loc : Loc.t;
+  message : string;
+  notes : note list;
+}
 
 exception Error of diagnostic
 
+let note ?(loc = Loc.dummy) fmt =
+  Fmt.kstr (fun n_msg -> { n_loc = loc; n_msg }) fmt
+
+let suggest name = note "did you mean '%s'?" name
+
+(* Warnings render as "warning[FG0xxx]"; errors keep the phase label
+   ("type error[FG0xxx]") which is more informative than a bare
+   "error". *)
+let label d =
+  match d.severity with Err -> phase_name d.phase | Warn -> "warning"
+
+let pp_note ppf n =
+  if Loc.is_dummy n.n_loc then Fmt.pf ppf "@\n  note: %s" n.n_msg
+  else Fmt.pf ppf "@\n  note (%a): %s" Loc.pp n.n_loc n.n_msg
+
 let pp ppf d =
+  (* Dummy spans come from synthesized nodes; printing "<none>:1:1"
+     would point nowhere, so the location is suppressed. *)
   if Loc.is_dummy d.loc then
-    Fmt.pf ppf "%s: %s" (phase_name d.phase) d.message
-  else Fmt.pf ppf "%a: %s: %s" Loc.pp d.loc (phase_name d.phase) d.message
+    Fmt.pf ppf "%s[%s]: %s" (label d) d.code d.message
+  else Fmt.pf ppf "%a: %s[%s]: %s" Loc.pp d.loc (label d) d.code d.message;
+  List.iter (pp_note ppf) d.notes
 
 let to_string d = Fmt.str "%a" pp d
 
-let error ?(loc = Loc.dummy) phase fmt =
-  Fmt.kstr (fun message -> raise (Error { phase; loc; message })) fmt
+let json_of_pos (p : Loc.pos) =
+  Json.Obj [ ("line", Json.Int p.line); ("col", Json.Int p.col) ]
 
-let lex_error ?loc fmt = error ?loc Lexer fmt
-let parse_error ?loc fmt = error ?loc Parser fmt
-let wf_error ?loc fmt = error ?loc Wf fmt
-let type_error ?loc fmt = error ?loc Typecheck fmt
-let resolve_error ?loc fmt = error ?loc Resolve fmt
-let translate_error ?loc fmt = error ?loc Translate fmt
-let eval_error ?loc fmt = error ?loc Eval fmt
+let json_of_span (s : Loc.t) =
+  if Loc.is_dummy s then Json.Null
+  else
+    Json.Obj
+      [
+        ("file", Json.Str s.file);
+        ("start", json_of_pos s.start_pos);
+        ("end", json_of_pos s.end_pos);
+      ]
+
+let to_json d =
+  Json.Obj
+    [
+      ("code", Json.Str d.code);
+      ("severity", Json.Str (severity_name d.severity));
+      ("phase", Json.Str (phase_name d.phase));
+      ("message", Json.Str d.message);
+      ("span", json_of_span d.loc);
+      ( "notes",
+        Json.List
+          (List.map
+             (fun n ->
+               Json.Obj
+                 [
+                   ("message", Json.Str n.n_msg); ("span", json_of_span n.n_loc);
+                 ])
+             d.notes) );
+    ]
+
+let make ?code ?(notes = []) ?(loc = Loc.dummy) ?(severity = Err) phase message
+    =
+  let code = match code with Some c -> c | None -> default_code phase in
+  { code; severity; phase; loc; message; notes }
+
+let error ?code ?notes ?loc phase fmt =
+  Fmt.kstr
+    (fun message -> raise (Error (make ?code ?notes ?loc phase message)))
+    fmt
+
+let lex_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Lexer fmt
+let parse_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Parser fmt
+let wf_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Wf fmt
+let type_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Typecheck fmt
+let resolve_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Resolve fmt
+
+let translate_error ?code ?notes ?loc fmt =
+  error ?code ?notes ?loc Translate fmt
+
+let eval_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Eval fmt
 
 (** Internal invariant violation; not attributable to the input program. *)
 let ice fmt = error Internal fmt
@@ -61,3 +152,36 @@ let protect f = try Ok (f ()) with Error d -> Stdlib.Error d
 
 let protect_msg f =
   match protect f with Ok v -> Ok v | Error d -> Stdlib.Error (to_string d)
+
+(* ------------------------------------------------------------------ *)
+(* Accumulating engine                                                 *)
+
+type engine = {
+  mutable rev_diags : diagnostic list;
+  mutable errors : int;
+  mutable warnings : int;
+}
+
+let engine () = { rev_diags = []; errors = 0; warnings = 0 }
+
+let report eng d =
+  eng.rev_diags <- d :: eng.rev_diags;
+  match d.severity with
+  | Err -> eng.errors <- eng.errors + 1
+  | Warn -> eng.warnings <- eng.warnings + 1
+
+let warn eng ?code ?notes ?loc phase fmt =
+  Fmt.kstr
+    (fun message ->
+      report eng (make ?code ?notes ?loc ~severity:Warn phase message))
+    fmt
+
+let diagnostics eng = List.rev eng.rev_diags
+let error_count eng = eng.errors
+let warning_count eng = eng.warnings
+let has_errors eng = eng.errors > 0
+
+(** Run [f ()]; a raised diagnostic is reported to [eng] and the result
+    becomes [None]. *)
+let capture eng f =
+  try Some (f ()) with Error d -> report eng d; None

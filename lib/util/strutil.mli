@@ -1,0 +1,17 @@
+(** Small string utilities shared by the driver, the REPL and tests. *)
+
+(** [contains ~needle hay] is true iff [needle] occurs in [hay] as a
+    contiguous substring.  The empty needle is contained in every
+    string. *)
+val contains : needle:string -> string -> bool
+
+(** Levenshtein edit distance (insert / delete / substitute, unit
+    costs). *)
+val levenshtein : string -> string -> int
+
+(** [nearest ~candidates name] is the candidate closest to [name] in
+    edit distance, provided the distance is small relative to the
+    length of [name] (at most 2, and strictly less than the length);
+    [None] when nothing is plausibly a typo for [name].  Ties go to the
+    earliest candidate. *)
+val nearest : candidates:string list -> string -> string option

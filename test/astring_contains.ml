@@ -1,13 +1,4 @@
-(* Tiny substring helper for error-message assertions in tests. *)
+(* Tiny substring helper for error-message assertions in tests; the
+   implementation lives in Fg_util.Strutil. *)
 
-let contains ~needle haystack =
-  let nl = String.length needle and hl = String.length haystack in
-  if nl = 0 then true
-  else if nl > hl then false
-  else
-    let rec go i =
-      if i + nl > hl then false
-      else if String.sub haystack i nl = needle then true
-      else go (i + 1)
-    in
-    go 0
+let contains = Fg_util.Strutil.contains

@@ -30,6 +30,7 @@ let () =
       ("graph-library", Test_graph.suite);
       ("matrix-library", Test_matrix.suite);
       ("diagnostics", Test_diagnostics.suite);
+      ("recovery", Test_recovery.suite);
       ("session", Test_session.suite);
       ("cli", Test_cli.suite);
       ("program-files", Test_programs.suite);

@@ -145,6 +145,31 @@ let test_json_error () =
     [ {|"ok": false|}; {|"phase": "type error"|}; {|"line": 1|};
       "expected int but got bool" ]
 
+let test_multi_error () =
+  (* one invocation reports every independent error, with codes *)
+  let src =
+    "'concept N<t> { m : t; } in let c = fun (x : nope) => x in let d = 1 + \
+     true in N<int>.m'"
+  in
+  let code, out = run_cmd ("run -e " ^ src) ~stdin_text:"" in
+  Alcotest.(check int) "nonzero exit" 1 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [ "FG0207"; "FG0303"; "FG0402"; "unbound type variable 'nope'";
+      "expected int but got bool"; "no model of N<int>" ];
+  let code_j, out_j =
+    run_cmd ("run --format=json -e " ^ src) ~stdin_text:""
+  in
+  Alcotest.(check int) "json nonzero exit" 1 code_j;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out_j))
+    [ {|"ok": false|}; {|"diagnostics"|}; {|"code": "FG0207"|};
+      {|"code": "FG0303"|}; {|"code": "FG0402"|} ]
+
 let test_verify_json () =
   let code, out = run_cmd "verify --format=json -e '41 + 1'" ~stdin_text:"" in
   Alcotest.(check int) "exit" 0 code;
@@ -246,6 +271,30 @@ let test_repl_session () =
       "- : forall t where Monoid<t>. fn(list t) -> t";
     ]
 
+(* `using` is a declaration: it must commit to the session (the named
+   model becomes eligible for resolution), not be parsed as an
+   expression. *)
+let test_repl_using () =
+  let session =
+    "concept S<t> { op : fn(t, t) -> t; }\n\
+     model addm = S<int> { op = iadd; }\n\
+     using addm\n\
+     S<int>.op(20, 22)\n\
+     :quit\n"
+  in
+  let code, out = run_cmd "repl" ~stdin_text:session in
+  Alcotest.(check int) "exit" 0 code;
+  (* each prompt line echoes as "fg> defined." *)
+  let defined_count =
+    List.length
+      (List.filter
+         (fun l -> Astring_contains.contains ~needle:"defined." l)
+         (String.split_on_char '\n' out))
+  in
+  Alcotest.(check int) "three declarations committed" 3 defined_count;
+  Alcotest.(check bool) "resolves through using" true
+    (Astring_contains.contains ~needle:"- : int = 42" out)
+
 let suite =
   [
     Alcotest.test_case "run" `Quick test_run;
@@ -262,10 +311,12 @@ let suite =
     Alcotest.test_case "stdin input" `Quick test_stdin_input;
     Alcotest.test_case "run --format=json" `Quick test_run_json;
     Alcotest.test_case "json error shape" `Quick test_json_error;
+    Alcotest.test_case "multi-error run" `Quick test_multi_error;
     Alcotest.test_case "verify --format=json" `Quick test_verify_json;
     Alcotest.test_case "--stats" `Quick test_stats_flag;
     Alcotest.test_case "batch" `Quick test_batch;
     Alcotest.test_case "batch --format=json" `Quick test_batch_json;
     Alcotest.test_case "corpus --all" `Quick test_corpus_all;
     Alcotest.test_case "repl session" `Quick test_repl_session;
+    Alcotest.test_case "repl using commits" `Quick test_repl_using;
   ]

@@ -13,48 +13,49 @@ let diag_of src =
 let check src expected = Alcotest.(check string) src expected (diag_of src)
 
 let test_unbound_variable () =
-  check "1 + missing" "golden:1:5-12: type error: unbound variable 'missing'"
+  check "1 + missing" "golden:1:5-12: type error[FG0302]: unbound variable 'missing'"
 
 let test_unbound_tyvar () =
   check "fun (x : t) => x"
-    "golden:1:1-17: ill-formed: unbound type variable 't'"
+    "golden:1:1-17: ill-formed[FG0207]: unbound type variable 't'"
 
 let test_unknown_concept () =
-  check "Nope<int>.x" "golden:1:1-5: ill-formed: unknown concept 'Nope'"
+  check "Nope<int>.x" "golden:1:1-5: ill-formed[FG0202]: unknown concept 'Nope'"
 
 let test_no_model () =
   check
     {|concept N<t> { m : t; } in
 N<int>.m|}
-    "golden:2:1-2: resolution error: no model of N<int> in scope for member \
-     access"
+    "golden:2:1-2: resolution error[FG0402]: no model of N<int> in scope for \
+     member access\n  note: no models of N are in scope"
 
 let test_argument_mismatch () =
   check "(fun (x : int) => x)(true)"
-    "golden:1:22-26: type error: argument: expected int but got bool"
+    "golden:1:22-26: type error[FG0303]: argument: expected int but got bool"
 
 let test_arity () =
   check "(fun (x : int) => x)(1, 2)"
-    "golden:1:2-20: type error: function expects 1 argument(s) but is \
-     applied to 2"
+    "golden:1:2-20: type error[FG0304]: function expects 1 argument(s) but \
+     is applied to 2"
 
 let test_same_type_unsatisfied () =
   check "(tfun a b where a == b => fun (x : a) => x)[int, bool](1)"
-    "golden:1:2-43: type error: same-type constraint not satisfied: int is \
-     not equal to bool"
+    "golden:1:2-43: type error[FG0307]: same-type constraint not satisfied: \
+     int is not equal to bool"
 
 let test_member_missing () =
   check
     {|concept N<t> { m : t; } in
 model N<int> { } in 0|}
-    "golden:2:1-22: ill-formed: model of N<int> does not define member 'm'"
+    "golden:2:1-22: ill-formed[FG0206]: model of N<int> does not define \
+     member 'm'"
 
 let test_member_wrong_type () =
   check
     {|concept N<t> { m : t; } in
 model N<int> { m = true; } in 0|}
-    "golden:2:20-24: type error: member 'm' of model of N<int>: expected int \
-     but got bool"
+    "golden:2:20-24: type error[FG0303]: member 'm' of model of N<int>: \
+     expected int but got bool"
 
 let test_overlap_global () =
   let src =
@@ -66,7 +67,7 @@ model N<int> { m = 2; } in 0|}
   | Ok _ -> Alcotest.fail "expected overlap rejection"
   | Error d ->
       Alcotest.(check string) "overlap message"
-        "golden:3:1-29: resolution error: overlapping model of N<int> \
+        "golden:3:1-29: resolution error[FG0404]: overlapping model of N<int> \
          (global-resolution mode rejects overlapping models anywhere in the \
          program)"
         (Fg_util.Diag.to_string d)
@@ -75,25 +76,26 @@ let test_inference_failure () =
   check
     {|let f = tfun t => fun (n : int) => n in
 f(1)|}
-    "golden:2:1-2: type error: cannot infer type argument 't'; instantiate \
-     explicitly with [...]"
+    "golden:2:1-2: type error[FG0306]: cannot infer type argument 't'; \
+     instantiate explicitly with [...]"
 
 let test_runtime_error_location () =
   check "car[int](nil[int])"
-    "golden:1:1-4: runtime error: car of empty list"
+    "golden:1:1-4: runtime error[FG0601]: car of empty list"
 
 let test_division_by_zero () =
-  check "1 / 0" "golden:1:1-2: runtime error: division by zero"
+  check "1 / 0" "golden:1:1-2: runtime error[FG0601]: division by zero"
 
 let test_parse_error () =
   check "let x = in 0"
-    "golden:1:9-11: parse error: expected an expression (found keyword 'in')"
+    "golden:1:9-11: parse error[FG0101]: expected an expression (found \
+     keyword 'in')"
 
 let test_concept_escape_message () =
   check
     {|let f = concept N<t> { m : t; } in tfun t where N<t> => 1 in 0|}
-    "golden:1:9-58: type error: concept N escapes its scope in the type \
-     forall t where N<t>. int of the body"
+    "golden:1:9-58: type error[FG0308]: concept N escapes its scope in the \
+     type forall t where N<t>. int of the body"
 
 let suite =
   [

@@ -47,11 +47,8 @@ let test_out_of_range () =
   ignore (Uf.make_set uf);
   Alcotest.check_raises "find out of range"
     (Fg_util.Diag.Error
-       {
-         phase = Fg_util.Diag.Internal;
-         loc = Fg_util.Loc.dummy;
-         message = "union-find: id 5 out of range [0, 1)";
-       })
+       (Fg_util.Diag.make Fg_util.Diag.Internal
+          "union-find: id 5 out of range [0, 1)"))
     (fun () -> ignore (Uf.find uf 5))
 
 let test_classes () =

@@ -11,5 +11,19 @@ dune build @all
 echo "== dune runtest"
 dune runtest
 
+echo "== error corpus: diagnostic codes are stable"
+# Each program under programs/errors/ pins the FG0xxx codes one
+# recovering `fgc run` reports for it (warnings included); any drift
+# from expected_codes.txt fails the build.
+actual=$(mktemp)
+trap 'rm -f "$actual"' EXIT
+for f in programs/errors/*.fg; do
+  codes=$(./_build/default/bin/fgc.exe run --format=json "$f" 2>/dev/null \
+    | grep -o '"code": "FG[0-9]*"' \
+    | sed 's/.*"\(FG[0-9]*\)"$/\1/' | tr '\n' ' ' | sed 's/ $//' || true)
+  echo "$(basename "$f"): $codes" >> "$actual"
+done
+diff -u programs/errors/expected_codes.txt "$actual"
+
 echo "== bench smoke (BENCH_QUOTA=0.02)"
 BENCH_QUOTA=0.02 dune exec bench/main.exe
