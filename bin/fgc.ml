@@ -501,6 +501,77 @@ let eq_cmd =
     Term.(const run $ assumptions $ query)
 
 (* ---------------------------------------------------------------- *)
+(* fuzz                                                              *)
+
+let fuzz_cmd =
+  let run seed count size mutants domains format save_dir stats =
+    handle_code ~json:(format = `Json) ~stats (fun () ->
+        let cfg = { C.Fuzz.seed; count; size; mutants } in
+        let report = C.Fuzz.run ?domains cfg in
+        let saved =
+          match save_dir with
+          | Some dir when report.C.Fuzz.r_failures <> [] ->
+              C.Fuzz.save_failures ~dir report
+          | _ -> []
+        in
+        (match format with
+        | `Json -> print_json (C.Fuzz.report_to_json report)
+        | `Text ->
+            Fmt.pr "generated %d programs (seed %d, size %d), %d mutants@."
+              report.C.Fuzz.r_generated seed size report.C.Fuzz.r_mutants_run;
+            List.iter
+              (fun (f : C.Fuzz.failure) ->
+                Fmt.pr "FAIL #%d [%s] %s@."
+                  f.C.Fuzz.f_index
+                  (C.Fuzz.oracle_name f.C.Fuzz.f_oracle)
+                  f.C.Fuzz.f_message;
+                Fmt.pr "  shrunk (%d nodes):@." f.C.Fuzz.f_shrunk_nodes;
+                String.split_on_char '\n' f.C.Fuzz.f_shrunk
+                |> List.iter (fun l -> Fmt.pr "    %s@." l))
+              report.C.Fuzz.r_failures;
+            List.iter (fun p -> Fmt.pr "saved %s@." p) saved;
+            if report.C.Fuzz.r_failures = [] then Fmt.pr "all oracles ok@."
+            else
+              Fmt.pr "%d oracle failure(s)@."
+                (List.length report.C.Fuzz.r_failures));
+        if report.C.Fuzz.r_failures = [] then 0 else 1)
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Master seed; the whole run is a pure function of it.")
+  in
+  let count_arg =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"N" ~doc:"Number of programs to generate.")
+  in
+  let size_arg =
+    Arg.(value & opt int 30
+         & info [ "size" ] ~docv:"N"
+             ~doc:"Size budget per generated program (AST-node scale).")
+  in
+  let mutants_arg =
+    Arg.(value & opt int 2
+         & info [ "mutants" ] ~docv:"N"
+             ~doc:"Corrupted variants per program for the recovery oracle.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save-failures" ] ~docv:"DIR"
+             ~doc:"Write each failure's shrunk counterexample (original \
+                   attached in comments) under $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Generate random well-typed FG programs and check them against \
+          three differential oracles: theorem/semantic agreement, \
+          pretty-print/parse round-trip, and error recovery on corrupted \
+          variants; failures are shrunk before reporting")
+    Term.(const run $ seed_arg $ count_arg $ size_arg $ mutants_arg
+          $ domains_arg $ format_arg $ save_arg $ stats_flag)
+
+(* ---------------------------------------------------------------- *)
 (* repl                                                              *)
 
 let repl_cmd =
@@ -525,5 +596,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; translate_cmd; run_cmd; verify_cmd; elaborate_cmd;
-            batch_cmd; corpus_cmd; eq_cmd; repl_cmd;
+            batch_cmd; corpus_cmd; fuzz_cmd; eq_cmd; repl_cmd;
           ]))

@@ -401,3 +401,57 @@ let rec exp_size e =
       + List.fold_left (fun acc (_, e) -> acc + exp_size e) 0 d.m_members
       + exp_size body
   | TypeAlias (_, _, body) -> 1 + exp_size body
+
+(* Structural equality of expressions ignoring locations (alpha only
+   through [ty_equal] on embedded foralls; binders are compared by
+   name, which is what a pretty→parse round trip preserves). *)
+let rec exp_equal (a : exp) (b : exp) : bool =
+  let list_eq eq xs ys =
+    List.length xs = List.length ys && List.for_all2 eq xs ys
+  in
+  let pair_eq eqa eqb (x1, y1) (x2, y2) = eqa x1 x2 && eqb y1 y2 in
+  let capp_eq = pair_eq String.equal (list_eq ty_equal) in
+  match (a.desc, b.desc) with
+  | Var x, Var y -> String.equal x y
+  | Lit x, Lit y -> x = y
+  | Prim x, Prim y -> String.equal x y
+  | App (f1, a1), App (f2, a2) -> exp_equal f1 f2 && list_eq exp_equal a1 a2
+  | Abs (p1, b1), Abs (p2, b2) ->
+      list_eq (pair_eq String.equal ty_equal) p1 p2 && exp_equal b1 b2
+  | TyAbs (v1, c1, b1), TyAbs (v2, c2, b2) ->
+      list_eq String.equal v1 v2 && list_eq constr_equal c1 c2
+      && exp_equal b1 b2
+  | TyApp (f1, t1), TyApp (f2, t2) -> exp_equal f1 f2 && list_eq ty_equal t1 t2
+  | Let (x1, r1, b1), Let (x2, r2, b2) ->
+      String.equal x1 x2 && exp_equal r1 r2 && exp_equal b1 b2
+  | Tuple e1, Tuple e2 -> list_eq exp_equal e1 e2
+  | Nth (e1, k1), Nth (e2, k2) -> exp_equal e1 e2 && k1 = k2
+  | Fix (x1, t1, b1), Fix (x2, t2, b2) ->
+      String.equal x1 x2 && ty_equal t1 t2 && exp_equal b1 b2
+  | If (c1, t1, f1), If (c2, t2, f2) ->
+      exp_equal c1 c2 && exp_equal t1 t2 && exp_equal f1 f2
+  | Member (c1, a1, x1), Member (c2, a2, x2) ->
+      String.equal c1 c2 && list_eq ty_equal a1 a2 && String.equal x1 x2
+  | ConceptDecl (d1, b1), ConceptDecl (d2, b2) ->
+      String.equal d1.c_name d2.c_name
+      && list_eq String.equal d1.c_params d2.c_params
+      && list_eq String.equal d1.c_assoc d2.c_assoc
+      && list_eq capp_eq d1.c_refines d2.c_refines
+      && list_eq capp_eq d1.c_requires d2.c_requires
+      && list_eq (pair_eq String.equal ty_equal) d1.c_members d2.c_members
+      && list_eq (pair_eq String.equal exp_equal) d1.c_defaults d2.c_defaults
+      && list_eq (pair_eq ty_equal ty_equal) d1.c_same d2.c_same
+      && exp_equal b1 b2
+  | ModelDecl (d1, b1), ModelDecl (d2, b2) ->
+      Option.equal String.equal d1.m_name d2.m_name
+      && list_eq String.equal d1.m_params d2.m_params
+      && list_eq constr_equal d1.m_constrs d2.m_constrs
+      && String.equal d1.m_concept d2.m_concept
+      && list_eq ty_equal d1.m_args d2.m_args
+      && list_eq (pair_eq String.equal ty_equal) d1.m_assoc d2.m_assoc
+      && list_eq (pair_eq String.equal exp_equal) d1.m_members d2.m_members
+      && exp_equal b1 b2
+  | Using (m1, b1), Using (m2, b2) -> String.equal m1 m2 && exp_equal b1 b2
+  | TypeAlias (t1, ty1, b1), TypeAlias (t2, ty2, b2) ->
+      String.equal t1 t2 && ty_equal ty1 ty2 && exp_equal b1 b2
+  | _ -> false

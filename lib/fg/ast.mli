@@ -134,3 +134,8 @@ val constr_size : constr -> int
 val subst_ty_exp : ty Smap.t -> exp -> exp
 
 val exp_size : exp -> int
+
+(** Structural equality of expressions ignoring locations (binders by
+    name, embedded types via {!ty_equal}) — the pretty→parse round-trip
+    relation used by the fuzzing and round-trip test oracles. *)
+val exp_equal : exp -> exp -> bool

@@ -310,9 +310,13 @@ and parse_mul p =
 and parse_unary p =
   let loc = P.loc p in
   match P.peek p with
-  | T.MINUS ->
+  | T.MINUS -> (
       P.skip p;
-      app ~loc (prim ~loc "ineg") [ parse_unary p ]
+      (* Fold negation of an integer literal into a negative literal, so
+         printed negative constants parse back to themselves. *)
+      match parse_unary p with
+      | { desc = Lit (LInt n); _ } -> lit ~loc (LInt (-n))
+      | e -> app ~loc (prim ~loc "ineg") [ e ])
   | T.BANG | T.KW "not" ->
       P.skip p;
       app ~loc (prim ~loc "bnot") [ parse_unary p ]

@@ -1,0 +1,110 @@
+(** SplitMix64 (Steele, Lea & Flood, OOPSLA 2014): a 64-bit state
+    advanced by a per-stream odd increment (the "gamma"), hashed through
+    a finalizer to produce each output.  Splitting derives the child's
+    state and gamma from two outputs of the parent, which is what makes
+    the streams independent without any shared mutable state. *)
+
+type t = { seed : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* MurmurHash3's 64-bit finalizer (variant 13). *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Gamma values must be odd; weak gammas (too few bit transitions) are
+   patched as in the reference implementation. *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33))
+      0xC4CEB9FE1A85EC53L in
+  let z = Int64.logor z 1L in
+  let popcount64 x =
+    let c = ref 0 in
+    for i = 0 to 63 do
+      if Int64.logand (Int64.shift_right_logical x i) 1L = 1L then incr c
+    done;
+    !c
+  in
+  let transitions = popcount64 (Int64.logxor z (Int64.shift_right_logical z 1)) in
+  if transitions < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let make seed = { seed = mix64 (Int64.of_int seed); gamma = golden_gamma }
+
+let next t =
+  let seed = Int64.add t.seed t.gamma in
+  ({ t with seed }, mix64 seed)
+
+let bits t =
+  let t, v = next t in
+  (v, t)
+
+let split t =
+  let t, s = next t in
+  let t, g = next t in
+  (t, { seed = mix64 s; gamma = mix_gamma g })
+
+let split_nth t i =
+  if i < 0 then invalid_arg "Prng.split_nth";
+  (* Derive the i-th sibling directly: hash the parent state with the
+     index instead of iterating [split] i times. *)
+  let s = Int64.add t.seed (Int64.mul t.gamma (Int64.of_int (2 * (i + 1)))) in
+  { seed = mix64 s; gamma = mix_gamma (mix64 (Int64.logxor s t.gamma)) }
+
+let int t n =
+  if n <= 0 then invalid_arg "Prng.int";
+  let t, v = next t in
+  (* Masked modulo is biased for n not a power of two; the bias is
+     < 2^-50 for the small bounds the fuzzer uses, and determinism
+     matters more than perfect uniformity here. *)
+  (* Keep 62 bits so the value fits OCaml's native int non-negatively. *)
+  let v = Int64.to_int (Int64.shift_right_logical v 2) in
+  (v mod n, t)
+
+let in_range t lo hi =
+  if lo > hi then invalid_arg "Prng.in_range";
+  let v, t = int t (hi - lo + 1) in
+  (lo + v, t)
+
+let bool t =
+  let t, v = next t in
+  (Int64.logand v 1L = 1L, t)
+
+let chance t p =
+  let v, t = int t 1_000_000 in
+  (float_of_int v < p *. 1e6, t)
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | xs ->
+      let i, t = int t (List.length xs) in
+      (List.nth xs i, t)
+
+let weighted t xs =
+  let total = List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 xs in
+  if total <= 0 then invalid_arg "Prng.weighted: no positive weight";
+  let roll, t = int t total in
+  let rec pick roll = function
+    | [] -> invalid_arg "Prng.weighted"
+    | (w, x) :: rest ->
+        let w = max 0 w in
+        if roll < w then x else pick (roll - w) rest
+  in
+  (pick roll xs, t)
+
+let shuffle t xs =
+  let a = Array.of_list xs in
+  let t = ref t in
+  for i = Array.length a - 1 downto 1 do
+    let j, t' = int !t (i + 1) in
+    t := t';
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  (Array.to_list a, !t)

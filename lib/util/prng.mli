@@ -1,0 +1,51 @@
+(** A splittable, purely functional pseudo-random number generator
+    (SplitMix64), used by the fuzzing subsystem.
+
+    Unlike [Stdlib.Random] there is no global state: a {!t} is an
+    immutable value, every operation returns the advanced generator
+    alongside its sample, and {!split} derives two statistically
+    independent streams.  The whole stream — and therefore every fuzz
+    run — is reproducible from a single [int] seed, regardless of
+    evaluation order or how many domains consume sibling streams. *)
+
+type t
+
+(** [make seed] — a generator deterministically derived from [seed]. *)
+val make : int -> t
+
+(** [split t] is [(l, r)]: two generators whose future outputs are
+    independent of each other and of [t]'s past. *)
+val split : t -> t * t
+
+(** [split_nth t i] — the [i]-th sibling stream of [t] ([i >= 0]),
+    independent for distinct [i]; how each fuzz case gets its own
+    generator without threading state through its neighbours. *)
+val split_nth : t -> int -> t
+
+(** [bits t] — 64 fresh bits and the advanced generator. *)
+val bits : t -> int64 * t
+
+(** [int t n] — a uniform sample in [\[0, n)] ([n > 0]) and the
+    advanced generator. *)
+val int : t -> int -> int * t
+
+(** [in_range t lo hi] — a uniform sample in [\[lo, hi\]] (inclusive,
+    [lo <= hi]). *)
+val in_range : t -> int -> int -> int * t
+
+val bool : t -> bool * t
+
+(** [chance t p] is true with probability [p] (clamped to [0, 1]). *)
+val chance : t -> float -> bool * t
+
+(** [choose t xs] — a uniform element of the non-empty list [xs].
+    Raises [Invalid_argument] on an empty list. *)
+val choose : t -> 'a list -> 'a * t
+
+(** [weighted t xs] — an element of the non-empty list [xs] drawn with
+    probability proportional to its non-negative weight.  Raises
+    [Invalid_argument] when the weights sum to zero or [xs] is empty. *)
+val weighted : t -> (int * 'a) list -> 'a * t
+
+(** [shuffle t xs] — a uniform permutation of [xs] (Fisher–Yates). *)
+val shuffle : t -> 'a list -> 'a list * t

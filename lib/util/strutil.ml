@@ -28,19 +28,26 @@ let levenshtein a b =
   end
 
 let nearest ~candidates name =
+  (* A candidate differing only in letter case is always a plausible
+     typo (distance 0 here), even for one-character names where the
+     length-relative cutoff below would otherwise reject everything. *)
+  let lname = String.lowercase_ascii name in
+  let distance c =
+    if String.lowercase_ascii c = lname then 0 else levenshtein name c
+  in
   let limit = min 2 (String.length name - 1) in
-  if limit <= 0 then None
-  else
-    let best =
-      List.fold_left
-        (fun best c ->
-          if c = name then best
+  let best =
+    List.fold_left
+      (fun best c ->
+        if c = name then best
+        else
+          let d = distance c in
+          if d > 0 && (limit <= 0 || d > limit) then best
           else
-            let d = levenshtein name c in
             match best with
+            (* [<=] keeps the earliest candidate on equal distance. *)
             | Some (_, bd) when bd <= d -> best
-            | _ when d <= limit -> Some (c, d)
-            | _ -> best)
-        None candidates
-    in
-    Option.map fst best
+            | _ -> Some (c, d))
+      None candidates
+  in
+  Option.map fst best

@@ -12,6 +12,8 @@ val levenshtein : string -> string -> int
 (** [nearest ~candidates name] is the candidate closest to [name] in
     edit distance, provided the distance is small relative to the
     length of [name] (at most 2, and strictly less than the length);
-    [None] when nothing is plausibly a typo for [name].  Ties go to the
-    earliest candidate. *)
+    [None] when nothing is plausibly a typo for [name] (in particular
+    when [candidates] is empty).  A candidate equal to [name] up to
+    ASCII letter case is always plausible and preferred over any
+    genuine edit.  Ties go to the earliest candidate. *)
 val nearest : candidates:string list -> string -> string option

@@ -28,11 +28,15 @@ let resolve_misses = Atomic.make 0
 let prelude_builds = Atomic.make 0
 let prelude_reuses = Atomic.make 0
 let programs = Atomic.make 0
+let fuzz_generated = Atomic.make 0
+let fuzz_discarded = Atomic.make 0
+let fuzz_shrunk = Atomic.make 0
 
 let all =
   [
     parse_ns; check_ns; verify_ns; eval_ns; cc_rebuilds; model_lookups;
     resolve_hits; resolve_misses; prelude_builds; prelude_reuses; programs;
+    fuzz_generated; fuzz_discarded; fuzz_shrunk;
   ]
 
 let bump c = Atomic.incr c
@@ -43,6 +47,9 @@ let record_resolve_miss () = bump resolve_misses
 let record_prelude_build () = bump prelude_builds
 let record_prelude_reuse () = bump prelude_reuses
 let record_program () = bump programs
+let record_fuzz_generated () = bump fuzz_generated
+let record_fuzz_discarded () = bump fuzz_discarded
+let record_fuzz_shrunk () = bump fuzz_shrunk
 
 let phase_counter = function
   | Parse -> parse_ns
@@ -79,6 +86,9 @@ type snapshot = {
   prelude_builds : int;
   prelude_reuses : int;
   programs : int;
+  fuzz_generated : int;
+  fuzz_discarded : int;
+  fuzz_shrunk : int;
 }
 
 let snapshot () =
@@ -94,6 +104,9 @@ let snapshot () =
     prelude_builds = Atomic.get prelude_builds;
     prelude_reuses = Atomic.get prelude_reuses;
     programs = Atomic.get programs;
+    fuzz_generated = Atomic.get fuzz_generated;
+    fuzz_discarded = Atomic.get fuzz_discarded;
+    fuzz_shrunk = Atomic.get fuzz_shrunk;
   }
 
 let diff (b : snapshot) (a : snapshot) =
@@ -109,6 +122,9 @@ let diff (b : snapshot) (a : snapshot) =
     prelude_builds = b.prelude_builds - a.prelude_builds;
     prelude_reuses = b.prelude_reuses - a.prelude_reuses;
     programs = b.programs - a.programs;
+    fuzz_generated = b.fuzz_generated - a.fuzz_generated;
+    fuzz_discarded = b.fuzz_discarded - a.fuzz_discarded;
+    fuzz_shrunk = b.fuzz_shrunk - a.fuzz_shrunk;
   }
 
 let reset () = List.iter (fun c -> Atomic.set c 0) all
@@ -128,7 +144,14 @@ let pp ppf (s : snapshot) =
   Fmt.pf ppf "  cc rebuilds    : %10d@," s.cc_rebuilds;
   Fmt.pf ppf "  model lookups  : %10d@," s.model_lookups;
   Fmt.pf ppf "  resolve hits   : %10d@," s.resolve_hits;
-  Fmt.pf ppf "  resolve misses : %10d@]" s.resolve_misses
+  Fmt.pf ppf "  resolve misses : %10d" s.resolve_misses;
+  if s.fuzz_generated + s.fuzz_discarded + s.fuzz_shrunk > 0 then begin
+    Fmt.pf ppf "@,fuzzing:@,";
+    Fmt.pf ppf "  generated      : %10d@," s.fuzz_generated;
+    Fmt.pf ppf "  discarded      : %10d@," s.fuzz_discarded;
+    Fmt.pf ppf "  shrink steps   : %10d" s.fuzz_shrunk
+  end;
+  Fmt.pf ppf "@]"
 
 let to_json (s : snapshot) =
   Json.Obj
@@ -144,4 +167,7 @@ let to_json (s : snapshot) =
       ("prelude_builds", Json.Int s.prelude_builds);
       ("prelude_reuses", Json.Int s.prelude_reuses);
       ("programs", Json.Int s.programs);
+      ("fuzz_generated", Json.Int s.fuzz_generated);
+      ("fuzz_discarded", Json.Int s.fuzz_discarded);
+      ("fuzz_shrunk", Json.Int s.fuzz_shrunk);
     ]

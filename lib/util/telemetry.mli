@@ -46,6 +46,16 @@ val record_prelude_reuse : unit -> unit
 val record_program : unit -> unit
 (** One program went through a driver entry point. *)
 
+val record_fuzz_generated : unit -> unit
+(** The fuzzer produced one candidate program. *)
+
+val record_fuzz_discarded : unit -> unit
+(** The fuzzer rejected a candidate mid-generation (rejection
+    sampling; the slot was re-rolled). *)
+
+val record_fuzz_shrunk : unit -> unit
+(** The shrinker committed one successful shrink step. *)
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -60,6 +70,9 @@ type snapshot = {
   prelude_builds : int;
   prelude_reuses : int;
   programs : int;
+  fuzz_generated : int;
+  fuzz_discarded : int;
+  fuzz_shrunk : int;
 }
 
 val snapshot : unit -> snapshot

@@ -34,5 +34,7 @@ let () =
       ("session", Test_session.suite);
       ("cli", Test_cli.suite);
       ("program-files", Test_programs.suite);
+      ("roundtrip", Test_roundtrip.suite);
+      ("fuzz", Test_fuzz.suite);
       ("scaling-families", Test_genprog.suite);
     ]

@@ -179,6 +179,50 @@ let test_verify_json () =
         (Astring_contains.contains ~needle out))
     [ {|"theorem": true|}; {|"fg_type": "int"|}; {|"systemf_type": "int"|} ]
 
+(* Golden test for the machine-readable diagnostics shape: the exact
+   bytes a JSON consumer of `run --format=json` sees on a type error. *)
+let test_json_diagnostics_golden () =
+  let code, out =
+    run_cmd "run --format=json -e '1 + true'" ~stdin_text:""
+  in
+  Alcotest.(check int) "nonzero exit" 1 code;
+  Alcotest.(check string) "diagnostics array shape"
+    ({|{"file": "<expr>", "ok": false, "diagnostics": [{"code": "FG0303", |}
+    ^ {|"severity": "error", "phase": "type error", "message": |}
+    ^ {|"argument: expected int but got bool", "span": {"file": "<expr>", |}
+    ^ {|"start": {"line": 1, "col": 5}, "end": {"line": 1, "col": 9}}, |}
+    ^ {|"notes": []}]}|})
+    out
+
+(* Golden test for the fuzz report shape, plus end-to-end determinism:
+   the same seed must produce byte-identical reports, and a clean run
+   must exit 0. *)
+let test_fuzz_cli () =
+  let code, out =
+    run_cmd "fuzz --seed 42 --count 5 --format=json" ~stdin_text:""
+  in
+  Alcotest.(check int) "clean run exits 0" 0 code;
+  Alcotest.(check string) "fuzz report shape"
+    ({|{"fuzz": {"seed": 42, "count": 5, "size": 30, "mutants": 2}, |}
+    ^ {|"generated": 5, "mutants_run": 10, "ok": true, "failures": []}|})
+    out;
+  let code2, out2 =
+    run_cmd "fuzz --seed 42 --count 5 --format=json" ~stdin_text:""
+  in
+  Alcotest.(check int) "second run exits 0" 0 code2;
+  Alcotest.(check string) "byte-identical across runs" out out2
+
+let test_fuzz_cli_text () =
+  let code, out =
+    run_cmd "fuzz --seed 7 --count 3 --mutants 1" ~stdin_text:""
+  in
+  Alcotest.(check int) "exit" 0 code;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) needle true
+        (Astring_contains.contains ~needle out))
+    [ "3 programs"; "3 mutants"; "ok" ]
+
 let test_stats_flag () =
   let code, out =
     run_cmd "run --stats -p -e 'power[int](2, 5)'" ~stdin_text:""
@@ -313,6 +357,10 @@ let suite =
     Alcotest.test_case "json error shape" `Quick test_json_error;
     Alcotest.test_case "multi-error run" `Quick test_multi_error;
     Alcotest.test_case "verify --format=json" `Quick test_verify_json;
+    Alcotest.test_case "json diagnostics golden" `Quick
+      test_json_diagnostics_golden;
+    Alcotest.test_case "fuzz --format=json golden" `Quick test_fuzz_cli;
+    Alcotest.test_case "fuzz text summary" `Quick test_fuzz_cli_text;
     Alcotest.test_case "--stats" `Quick test_stats_flag;
     Alcotest.test_case "batch" `Quick test_batch;
     Alcotest.test_case "batch --format=json" `Quick test_batch_json;

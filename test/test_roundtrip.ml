@@ -1,0 +1,97 @@
+(* Pretty → parse round-trip: re-parsing a pretty-printed program must
+   reproduce the same AST up to locations ({!Ast.exp_equal}) — the
+   relation the fuzzing round-trip oracle checks per generated program,
+   pinned here on every committed program file, every corpus entry and
+   a set of syntax corner cases. *)
+
+open Fg_core
+
+let programs_dir = "../programs"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let roundtrip name src =
+  let ast = Parser.exp_of_string ~file:name src in
+  let printed = Pretty.exp_to_string ast in
+  let ast' =
+    try Parser.exp_of_string ~file:(name ^ ":printed") printed
+    with Fg_util.Diag.Error d ->
+      Alcotest.failf "%s: printed source no longer parses: %s\n--- printed:\n%s"
+        name (Fg_util.Diag.to_string d) printed
+  in
+  if not (Ast.exp_equal ast ast') then
+    Alcotest.failf "%s: pretty -> parse changed the program\n--- printed:\n%s"
+      name printed
+
+let fg_files dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".fg")
+  |> List.sort compare
+
+let test_program_files () =
+  List.iter
+    (fun f -> roundtrip f (read_file (Filename.concat programs_dir f)))
+    (fg_files programs_dir)
+
+(* The error corpus: sources that still parse (their failures are
+   semantic) must round-trip too; syntax-error sources are skipped. *)
+let test_error_files () =
+  let dir = Filename.concat programs_dir "errors" in
+  List.iter
+    (fun f ->
+      let src = read_file (Filename.concat dir f) in
+      match Parser.exp_of_string ~file:f src with
+      | exception Fg_util.Diag.Error _ -> ()
+      | _ -> roundtrip f src)
+    (fg_files dir)
+
+let test_corpus () =
+  List.iter (fun (e : Corpus.entry) -> roundtrip e.name e.source) Corpus.all
+
+(* Corner cases the file corpus does not pin down. *)
+let test_corners () =
+  List.iter
+    (fun src -> roundtrip src src)
+    [
+      "-5";
+      "0 - 5";
+      "-5 + -7";
+      "ineg(5)";
+      "fun (x : int) => -x";
+      "nth (1, true) 0";
+      "nil[list int]";
+      "(1, (2, true), ())";
+      "let x = -1 in x - -2";
+      "tfun t => fun (x : t) => x";
+      "if !true then 1 % 2 else 3 / 4";
+    ]
+
+(* Negative literals keep folding through the parser sugar. *)
+let test_negative_literals () =
+  let ast = Parser.exp_of_string "-5" in
+  (match ast.Ast.desc with
+  | Ast.Lit (Ast.LInt (-5)) -> ()
+  | _ -> Alcotest.failf "-5 did not parse to a literal");
+  let ast = Parser.exp_of_string "1 - -5" in
+  Alcotest.(check string)
+    "subtraction of a negative literal" "isub(1, -5)"
+    (Pretty.exp_to_flat_string ast);
+  (* Double negation is not a literal: -(-5) stays an ineg call. *)
+  let ast = Parser.exp_of_string "- -5" in
+  Alcotest.(check string) "double negation folds" "5"
+    (Pretty.exp_to_flat_string ast)
+
+let suite =
+  [
+    Alcotest.test_case "program files round-trip" `Quick test_program_files;
+    Alcotest.test_case "error corpus round-trips" `Quick test_error_files;
+    Alcotest.test_case "corpus entries round-trip" `Quick test_corpus;
+    Alcotest.test_case "syntax corners round-trip" `Quick test_corners;
+    Alcotest.test_case "negative literal folding" `Quick
+      test_negative_literals;
+  ]

@@ -101,6 +101,85 @@ let test_flat_string () =
   Alcotest.(check bool) "huge margin ok" true
     (String.length (Pp_util.to_string ~margin:max_int ppv ()) > 0)
 
+let test_contains () =
+  Alcotest.(check bool) "middle" true (Strutil.contains ~needle:"bc" "abcd");
+  Alcotest.(check bool) "prefix" true (Strutil.contains ~needle:"ab" "abcd");
+  Alcotest.(check bool) "suffix" true (Strutil.contains ~needle:"cd" "abcd");
+  Alcotest.(check bool) "absent" false (Strutil.contains ~needle:"ca" "abcd");
+  Alcotest.(check bool) "empty needle" true (Strutil.contains ~needle:"" "x");
+  Alcotest.(check bool) "needle longer" false
+    (Strutil.contains ~needle:"abcd" "abc")
+
+let test_levenshtein () =
+  Alcotest.(check int) "equal" 0 (Strutil.levenshtein "model" "model");
+  Alcotest.(check int) "empty left" 5 (Strutil.levenshtein "" "model");
+  Alcotest.(check int) "empty right" 5 (Strutil.levenshtein "model" "");
+  Alcotest.(check int) "substitution" 1 (Strutil.levenshtein "modal" "model");
+  Alcotest.(check int) "insertion" 1 (Strutil.levenshtein "mode" "model");
+  Alcotest.(check int) "transposition costs two" 2
+    (Strutil.levenshtein "mdoel" "model");
+  (* symmetry on an arbitrary pair *)
+  Alcotest.(check int) "symmetric"
+    (Strutil.levenshtein "kitten" "sitting")
+    (Strutil.levenshtein "sitting" "kitten")
+
+let test_nearest () =
+  let candidates = [ "Monoid"; "Iterator"; "Comparable" ] in
+  Alcotest.(check (option string)) "one-letter typo" (Some "Monoid")
+    (Strutil.nearest ~candidates "Monoyd");
+  Alcotest.(check (option string)) "case-only mismatch" (Some "Iterator")
+    (Strutil.nearest ~candidates "iterator");
+  Alcotest.(check (option string)) "nothing plausible" None
+    (Strutil.nearest ~candidates "Functor");
+  Alcotest.(check (option string)) "empty candidates" None
+    (Strutil.nearest ~candidates:[] "Monoid");
+  (* short names: distance must stay below the name's length *)
+  Alcotest.(check (option string)) "short name rejects far edits" None
+    (Strutil.nearest ~candidates:[ "xy" ] "ab");
+  Alcotest.(check (option string)) "ties go to the earliest" (Some "ax")
+    (Strutil.nearest ~candidates:[ "ax"; "xb" ] "ab")
+
+(* The fuzzing PRNG: reproducible streams, independent siblings, and
+   samples that stay in range (regression: 63-bit conversion of the
+   raw SplitMix64 output used to go negative). *)
+let test_prng () =
+  let t = Prng.make 42 in
+  let a, _ = Prng.bits t in
+  let b, _ = Prng.bits (Prng.make 42) in
+  Alcotest.(check int64) "same seed, same stream" a b;
+  let c, _ = Prng.bits (Prng.make 43) in
+  Alcotest.(check bool) "different seed, different stream" true (a <> c);
+  let l, r = Prng.split t in
+  let bl, _ = Prng.bits l and br, _ = Prng.bits r in
+  Alcotest.(check bool) "split streams differ" true (bl <> br);
+  let s3, _ = Prng.bits (Prng.split_nth t 3) in
+  let s3', _ = Prng.bits (Prng.split_nth t 3) in
+  let s4, _ = Prng.bits (Prng.split_nth t 4) in
+  Alcotest.(check int64) "split_nth deterministic" s3 s3';
+  Alcotest.(check bool) "split_nth siblings differ" true (s3 <> s4);
+  (* every sample must land in [0, n) — walk a long stream *)
+  let rng = ref (Prng.make 7) in
+  for i = 0 to 9999 do
+    let n = 1 + (i mod 97) in
+    let v, t' = Prng.int !rng n in
+    rng := t';
+    if v < 0 || v >= n then
+      Alcotest.failf "Prng.int out of range: %d not in [0, %d)" v n
+  done;
+  let rng = ref (Prng.make 8) in
+  for _ = 0 to 999 do
+    let v, t' = Prng.in_range !rng (-5) 5 in
+    rng := t';
+    if v < -5 || v > 5 then Alcotest.failf "in_range out of range: %d" v
+  done;
+  let x, _ = Prng.choose (Prng.make 1) [ "only" ] in
+  Alcotest.(check string) "choose singleton" "only" x;
+  let w, _ = Prng.weighted (Prng.make 1) [ (0, "never"); (3, "always") ] in
+  Alcotest.(check string) "zero weight never drawn" "always" w;
+  let p, _ = Prng.shuffle (Prng.make 9) [ 1; 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "shuffle is a permutation" [ 1; 2; 3; 4; 5 ]
+    (List.sort compare p)
+
 let suite =
   [
     Alcotest.test_case "loc merge" `Quick test_loc_merge;
@@ -114,4 +193,8 @@ let suite =
     Alcotest.test_case "base_name" `Quick test_base_name;
     Alcotest.test_case "ident predicates" `Quick test_ident_predicates;
     Alcotest.test_case "flat string" `Quick test_flat_string;
+    Alcotest.test_case "strutil contains" `Quick test_contains;
+    Alcotest.test_case "levenshtein" `Quick test_levenshtein;
+    Alcotest.test_case "nearest suggestion" `Quick test_nearest;
+    Alcotest.test_case "prng" `Quick test_prng;
   ]

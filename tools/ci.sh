@@ -25,5 +25,10 @@ for f in programs/errors/*.fg; do
 done
 diff -u programs/errors/expected_codes.txt "$actual"
 
+echo "== fuzz smoke (seed 42, 200 programs)"
+# Deterministic: the same seed generates the same programs on every
+# machine, so a clean run here means a clean run everywhere.
+./_build/default/bin/fgc.exe fuzz --seed 42 --count 200
+
 echo "== bench smoke (BENCH_QUOTA=0.02)"
 BENCH_QUOTA=0.02 dune exec bench/main.exe
