@@ -41,35 +41,12 @@ let read_input = function
           (path, s))
 
 (* ---------------------------------------------------------------- *)
-(* JSON views                                                        *)
+(* JSON views — shared with the server so `fgc serve` payloads are
+   byte-identical to one-shot output (see lib/fg/jsonview.ml). *)
 
-let json_of_diags ds = Json.List (List.map Diag.to_json ds)
-
-let rec json_of_flat : C.Interp.flat -> Json.t = function
-  | C.Interp.FlInt n -> Json.Int n
-  | C.Interp.FlBool b -> Json.Bool b
-  | C.Interp.FlUnit -> Json.Null
-  | C.Interp.FlList vs -> Json.List (List.map json_of_flat vs)
-  | C.Interp.FlTuple vs ->
-      Json.Obj [ ("tuple", Json.List (List.map json_of_flat vs)) ]
-  | C.Interp.FlFun -> Json.Str "<fun>"
-
-let json_of_outcome ~file (o : C.Session.outcome) =
-  Json.Obj
-    [ ("file", Json.Str file);
-      ("ok", Json.Bool true);
-      ("type", Json.Str (C.Pretty.ty_to_string o.fg_ty));
-      ("value", json_of_flat o.value);
-      ("value_str", Json.Str (C.Interp.flat_to_string o.value));
-      ("theorem", Json.Bool o.theorem_holds);
-      ("direct_steps", Json.Int o.direct_steps);
-      ("translated_steps", Json.Int o.translated_steps) ]
-
-let json_of_failure ~file d =
-  Json.Obj
-    [ ("file", Json.Str file); ("ok", Json.Bool false);
-      ("diagnostics", json_of_diags [ d ]) ]
-
+let json_of_diags = C.Jsonview.json_of_diags
+let json_of_outcome = C.Jsonview.json_of_outcome
+let json_of_failure = C.Jsonview.json_of_failure
 let print_json j = print_endline (Json.to_string j)
 
 (* ---------------------------------------------------------------- *)
@@ -195,17 +172,7 @@ let run_cmd =
         let report = C.Session.run_full ~file:name s src in
         let diags = report.C.Session.diagnostics in
         (match format with
-        | `Json ->
-            let fields =
-              match report.C.Session.outcome with
-              | Some o -> (
-                  match json_of_outcome ~file:name o with
-                  | Json.Obj fields -> fields
-                  | j -> [ ("result", j) ])
-              | None -> [ ("file", Json.Str name); ("ok", Json.Bool false) ]
-            in
-            print_json
-              (Json.Obj (fields @ [ ("diagnostics", json_of_diags diags) ]))
+        | `Json -> print_json (C.Jsonview.json_of_run_report ~file:name report)
         | `Text -> (
             List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) diags;
             match report.C.Session.outcome with
@@ -572,6 +539,276 @@ let fuzz_cmd =
           $ domains_arg $ format_arg $ save_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
+(* serve: the compiler-service daemon                                 *)
+
+module Server = Fg_server.Server
+module Client = Fg_server.Client
+module Protocol = Fg_server.Protocol
+
+let socket_arg =
+  let doc = "Unix socket path to listen on / connect to (ignored when \
+             $(b,--port) is given)." in
+  Arg.(value & opt string "fgc.sock" & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "TCP port to listen on / connect to instead of a Unix \
+             socket (0 lets the OS pick when serving)." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "Host for $(b,--port)." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let address_of ~socket ~port ~host =
+  match port with Some p -> `Tcp (host, p) | None -> `Unix socket
+
+let serve_cmd =
+  let run socket port host workers max_queue timeout_ms max_frame fuel
+      verbose =
+    handle_code (fun () ->
+        let address = address_of ~socket ~port ~host in
+        let base = Server.default_config address in
+        let cfg =
+          {
+            base with
+            Server.workers =
+              (match workers with Some w -> w | None -> base.Server.workers);
+            max_queue;
+            request_timeout_ms = timeout_ms;
+            max_frame;
+            fuel = (if fuel = 0 then None else Some fuel);
+            log = verbose;
+          }
+        in
+        let t = Server.create cfg in
+        (match Server.bound_address t with
+        | `Unix path -> Fmt.epr "fgc serve: listening on %s@." path
+        | `Tcp (h, p) -> Fmt.epr "fgc serve: listening on %s:%d@." h p);
+        (* Signal handlers only flip an atomic (no locks): the accept
+           loop notices and drains gracefully. *)
+        let stop _ = Server.signal_stop t in
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        Server.run t;
+        0)
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains, each owning warm sessions (default: \
+                   the runtime's recommendation).")
+  in
+  let max_queue =
+    Arg.(value & opt int 128
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Bounded request-queue capacity; a full queue answers \
+                   $(b,overload) instead of buffering.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "request-timeout-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline (queue wait + service); \
+                   expired requests get a structured $(b,timeout) \
+                   response.  Requests may override with their own \
+                   $(b,timeout_ms).")
+  in
+  let max_frame =
+    Arg.(value & opt int Protocol.default_max_frame
+         & info [ "max-frame-bytes" ] ~docv:"N"
+             ~doc:"Largest accepted wire frame; bigger length prefixes \
+                   are rejected without allocating.")
+  in
+  let fuel =
+    Arg.(value & opt int 10_000_000
+         & info [ "fuel" ] ~docv:"STEPS"
+             ~doc:"Evaluator step bound per served run (0 = unbounded), \
+                   so divergent programs cannot pin a worker.")
+  in
+  let verbose =
+    Arg.(value & flag
+         & info [ "verbose" ] ~doc:"Log lifecycle events on stderr.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compiler as a persistent daemon: a bounded request \
+          queue fans out to worker domains with cached preludes; the \
+          length-prefixed JSON protocol serves check/run/translate/\
+          fuzz_one/stats/shutdown with deadlines, backpressure and \
+          graceful drain (see docs/SERVER.md)")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ max_queue
+          $ timeout_ms $ max_frame $ fuel $ verbose)
+
+(* ---------------------------------------------------------------- *)
+(* client                                                            *)
+
+let exit_of_status = function
+  | Protocol.Ok_ -> 0
+  | Protocol.Failed -> 1
+  | Protocol.Protocol_error -> 3
+  | Protocol.Timeout -> 4
+  | Protocol.Overload -> 5
+  | Protocol.Shutting_down -> 6
+
+(* Expand directories into their .fg files (sorted), pass files through. *)
+let expand_paths paths =
+  List.concat_map
+    (fun p ->
+      if Sys.is_directory p then
+        Sys.readdir p |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".fg")
+        |> List.sort String.compare
+        |> List.map (Filename.concat p)
+      else [ p ])
+    paths
+
+let contains needle s = Fg_util.Strutil.contains ~needle s
+
+(* The probe: deliberately violate the protocol three ways and check
+   the daemon answers each violation correctly and stays up. *)
+let run_probe address =
+  let expect_status name (r : Protocol.response) status needle =
+    if r.Protocol.r_status <> status then
+      failwith
+        (Printf.sprintf "%s: expected status %s, got %s" name
+           (Protocol.status_name status)
+           (Protocol.status_name r.Protocol.r_status));
+    if not (contains needle r.Protocol.r_payload) then
+      failwith
+        (Printf.sprintf "%s: payload lacks %s: %s" name needle
+           r.Protocol.r_payload)
+  in
+  (* 1. Valid frame, garbage JSON: connection survives. *)
+  let c = Client.connect address in
+  Client.send_raw_frame c "this is not json {";
+  expect_status "garbage-json" (Client.read_response c)
+    Protocol.Protocol_error "FG0803";
+  (* ... and the same connection still serves real work. *)
+  let r =
+    Client.request c
+      (Protocol.request ~id:7 ~file:"<probe>" ~source:"1 + 1" Protocol.Run)
+  in
+  expect_status "post-garbage-run" r Protocol.Ok_ "\"value\": 2";
+  Client.close c;
+  (* 2. Version mismatch. *)
+  let c = Client.connect address in
+  Client.send_raw_frame c "{\"v\": 999, \"id\": 1, \"kind\": \"run\"}";
+  expect_status "version-mismatch" (Client.read_response c)
+    Protocol.Protocol_error "FG0804";
+  Client.close c;
+  (* 3. Oversized length prefix: bounded-allocation reject + close. *)
+  let c = Client.connect address in
+  Client.send_raw_bytes c "\xFF\xFF\xFF\xFF";
+  expect_status "oversized-frame" (Client.read_response c)
+    Protocol.Protocol_error "FG0806";
+  (match Client.read_response c with
+  | exception Client.Client_error _ -> ()
+  | _ -> failwith "oversized-frame: expected the server to close");
+  Client.close c;
+  Fmt.pr "probe ok: garbage JSON, version mismatch and oversized frame \
+          all answered correctly@."
+
+let client_cmd =
+  let run action files expr socket port host prelude global timeout_ms
+      window =
+    handle_code (fun () ->
+        let address = address_of ~socket ~port ~host in
+        let kind_of = function
+          | "run" -> Protocol.Run
+          | "check" -> Protocol.Check
+          | "translate" -> Protocol.Translate
+          | a -> failwith ("unknown client action: " ^ a)
+        in
+        match action with
+        | "stats" | "shutdown" ->
+            let c = Client.connect address in
+            Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+                let r =
+                  if action = "stats" then Client.stats c
+                  else Client.shutdown c
+                in
+                print_endline r.Protocol.r_payload;
+                exit_of_status r.Protocol.r_status)
+        | "probe" ->
+            run_probe address;
+            0
+        | "batch" ->
+            let files = expand_paths files in
+            if files = [] then failwith "batch: no .fg files to run";
+            let reqs =
+              List.mapi
+                (fun i f ->
+                  let name, source = read_input f in
+                  Protocol.request ~id:(i + 1) ~file:name ~source ~prelude
+                    ~global_models:global ?timeout_ms Protocol.Run)
+                files
+            in
+            let c = Client.connect address in
+            Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+                let resps = Client.batch ~window c reqs in
+                let worst = ref 0 in
+                List.iter
+                  (fun (r : Protocol.response) ->
+                    print_endline r.Protocol.r_payload;
+                    worst := max !worst (exit_of_status r.Protocol.r_status))
+                  resps;
+                !worst)
+        | action ->
+            let kind = kind_of action in
+            let name, source =
+              match (expr, files) with
+              | Some s, _ -> ("<expr>", s)
+              | None, [ f ] -> read_input f
+              | None, [] -> read_input "-"
+              | None, _ -> failwith (action ^ ": give exactly one FILE")
+            in
+            let c = Client.connect address in
+            Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+                let r =
+                  Client.request c
+                    (Protocol.request ~id:1 ~file:name ~source ~prelude
+                       ~global_models:global ?timeout_ms kind)
+                in
+                print_endline r.Protocol.r_payload;
+                exit_of_status r.Protocol.r_status))
+  in
+  let action =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ACTION"
+             ~doc:"One of $(b,run), $(b,check), $(b,translate), \
+                   $(b,batch), $(b,stats), $(b,shutdown), $(b,probe).")
+  in
+  let files =
+    Arg.(value & pos_right 0 string []
+         & info [] ~docv:"FILE"
+             ~doc:"Program files ('-' for stdin); $(b,batch) also \
+                   accepts directories, expanded to their .fg files.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline override sent to the server.")
+  in
+  let window =
+    Arg.(value & opt int Client.default_window
+         & info [ "window" ] ~docv:"N"
+             ~doc:"Batch pipelining window (requests in flight at once).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running $(b,fgc serve) daemon: single requests, \
+          streamed batches over one connection, live stats, graceful \
+          shutdown, and a protocol-violation probe.  Payloads printed \
+          for $(b,run) are byte-identical to one-shot \
+          $(b,fgc run --format=json) output")
+    Term.(const run $ action $ files $ expr_arg $ socket_arg $ port_arg
+          $ host_arg $ with_prelude_flag $ global_flag $ timeout_ms
+          $ window)
+
+(* ---------------------------------------------------------------- *)
 (* repl                                                              *)
 
 let repl_cmd =
@@ -596,5 +833,6 @@ let () =
        (Cmd.group info
           [
             check_cmd; translate_cmd; run_cmd; verify_cmd; elaborate_cmd;
-            batch_cmd; corpus_cmd; fuzz_cmd; eq_cmd; repl_cmd;
+            batch_cmd; corpus_cmd; fuzz_cmd; eq_cmd; serve_cmd; client_cmd;
+            repl_cmd;
           ]))

@@ -1,0 +1,26 @@
+(** JSON views of driver results — the single source of truth for the
+    machine-readable result shape shared by [fgc run --format=json],
+    [fgc batch --format=json] and the [fgc serve] wire protocol (whose
+    [run] payload must be byte-identical to a one-shot run). *)
+
+open Fg_util
+
+val json_of_diags : Diag.diagnostic list -> Json.t
+
+(** A flattened runtime value: ints, bools, unit ([null]), lists,
+    tuples (as [{"tuple": [...]}]) and functions (as ["<fun>"]). *)
+val json_of_flat : Interp.flat -> Json.t
+
+(** A successful full-pipeline outcome: [{"file", "ok": true, "type",
+    "value", "value_str", "theorem", "direct_steps",
+    "translated_steps"}]. *)
+val json_of_outcome : file:string -> Session.outcome -> Json.t
+
+(** A single-diagnostic failure: [{"file", "ok": false,
+    "diagnostics"}]. *)
+val json_of_failure : file:string -> Diag.diagnostic -> Json.t
+
+(** Exactly what [fgc run --format=json] prints: the outcome fields (or
+    [{"file", "ok": false}]) with the report's full diagnostics array
+    appended. *)
+val json_of_run_report : file:string -> Session.run_report -> Json.t

@@ -1,0 +1,161 @@
+(** Client side of the wire protocol (see the interface).
+
+    The batch path is the throughput workhorse: it keeps a bounded
+    window of requests pipelined on one connection, matches responses
+    back to requests by id (workers may answer out of order), retries
+    bounded-ly on overload, and returns responses in request order. *)
+
+open Fg_util
+
+type conn = { fd : Unix.file_descr; dec : Protocol.decoder }
+
+exception Client_error of string
+
+let fail fmt = Fmt.kstr (fun m -> raise (Client_error m)) fmt
+
+let connect ?max_frame (addr : Server.address) =
+  let fd =
+    match addr with
+    | `Unix path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX path)
+         with Unix.Unix_error (e, _, _) ->
+           fail "cannot connect to %s: %s" path (Unix.error_message e));
+        fd
+    | `Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with _ -> (
+            try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+            with Not_found -> fail "unknown host %s" host)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect fd (Unix.ADDR_INET (inet, port));
+           Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error (e, _, _) ->
+           fail "cannot connect to %s:%d: %s" host port
+             (Unix.error_message e));
+        fd
+  in
+  { fd; dec = Protocol.decoder ?max_frame () }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send c req =
+  Protocol.write_frame c.fd
+    (Json.to_string (Protocol.request_to_json req))
+
+(* Send raw bytes as one frame — deliberately malformed payloads for
+   tests and the CI probe go through here. *)
+let send_raw_frame c payload = Protocol.write_frame c.fd payload
+
+let send_raw_bytes c s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write c.fd b !off (n - !off)
+  done
+
+let read_response c =
+  let rec loop () =
+    match Protocol.next_frame c.dec with
+    | `Frame payload -> (
+        match Json.of_string payload with
+        | Error e -> fail "response frame is not valid JSON: %s" e
+        | Ok j -> (
+            match Protocol.response_of_json j with
+            | Ok r -> r
+            | Error e -> fail "bad response: %s" e))
+    | `Error e -> fail "response framing error: %s" e
+    | `Await ->
+        if Protocol.read_chunk c.dec c.fd then loop ()
+        else fail "connection closed by server"
+  in
+  loop ()
+
+let request c req =
+  send c req;
+  let r = read_response c in
+  if r.Protocol.r_id <> 0 && r.Protocol.r_id <> req.Protocol.id then
+    fail "response id %d for request %d" r.Protocol.r_id req.Protocol.id;
+  r
+
+(* ---------------------------------------------------------------- *)
+(* Pipelined batch                                                   *)
+
+let default_window = 32
+
+let batch ?(window = default_window) ?(overload_retries = 64) c
+    (reqs : Protocol.request list) : Protocol.response list =
+  let reqs = Array.of_list reqs in
+  let n = Array.length reqs in
+  (* Re-key requests onto ids 1..n so responses map back to slots no
+     matter what ids the caller picked. *)
+  let keyed =
+    Array.mapi (fun i r -> { r with Protocol.id = i + 1 }) reqs
+  in
+  let results : Protocol.response option array = Array.make n None in
+  let retries_left = Array.make n overload_retries in
+  let window = max 1 window in
+  let next_to_send = ref 0 in
+  let to_resend = Queue.create () in
+  let inflight = ref 0 in
+  let received = ref 0 in
+  while !received < n do
+    (* Fill the window: resends first (they are oldest), then fresh. *)
+    while
+      !inflight < window
+      && ((not (Queue.is_empty to_resend)) || !next_to_send < n)
+    do
+      let idx =
+        if not (Queue.is_empty to_resend) then Queue.pop to_resend
+        else begin
+          let i = !next_to_send in
+          incr next_to_send;
+          i
+        end
+      in
+      send c keyed.(idx);
+      incr inflight
+    done;
+    let r = read_response c in
+    decr inflight;
+    let idx = r.Protocol.r_id - 1 in
+    if idx < 0 || idx >= n then
+      fail "response for unknown request id %d" r.Protocol.r_id
+    else if r.Protocol.r_status = Protocol.Overload && retries_left.(idx) > 0
+    then begin
+      (* Bounded retry with a small pause: the queue was full, give
+         the workers a moment to drain it. *)
+      retries_left.(idx) <- retries_left.(idx) - 1;
+      Unix.sleepf 0.002;
+      Queue.push idx to_resend
+    end
+    else begin
+      (match results.(idx) with
+      | None -> incr received
+      | Some _ -> fail "duplicate response for request id %d" (idx + 1));
+      results.(idx) <- Some r
+    end
+  done;
+  Array.to_list
+    (Array.mapi
+       (fun i -> function
+         | Some r -> { r with Protocol.r_id = reqs.(i).Protocol.id }
+         | None -> fail "missing response for request %d" (i + 1))
+       results)
+
+(* ---------------------------------------------------------------- *)
+(* Conveniences                                                      *)
+
+let stats c = request c (Protocol.request ~id:1 Protocol.Stats)
+
+let shutdown c = request c (Protocol.request ~id:1 Protocol.Shutdown)
+
+let run_file c ?timeout_ms ?(prelude = false) ?(global_models = false)
+    ~file source =
+  request c
+    (Protocol.request ~id:1 ~file ~source ~prelude ~global_models
+       ?timeout_ms Protocol.Run)

@@ -1,0 +1,48 @@
+(** Client side of the [fgc serve] wire protocol: blocking
+    single-request calls and a pipelined batch mode that streams many
+    requests through one connection with a bounded in-flight window,
+    out-of-order response matching by id, bounded overload retries,
+    and request-order results. *)
+
+type conn
+
+exception Client_error of string
+
+(** All failures (connect, framing, bad responses) raise
+    {!Client_error} with a human-readable message. *)
+
+val connect : ?max_frame:int -> Server.address -> conn
+
+val close : conn -> unit
+
+(** Send one request (no wait). *)
+val send : conn -> Protocol.request -> unit
+
+(** Send one raw payload as a frame / raw bytes on the wire — for
+    tests and the CI probe that deliberately violate the protocol. *)
+val send_raw_frame : conn -> string -> unit
+
+val send_raw_bytes : conn -> string -> unit
+
+(** Block until the next complete response frame. *)
+val read_response : conn -> Protocol.response
+
+(** Send, then read the matching response (checks the id echo). *)
+val request : conn -> Protocol.request -> Protocol.response
+
+val default_window : int
+
+(** [batch c reqs] — pipeline every request through [c] with at most
+    [window] in flight; overloaded requests are retried up to
+    [overload_retries] times with a small pause.  Results come back in
+    request order carrying the caller's original ids. *)
+val batch :
+  ?window:int -> ?overload_retries:int -> conn -> Protocol.request list ->
+  Protocol.response list
+
+val stats : conn -> Protocol.response
+val shutdown : conn -> Protocol.response
+
+val run_file :
+  conn -> ?timeout_ms:int -> ?prelude:bool -> ?global_models:bool ->
+  file:string -> string -> Protocol.response

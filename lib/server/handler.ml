@@ -1,0 +1,118 @@
+(** Request execution against warm sessions (see the interface).
+
+    One handler lives inside one worker domain and owns up to four
+    sessions — one per (prelude, resolution-mode) combination — each
+    created lazily on the first request that needs it and kept warm
+    from then on, so the prelude is parsed and checked once per worker
+    rather than once per request. *)
+
+open Fg_util
+module C = Fg_core
+
+type t = {
+  fuel : int option;
+  mutable sessions : ((bool * bool) * C.Session.t) list;
+}
+
+let create ?fuel () = { fuel; sessions = [] }
+
+let session_for t ~prelude ~global_models =
+  let key = (prelude, global_models) in
+  match List.assoc_opt key t.sessions with
+  | Some s -> s
+  | None ->
+      let resolution =
+        if global_models then C.Resolution.Global else C.Resolution.Lexical
+      in
+      let s =
+        if prelude then C.Session.with_prelude ~resolution ()
+        else C.Session.create ~resolution ()
+      in
+      t.sessions <- (key, s) :: t.sessions;
+      s
+
+let warm t = ignore (session_for t ~prelude:true ~global_models:false)
+
+(* The check/translate payloads mirror the run payload's envelope
+   ({"file", "ok", ..., "diagnostics"}) so clients can switch on the
+   same fields for every kind. *)
+
+let check_payload s ~file source =
+  match Diag.protect (fun () -> C.Session.typecheck ~file s source) with
+  | Ok ty ->
+      Json.Obj
+        [ ("file", Json.Str file); ("ok", Json.Bool true);
+          ("type", Json.Str (C.Pretty.ty_to_string ty));
+          ("diagnostics", Json.List []) ]
+  | Error d -> C.Jsonview.json_of_failure ~file d
+
+let translate_payload s ~file source =
+  match Diag.protect (fun () -> C.Session.translate ~file s source) with
+  | Ok f ->
+      Json.Obj
+        [ ("file", Json.Str file); ("ok", Json.Bool true);
+          ("systemf", Json.Str (Fg_systemf.Pretty.exp_to_string f));
+          ("diagnostics", Json.List []) ]
+  | Error d -> C.Jsonview.json_of_failure ~file d
+
+(* Execute one program-shaped request; Stats and Shutdown are control
+   requests the pool answers itself and must not reach here. *)
+let handle t (req : Protocol.request) : Protocol.status * string =
+  let file = req.file in
+  match req.kind with
+  | Protocol.Stats | Protocol.Shutdown ->
+      Diag.ice "control request %s reached a worker handler"
+        (Protocol.kind_name req.kind)
+  | Protocol.FuzzOne ->
+      let cfg =
+        { C.Fuzz.seed = req.seed; count = 1; size = max 1 req.size;
+          mutants = max 0 req.mutants }
+      in
+      let report = C.Fuzz.run ~domains:1 cfg in
+      let status =
+        if report.C.Fuzz.r_failures = [] then Protocol.Ok_
+        else Protocol.Failed
+      in
+      (status, Json.to_string (C.Fuzz.report_to_json report))
+  | Protocol.Check | Protocol.Run | Protocol.Translate -> (
+      let s =
+        session_for t ~prelude:req.prelude ~global_models:req.global_models
+      in
+      match req.kind with
+      | Protocol.Check ->
+          let payload = check_payload s ~file req.source in
+          let ok = Json.bool_field "ok" payload = Some true in
+          ((if ok then Protocol.Ok_ else Protocol.Failed),
+           Json.to_string payload)
+      | Protocol.Translate ->
+          let payload = translate_payload s ~file req.source in
+          let ok = Json.bool_field "ok" payload = Some true in
+          ((if ok then Protocol.Ok_ else Protocol.Failed),
+           Json.to_string payload)
+      | _ ->
+          (* Run: the recovering full pipeline, rendered by the same
+             code path as one-shot `fgc run --format=json`. *)
+          let report =
+            C.Session.run_full ~file ?fuel:t.fuel s req.source
+          in
+          let payload = C.Jsonview.json_of_run_report ~file report in
+          let status =
+            match report.C.Session.outcome with
+            | Some _ -> Protocol.Ok_
+            | None -> Protocol.Failed
+          in
+          (status, Json.to_string payload))
+
+(* Defensive wrapper: a worker must survive anything a request throws,
+   including non-diagnostic exceptions from deep inside the pipeline. *)
+let handle_safe t req =
+  match handle t req with
+  | result -> result
+  | exception Diag.Error d ->
+      (Protocol.Failed,
+       Json.to_string (C.Jsonview.json_of_failure ~file:req.Protocol.file d))
+  | exception exn ->
+      ( Protocol.Failed,
+        Protocol.error_payload ~file:req.Protocol.file ~code:"FG0901"
+          "uncaught exception while serving request: %s"
+          (Printexc.to_string exn) )

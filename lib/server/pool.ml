@@ -1,0 +1,280 @@
+(** Bounded request queue + worker-domain pool (see the interface).
+
+    Concurrency structure:
+
+    - the queue is a [Queue.t] guarded by one mutex with two condition
+      variables ([not_empty] for workers, [not_full] for the blocking
+      enqueue used by shutdown sentinels);
+    - workers are OCaml 5 domains; each owns a {!Handler.t} (and so its
+      own warm sessions — checker state never crosses domains);
+    - metrics are [Atomic] counters and {!Telemetry.Histogram}s, safe
+      to bump from any domain and to read from any thread;
+    - backpressure is explicit: {!try_enqueue} never blocks and never
+      buffers beyond [capacity] — a full queue is the caller's signal
+      to send an overload response. *)
+
+open Fg_util
+
+let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+(* ---------------------------------------------------------------- *)
+(* Metrics                                                           *)
+
+let n_kinds = List.length Protocol.all_kinds
+let kind_index k = Option.get (List.find_index (( = ) k) Protocol.all_kinds)
+
+let all_statuses =
+  Protocol.
+    [ Ok_; Failed; Timeout; Overload; Shutting_down; Protocol_error ]
+
+let n_statuses = List.length all_statuses
+let status_index s = Option.get (List.find_index (( = ) s) all_statuses)
+
+type metrics = {
+  started_ns : int;
+  by_kind_status : int Atomic.t array;  (** [n_kinds * n_statuses] grid *)
+  queue_depth : int Atomic.t;
+  enqueued : int Atomic.t;
+  protocol_errors : int Atomic.t;
+  connections_opened : int Atomic.t;
+  latency : Telemetry.Histogram.t;  (** enqueue → response ready, ns *)
+  queue_wait : Telemetry.Histogram.t;  (** enqueue → dequeue, ns *)
+}
+
+let metrics () =
+  {
+    started_ns = now_ns ();
+    by_kind_status =
+      Array.init (n_kinds * n_statuses) (fun _ -> Atomic.make 0);
+    queue_depth = Atomic.make 0;
+    enqueued = Atomic.make 0;
+    protocol_errors = Atomic.make 0;
+    connections_opened = Atomic.make 0;
+    latency = Telemetry.Histogram.create ();
+    queue_wait = Telemetry.Histogram.create ();
+  }
+
+let record_outcome m kind status =
+  Atomic.incr m.by_kind_status.((kind_index kind * n_statuses)
+                                + status_index status)
+
+let record_protocol_error m = Atomic.incr m.protocol_errors
+let record_connection m = Atomic.incr m.connections_opened
+
+let metrics_to_json ?(extra = []) m =
+  let requests =
+    List.map
+      (fun k ->
+        let counts =
+          List.filter_map
+            (fun s ->
+              let n =
+                Atomic.get
+                  m.by_kind_status.((kind_index k * n_statuses)
+                                    + status_index s)
+              in
+              if n = 0 then None
+              else Some (Protocol.status_name s, Json.Int n))
+            all_statuses
+        in
+        (Protocol.kind_name k, Json.Obj counts))
+      Protocol.all_kinds
+  in
+  Json.Obj
+    ([
+       ("uptime_ms", Json.Int ((now_ns () - m.started_ns) / 1_000_000));
+       ("enqueued", Json.Int (Atomic.get m.enqueued));
+       ("queue_depth", Json.Int (Atomic.get m.queue_depth));
+       ("protocol_errors", Json.Int (Atomic.get m.protocol_errors));
+       ("connections_opened", Json.Int (Atomic.get m.connections_opened));
+       ("requests", Json.Obj requests);
+       ("latency", Telemetry.Histogram.to_json m.latency);
+       ("queue_wait", Telemetry.Histogram.to_json m.queue_wait);
+     ]
+    @ extra)
+
+(* ---------------------------------------------------------------- *)
+(* The pool                                                          *)
+
+type job = {
+  req : Protocol.request;
+  enqueued_ns : int;
+  deadline_ns : int option;
+  respond : Protocol.response -> unit;
+}
+
+type t = {
+  capacity : int;
+  fuel : int option;
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  queue : job Queue.t;
+  mutable stopping : bool;  (** guarded by [m] *)
+  mutable workers : unit Domain.t list;
+  metrics : metrics;
+  stats_json : unit -> Json.t;
+      (** the [stats] payload; the server closes over its own config *)
+}
+
+let create ?fuel ~capacity ~stats_json () =
+  let metrics = metrics () in
+  {
+    capacity = max 1 capacity;
+    fuel;
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    queue = Queue.create ();
+    stopping = false;
+    workers = [];
+    metrics;
+    stats_json = (fun () -> stats_json metrics);
+  }
+
+let metrics t = t.metrics
+let stats_payload t = Json.to_string (t.stats_json ())
+
+let stopping t =
+  Mutex.lock t.m;
+  let s = t.stopping in
+  Mutex.unlock t.m;
+  s
+
+(* Begin the drain: no new work is admitted, workers finish what is
+   queued and exit.  Idempotent; callable from any thread or domain. *)
+let initiate_stop t =
+  Mutex.lock t.m;
+  t.stopping <- true;
+  Condition.broadcast t.not_empty;
+  Condition.broadcast t.not_full;
+  Mutex.unlock t.m
+
+(* ---------------------------------------------------------------- *)
+(* Worker side                                                       *)
+
+let timeout_response (job : job) ~elapsed_ms =
+  {
+    Protocol.r_id = job.req.Protocol.id;
+    r_status = Protocol.Timeout;
+    r_payload =
+      Protocol.error_payload ~file:job.req.Protocol.file ~code:"FG0801"
+        "request exceeded its deadline (%dms elapsed, limit %dms)"
+        elapsed_ms
+        (Option.value ~default:0 job.req.Protocol.timeout_ms);
+  }
+
+let past_deadline (job : job) now =
+  match job.deadline_ns with Some d -> now > d | None -> false
+
+let process t handler (job : job) =
+  let start = now_ns () in
+  Telemetry.Histogram.observe t.metrics.queue_wait
+    (start - job.enqueued_ns);
+  let resp =
+    if past_deadline job start then
+      (* Expired while queued: reject without running. *)
+      timeout_response job
+        ~elapsed_ms:((start - job.enqueued_ns) / 1_000_000)
+    else
+      match job.req.Protocol.kind with
+      | Protocol.Stats ->
+          { Protocol.r_id = job.req.Protocol.id; r_status = Protocol.Ok_;
+            r_payload = stats_payload t }
+      | Protocol.Shutdown ->
+          (* Graceful drain: everything enqueued before this sentinel
+             has already been served (FIFO); flip the flag so nothing
+             new is admitted, then acknowledge. *)
+          initiate_stop t;
+          { Protocol.r_id = job.req.Protocol.id; r_status = Protocol.Ok_;
+            r_payload =
+              Json.to_string
+                (Json.Obj
+                   [ ("ok", Json.Bool true);
+                     ("draining", Json.Bool true) ]) }
+      | _ ->
+          let status, payload = Handler.handle_safe handler job.req in
+          let finished = now_ns () in
+          if past_deadline job finished then
+            (* The work completed but its deadline had already passed:
+               honor the contract and report a timeout (the result is
+               discarded, exactly like a caller that stopped
+               waiting). *)
+            timeout_response job
+              ~elapsed_ms:((finished - job.enqueued_ns) / 1_000_000)
+          else
+            { Protocol.r_id = job.req.Protocol.id; r_status = status;
+              r_payload = payload }
+  in
+  let done_ns = now_ns () in
+  Telemetry.Histogram.observe t.metrics.latency (done_ns - job.enqueued_ns);
+  record_outcome t.metrics job.req.Protocol.kind resp.Protocol.r_status;
+  job.respond resp
+
+let worker_loop t =
+  let handler = Handler.create ?fuel:t.fuel () in
+  Handler.warm handler;
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.not_empty t.m
+    done;
+    if Queue.is_empty t.queue then (* stopping && drained *)
+      Mutex.unlock t.m
+    else begin
+      let job = Queue.pop t.queue in
+      Atomic.decr t.metrics.queue_depth;
+      Condition.signal t.not_full;
+      Mutex.unlock t.m;
+      process t handler job;
+      loop ()
+    end
+  in
+  loop ()
+
+let start ~workers t =
+  t.workers <-
+    List.init (max 1 workers) (fun _ -> Domain.spawn (fun () -> worker_loop t))
+
+(* Wait for the drain to finish: workers exit once [stopping] is set
+   and the queue is empty. *)
+let join t = List.iter Domain.join t.workers
+
+(* ---------------------------------------------------------------- *)
+(* Submission side                                                   *)
+
+let try_enqueue t job =
+  Mutex.lock t.m;
+  let verdict =
+    if t.stopping then `Shutting_down
+    else if Queue.length t.queue >= t.capacity then `Overload
+    else begin
+      Queue.push job t.queue;
+      Atomic.incr t.metrics.queue_depth;
+      Atomic.incr t.metrics.enqueued;
+      Condition.signal t.not_empty;
+      `Ok
+    end
+  in
+  Mutex.unlock t.m;
+  verdict
+
+let enqueue_wait t job =
+  Mutex.lock t.m;
+  let rec wait () =
+    if t.stopping then false
+    else if Queue.length t.queue >= t.capacity then begin
+      Condition.wait t.not_full t.m;
+      wait ()
+    end
+    else begin
+      Queue.push job t.queue;
+      Atomic.incr t.metrics.queue_depth;
+      Atomic.incr t.metrics.enqueued;
+      Condition.signal t.not_empty;
+      true
+    end
+  in
+  let admitted = wait () in
+  Mutex.unlock t.m;
+  admitted

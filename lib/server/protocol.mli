@@ -1,0 +1,113 @@
+(** The [fgc serve] wire protocol: length-prefixed JSON frames.
+
+    {b Framing.}  A frame is a 4-byte big-endian unsigned length [n]
+    followed by [n] bytes of UTF-8 JSON.  Frames longer than the
+    decoder's [max_frame] are rejected {e from the prefix alone} — the
+    body is never allocated — and the error is sticky: a stream whose
+    framing has been lost cannot be resynchronized, so the connection
+    must be closed.
+
+    {b Requests} are JSON objects
+    [{"v": 1, "id": N, "kind": K, ...}] where [K] is one of
+    [check | run | translate | fuzz_one | stats | shutdown]; program
+    kinds carry ["file"], ["source"] and the one-shot driver's flags
+    (["prelude"], ["global_models"]); any request may set
+    ["timeout_ms"] to override the server's default deadline.
+
+    {b Responses} are
+    [{"v": 1, "id": N, "status": S, "payload": P}] where [S] is one of
+    [ok | error | timeout | overload | shutting_down | protocol_error]
+    and [P] is the result document as {e pre-rendered JSON text} — for
+    [run] requests, byte-identical to what one-shot
+    [fgc run --format=json] prints. *)
+
+open Fg_util
+
+val version : int
+val default_max_frame : int
+
+(** {1 Framing} *)
+
+(** The complete wire bytes of one frame. *)
+val frame_of_string : string -> bytes
+
+(** An incremental frame decoder.  Feed it arbitrary chunks, pull
+    complete frames; it buffers at most [max_frame + chunk] bytes. *)
+type decoder
+
+val decoder : ?max_frame:int -> unit -> decoder
+val feed : decoder -> bytes -> int -> int -> unit
+val feed_string : decoder -> string -> unit
+
+(** [`Frame payload] when a complete frame is buffered; [`Await] when
+    more input is needed; [`Error] (sticky) when the length prefix
+    exceeds [max_frame]. *)
+val next_frame : decoder -> [ `Frame of string | `Await | `Error of string ]
+
+(** {1 Blocking I/O helpers} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+
+(** Read one chunk from [fd] into the decoder; [false] on end of
+    stream (EOF or connection reset). *)
+val read_chunk : decoder -> Unix.file_descr -> bool
+
+(** {1 Requests} *)
+
+type kind = Check | Run | Translate | FuzzOne | Stats | Shutdown
+
+val kind_name : kind -> string
+val kind_of_name : string -> kind option
+val all_kinds : kind list
+
+type request = {
+  id : int;
+  kind : kind;
+  file : string;
+  source : string;
+  prelude : bool;
+  global_models : bool;
+  timeout_ms : int option;
+  seed : int;
+  size : int;
+  mutants : int;
+}
+
+(** Build a request with the wire defaults filled in. *)
+val request :
+  ?file:string -> ?source:string -> ?prelude:bool -> ?global_models:bool ->
+  ?timeout_ms:int -> ?seed:int -> ?size:int -> ?mutants:int -> id:int ->
+  kind -> request
+
+val request_to_json : request -> Json.t
+
+type proto_error =
+  | Bad_version of int option  (** ["v"] absent or not {!version} *)
+  | Bad_request of string
+
+val request_of_json : Json.t -> (request, proto_error) result
+
+(** {1 Responses} *)
+
+type status =
+  | Ok_
+  | Failed
+  | Timeout
+  | Overload
+  | Shutting_down
+  | Protocol_error
+
+val status_name : status -> string
+val status_of_name : string -> status option
+
+type response = { r_id : int; r_status : status; r_payload : string }
+
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, string) result
+
+(** A diagnostics-shaped error payload (the same [{"file", "ok":
+    false, "diagnostics"}] shape as a failed one-shot run) with one
+    [Server]-phase diagnostic carrying [code]. *)
+val error_payload :
+  file:string -> code:string -> ('a, Format.formatter, unit, string) format4
+  -> 'a

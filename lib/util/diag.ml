@@ -19,6 +19,7 @@ type phase =
   | Resolve  (** model lookup / where-clause satisfaction *)
   | Translate
   | Eval
+  | Server  (** the [fgc serve] daemon: timeouts, overload, protocol *)
   | Internal
 
 let phase_name = function
@@ -29,6 +30,7 @@ let phase_name = function
   | Resolve -> "resolution error"
   | Translate -> "translation error"
   | Eval -> "runtime error"
+  | Server -> "server error"
   | Internal -> "internal error"
 
 (* Every phase has a generic fallback code; specific failure shapes get
@@ -43,6 +45,7 @@ let default_code = function
   | Resolve -> "FG0401"
   | Translate -> "FG0501"
   | Eval -> "FG0601"
+  | Server -> "FG0801"
   | Internal -> "FG0901"
 
 type severity = Err | Warn
@@ -139,6 +142,7 @@ let translate_error ?code ?notes ?loc fmt =
   error ?code ?notes ?loc Translate fmt
 
 let eval_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Eval fmt
+let server_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Server fmt
 
 (** Internal invariant violation; not attributable to the input program. *)
 let ice fmt = error Internal fmt

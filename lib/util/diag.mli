@@ -13,6 +13,7 @@ type phase =
   | Resolve  (** model lookup / where-clause satisfaction *)
   | Translate
   | Eval
+  | Server  (** the [fgc serve] daemon: timeouts, overload, protocol *)
   | Internal
 
 val phase_name : phase -> string
@@ -101,6 +102,10 @@ val translate_error :
   ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 val eval_error :
+  ?code:string -> ?notes:note list -> ?loc:Loc.t ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val server_error :
   ?code:string -> ?notes:note list -> ?loc:Loc.t ->
   ('a, Format.formatter, unit, 'b) format4 -> 'a
 

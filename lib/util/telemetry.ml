@@ -6,6 +6,112 @@
     accumulators share the same atomic representation as the counters
     (no atomic floats needed). *)
 
+(* ---------------------------------------------------------------- *)
+(* Latency histograms                                                 *)
+
+module Histogram = struct
+  (* Log-linear buckets (HdrHistogram-style, coarse): values 0-3 get
+     their own bucket; every octave above that is split into 4 linear
+     sub-buckets, so any recorded value is reconstructed to within 25%.
+     Everything is an [Atomic.t int], so domains record concurrently
+     without tearing; reads (percentiles, sums) are racy snapshots,
+     which is fine for monitoring.  [sum]/[max_v] keep exact totals. *)
+
+  let n_buckets = 248 (* 4 + 4 sub-buckets * 61 octaves *)
+
+  type t = {
+    buckets : int Atomic.t array;
+    count : int Atomic.t;
+    sum : int Atomic.t;
+    max_v : int Atomic.t;
+  }
+
+  let create () =
+    {
+      buckets = Array.init n_buckets (fun _ -> Atomic.make 0);
+      count = Atomic.make 0;
+      sum = Atomic.make 0;
+      max_v = Atomic.make 0;
+    }
+
+  (* Position of the most significant set bit of [v >= 4]. *)
+  let msb v =
+    let rec go v m = if v <= 1 then m else go (v lsr 1) (m + 1) in
+    go v 0
+
+  let bucket_index v =
+    if v < 4 then v
+    else
+      let m = msb v in
+      let sub = (v lsr (m - 2)) land 3 in
+      (4 * (m - 1)) + sub
+
+  (* The largest value a bucket can hold — what percentile queries
+     report, so estimates err on the conservative (larger) side. *)
+  let bucket_bound idx =
+    if idx < 4 then idx
+    else
+      let m = (idx / 4) + 1 in
+      let sub = idx mod 4 in
+      ((4 + sub + 1) lsl (m - 2)) - 1
+
+  let observe t v =
+    let v = max 0 v in
+    Atomic.incr t.buckets.(bucket_index v);
+    Atomic.incr t.count;
+    ignore (Atomic.fetch_and_add t.sum v);
+    (* CAS loop: keep the maximum ever observed. *)
+    let rec bump () =
+      let cur = Atomic.get t.max_v in
+      if v > cur && not (Atomic.compare_and_set t.max_v cur v) then bump ()
+    in
+    bump ()
+
+  let count t = Atomic.get t.count
+  let sum t = Atomic.get t.sum
+  let max_value t = Atomic.get t.max_v
+
+  let mean t =
+    let n = count t in
+    if n = 0 then 0. else float_of_int (sum t) /. float_of_int n
+
+  let percentile t p =
+    let n = count t in
+    if n = 0 then 0
+    else
+      let rank =
+        max 1 (int_of_float (ceil (p /. 100. *. float_of_int n)))
+      in
+      let rec walk idx cum =
+        if idx >= n_buckets then max_value t
+        else
+          let cum = cum + Atomic.get t.buckets.(idx) in
+          if cum >= rank then min (bucket_bound idx) (max_value t)
+          else walk (idx + 1) cum
+      in
+      walk 0 0
+
+  let reset t =
+    Array.iter (fun b -> Atomic.set b 0) t.buckets;
+    Atomic.set t.count 0;
+    Atomic.set t.sum 0;
+    Atomic.set t.max_v 0
+
+  (* Rendered in milliseconds on the assumption that observations are
+     nanoseconds — which is what every histogram in the tree records. *)
+  let to_json t =
+    let ms ns = float_of_int ns /. 1e6 in
+    Json.Obj
+      [
+        ("count", Json.Int (count t));
+        ("mean_ms", Json.Float (mean t /. 1e6));
+        ("max_ms", Json.Float (ms (max_value t)));
+        ("p50_ms", Json.Float (ms (percentile t 50.)));
+        ("p95_ms", Json.Float (ms (percentile t 95.)));
+        ("p99_ms", Json.Float (ms (percentile t 99.)));
+      ]
+end
+
 type phase = Parse | Check | Verify | Eval
 
 let phase_label = function

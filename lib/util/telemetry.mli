@@ -10,6 +10,38 @@
     a bench run).  All updates go through [Atomic], so parallel batch
     domains can record into the same counters without tearing. *)
 
+(** Concurrent latency histograms: log-linear buckets (4 linear
+    sub-buckets per power-of-two octave), so any recorded value is
+    reconstructed to within 25%.  All state is [Atomic], so multiple
+    domains can {!Histogram.observe} into one histogram without locks;
+    reads are racy snapshots, which is what monitoring wants.  The
+    server records request latencies (in nanoseconds) here and reports
+    p50/p95/p99 through the [stats] endpoint. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  (** Record one non-negative sample (negatives clamp to 0). *)
+  val observe : t -> int -> unit
+
+  val count : t -> int
+  val sum : t -> int
+  val max_value : t -> int
+  val mean : t -> float
+
+  (** [percentile t p] for [p] in [0,100] — the upper bound of the
+      bucket holding the rank-[⌈p/100·count⌉] sample (conservative,
+      clamped to the exact maximum); 0 when empty. *)
+  val percentile : t -> float -> int
+
+  val reset : t -> unit
+
+  (** [{"count", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"}] —
+      samples are assumed to be nanoseconds. *)
+  val to_json : t -> Json.t
+end
+
 (** The driver phases that are individually timed. *)
 type phase =
   | Parse  (** FG source to AST *)

@@ -5,6 +5,8 @@ let () =
   Alcotest.run "fg"
     [
       ("util", Test_util.suite);
+      ("json", Test_json.suite);
+      ("telemetry", Test_telemetry.suite);
       ("syntax", Test_syntax.suite);
       ("unionfind", Test_unionfind.suite);
       ("congruence", Test_congruence.suite);
@@ -33,6 +35,8 @@ let () =
       ("recovery", Test_recovery.suite);
       ("session", Test_session.suite);
       ("cli", Test_cli.suite);
+      ("wire-protocol", Test_protocol.suite);
+      ("server", Test_server.suite);
       ("program-files", Test_programs.suite);
       ("roundtrip", Test_roundtrip.suite);
       ("fuzz", Test_fuzz.suite);

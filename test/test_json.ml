@@ -1,0 +1,150 @@
+(* The JSON reader/printer pair: values must survive a round-trip —
+   in particular diagnostics whose messages carry newlines, tabs and
+   other control characters, since the server wire protocol embeds
+   rendered diagnostics in JSON string fields. *)
+
+open Fg_util
+
+let rec json_equal (a : Json.t) (b : Json.t) =
+  match (a, b) with
+  | Json.Null, Json.Null -> true
+  | Json.Bool x, Json.Bool y -> x = y
+  | Json.Int x, Json.Int y -> x = y
+  | Json.Float x, Json.Float y -> x = y
+  | Json.Str x, Json.Str y -> String.equal x y
+  | Json.List xs, Json.List ys ->
+      List.length xs = List.length ys && List.for_all2 json_equal xs ys
+  | Json.Obj xs, Json.Obj ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && json_equal v1 v2)
+           xs ys
+  | _ -> false
+
+let check_roundtrip name v =
+  match Json.of_string (Json.to_string v) with
+  | Ok v' ->
+      Alcotest.(check bool) (name ^ " round-trips") true (json_equal v v')
+  | Error e -> Alcotest.failf "%s: parse failed: %s" name e
+
+let test_roundtrip_values () =
+  check_roundtrip "null" Json.Null;
+  check_roundtrip "true" (Json.Bool true);
+  check_roundtrip "int" (Json.Int 42);
+  check_roundtrip "negative int" (Json.Int (-7));
+  check_roundtrip "min_int" (Json.Int min_int);
+  check_roundtrip "max_int" (Json.Int max_int);
+  check_roundtrip "float" (Json.Float 1.5);
+  check_roundtrip "small float" (Json.Float (-0.125));
+  check_roundtrip "string" (Json.Str "hello");
+  check_roundtrip "empty list" (Json.List []);
+  check_roundtrip "empty obj" (Json.Obj []);
+  check_roundtrip "nested"
+    (Json.Obj
+       [ ("a", Json.List [ Json.Int 1; Json.Null; Json.Str "x" ]);
+         ("b", Json.Obj [ ("c", Json.Bool false) ]) ])
+
+let test_roundtrip_control_chars () =
+  (* Every byte below U+0020 plus the quote and backslash must escape
+     and unescape exactly. *)
+  let b = Buffer.create 64 in
+  for c = 0 to 0x1F do
+    Buffer.add_char b (Char.chr c)
+  done;
+  Buffer.add_string b "\"\\ plain tail";
+  let s = Buffer.contents b in
+  check_roundtrip "all control chars" (Json.Str s);
+  check_roundtrip "newline/tab mix" (Json.Str "line1\nline2\ttab\r\n")
+
+let test_roundtrip_diagnostic () =
+  (* A diagnostic whose message and notes carry every awkward
+     character the renderer can produce. *)
+  let d =
+    Diag.make ~code:"FG0303"
+      ~notes:
+        [ Diag.note "candidate models:\n  model A\n  model B";
+          Diag.suggest "contains" ]
+      Diag.Typecheck
+      "expected int but got\n\tbool \x01\x1F (multi-line\r\nmessage)"
+  in
+  let rendered = Json.to_string (Diag.to_json d) in
+  match Json.of_string rendered with
+  | Error e -> Alcotest.failf "diagnostic did not re-parse: %s" e
+  | Ok j ->
+      Alcotest.(check bool) "tree equal" true (json_equal (Diag.to_json d) j);
+      Alcotest.(check (option string)) "message survives"
+        (Some "expected int but got\n\tbool \x01\x1F (multi-line\r\nmessage)")
+        (Json.str_field "message" j)
+
+let test_unicode_escapes () =
+  (match Json.of_string "\"\\u0041\\u00e9\\u20ac\"" with
+  | Ok (Json.Str s) -> Alcotest.(check string) "bmp escapes" "A\xC3\xA9\xE2\x82\xAC" s
+  | _ -> Alcotest.fail "bmp escapes failed");
+  (match Json.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (Json.Str s) ->
+      Alcotest.(check string) "surrogate pair" "\xF0\x9F\x98\x80" s
+  | _ -> Alcotest.fail "surrogate pair failed");
+  match Json.of_string "\"\\ud83d oops\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unpaired surrogate accepted"
+
+let expect_error name s =
+  match Json.of_string s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.failf "%s: accepted %S" name s
+
+let test_parse_errors () =
+  expect_error "empty" "";
+  expect_error "truncated list" "[1, 2";
+  expect_error "trailing comma" "{\"a\": 1,}";
+  expect_error "trailing garbage" "1 x";
+  expect_error "two documents" "{} {}";
+  expect_error "bare word" "flase";
+  expect_error "unterminated string" "\"abc";
+  expect_error "raw control char in string" "\"a\x01b\"";
+  expect_error "lone minus" "-";
+  expect_error "bad escape" "\"\\q\"";
+  (* Nesting is bounded, so a pathological frame cannot blow the
+     stack. *)
+  expect_error "deep nesting" (String.concat "" (List.init 1000 (fun _ -> "[")));
+  match Json.of_string (String.make 100 '[' ^ String.make 100 ']') with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "100 levels should parse: %s" e
+
+let test_accessors () =
+  let j =
+    Json.Obj
+      [ ("s", Json.Str "x"); ("n", Json.Int 3); ("b", Json.Bool true);
+        ("f", Json.Float 2.0) ]
+  in
+  Alcotest.(check (option string)) "str" (Some "x") (Json.str_field "s" j);
+  Alcotest.(check (option int)) "int" (Some 3) (Json.int_field "n" j);
+  Alcotest.(check (option int)) "int-of-float" (Some 2) (Json.int_field "f" j);
+  Alcotest.(check (option bool)) "bool" (Some true) (Json.bool_field "b" j);
+  Alcotest.(check (option string)) "missing" None (Json.str_field "zz" j);
+  Alcotest.(check (option string)) "wrong shape" None (Json.str_field "n" j)
+
+let test_whitespace_and_numbers () =
+  (match Json.of_string "  { \"a\" : [ 1 , 2.5 , -3e2 ] }  " with
+  | Ok (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Float f1; Json.Float f2 ]) ])
+    ->
+      Alcotest.(check (float 0.0)) "2.5" 2.5 f1;
+      Alcotest.(check (float 0.0)) "-3e2" (-300.) f2
+  | Ok _ -> Alcotest.fail "unexpected shape"
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  match Json.of_string "12345678901234567890123456789" with
+  | Ok (Json.Float _) -> ()
+  | _ -> Alcotest.fail "big number should fall back to float"
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip values" `Quick test_roundtrip_values;
+    Alcotest.test_case "roundtrip control chars" `Quick
+      test_roundtrip_control_chars;
+    Alcotest.test_case "roundtrip diagnostic" `Quick test_roundtrip_diagnostic;
+    Alcotest.test_case "unicode escapes" `Quick test_unicode_escapes;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "accessors" `Quick test_accessors;
+    Alcotest.test_case "whitespace and numbers" `Quick
+      test_whitespace_and_numbers;
+  ]

@@ -1,0 +1,210 @@
+(* Wire-protocol unit tests: the framing decoder against adversarial
+   input (byte-at-a-time delivery, oversized prefixes, garbage), and
+   the request/response JSON codecs including version mismatch. *)
+
+open Fg_server
+
+let drain dec =
+  let rec go acc =
+    match Protocol.next_frame dec with
+    | `Frame p -> go (p :: acc)
+    | `Await -> `Frames (List.rev acc)
+    | `Error e -> `Error (List.rev acc, e)
+  in
+  go []
+
+let test_byte_at_a_time () =
+  let payload = "{\"v\":1,\"id\":7,\"kind\":\"stats\"}" in
+  let wire = Bytes.to_string (Protocol.frame_of_string payload) in
+  let dec = Protocol.decoder () in
+  String.iteri
+    (fun i c ->
+      Protocol.feed_string dec (String.make 1 c);
+      if i < String.length wire - 1 then
+        match Protocol.next_frame dec with
+        | `Await -> ()
+        | `Frame _ -> Alcotest.fail "frame completed early"
+        | `Error e -> Alcotest.failf "decoder error mid-frame: %s" e)
+    wire;
+  match drain dec with
+  | `Frames [ p ] -> Alcotest.(check string) "payload" payload p
+  | `Frames ps -> Alcotest.failf "expected 1 frame, got %d" (List.length ps)
+  | `Error (_, e) -> Alcotest.failf "decoder error: %s" e
+
+let test_two_frames_one_chunk () =
+  let a = "first" and b = "second frame" in
+  let wire =
+    Bytes.to_string (Protocol.frame_of_string a)
+    ^ Bytes.to_string (Protocol.frame_of_string b)
+  in
+  let dec = Protocol.decoder () in
+  Protocol.feed_string dec wire;
+  match drain dec with
+  | `Frames [ pa; pb ] ->
+      Alcotest.(check string) "first" a pa;
+      Alcotest.(check string) "second" b pb
+  | `Frames ps -> Alcotest.failf "expected 2 frames, got %d" (List.length ps)
+  | `Error (_, e) -> Alcotest.failf "decoder error: %s" e
+
+let test_oversized_prefix () =
+  (* A huge length prefix must be rejected from the 4 prefix bytes
+     alone — before any body arrives — and the error must be sticky. *)
+  let dec = Protocol.decoder ~max_frame:1024 () in
+  Protocol.feed_string dec "\xFF\xFF\xFF\xFF";
+  (match Protocol.next_frame dec with
+  | `Error _ -> ()
+  | `Await -> Alcotest.fail "oversized prefix not rejected"
+  | `Frame _ -> Alcotest.fail "oversized prefix produced a frame");
+  (* sticky: even a subsequent well-formed frame is refused *)
+  Protocol.feed_string dec (Bytes.to_string (Protocol.frame_of_string "ok"));
+  match Protocol.next_frame dec with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "decoder error was not sticky"
+
+let test_oversized_exact_boundary () =
+  let dec = Protocol.decoder ~max_frame:8 () in
+  (* 8 bytes: allowed *)
+  Protocol.feed_string dec (Bytes.to_string (Protocol.frame_of_string "12345678"));
+  (match Protocol.next_frame dec with
+  | `Frame p -> Alcotest.(check string) "boundary frame" "12345678" p
+  | _ -> Alcotest.fail "max_frame-sized frame should decode");
+  (* 9 bytes: rejected *)
+  Protocol.feed_string dec (Bytes.to_string (Protocol.frame_of_string "123456789"));
+  match Protocol.next_frame dec with
+  | `Error _ -> ()
+  | _ -> Alcotest.fail "max_frame+1 frame should be rejected"
+
+let test_garbage_bytes () =
+  (* Garbage decodes as "some frame" or an oversized reject depending
+     on what the first 4 bytes spell — either way the decoder must not
+     crash, and whatever frames emerge are just strings for the JSON
+     layer to refuse. *)
+  let dec = Protocol.decoder ~max_frame:1024 () in
+  Protocol.feed_string dec "\x00\x00\x00\x03abc";
+  (match drain dec with
+  | `Frames [ "abc" ] -> ()
+  | _ -> Alcotest.fail "tiny binary frame should decode");
+  let dec2 = Protocol.decoder ~max_frame:1024 () in
+  Protocol.feed_string dec2 "GARBAGE NOT A FRAME AT ALL";
+  (* 'G','A','R','B' = 0x47415242 bytes → way past max_frame *)
+  match Protocol.next_frame dec2 with
+  | `Error _ -> ()
+  | `Await -> Alcotest.fail "ASCII garbage length should exceed max_frame"
+  | `Frame _ -> Alcotest.fail "garbage produced a frame"
+
+let test_empty_frame () =
+  let dec = Protocol.decoder () in
+  Protocol.feed_string dec "\x00\x00\x00\x00";
+  match drain dec with
+  | `Frames [ "" ] -> ()
+  | _ -> Alcotest.fail "zero-length frame should yield the empty payload"
+
+let roundtrip_request req =
+  match Protocol.request_of_json (Protocol.request_to_json req) with
+  | Ok r -> r
+  | Error _ -> Alcotest.fail "request did not round-trip"
+
+let test_request_roundtrip () =
+  let req =
+    Protocol.request ~file:"x.fg" ~source:"let a = 1;" ~prelude:false
+      ~global_models:true ~timeout_ms:250 ~id:42 Protocol.Run
+  in
+  let r = roundtrip_request req in
+  Alcotest.(check int) "id" 42 r.Protocol.id;
+  Alcotest.(check string) "file" "x.fg" r.Protocol.file;
+  Alcotest.(check string) "source" "let a = 1;" r.Protocol.source;
+  Alcotest.(check bool) "prelude" false r.Protocol.prelude;
+  Alcotest.(check bool) "global_models" true r.Protocol.global_models;
+  Alcotest.(check (option int)) "timeout" (Some 250) r.Protocol.timeout_ms;
+  List.iter
+    (fun k ->
+      let r = roundtrip_request (Protocol.request ~source:"x" ~id:1 k) in
+      Alcotest.(check string) "kind survives" (Protocol.kind_name k)
+        (Protocol.kind_name r.Protocol.kind))
+    Protocol.all_kinds
+
+let parse_request s =
+  match Fg_util.Json.of_string s with
+  | Ok j -> Protocol.request_of_json j
+  | Error e -> Alcotest.failf "test payload is invalid JSON: %s" e
+
+let test_request_version_mismatch () =
+  (match parse_request "{\"v\":999,\"id\":1,\"kind\":\"stats\"}" with
+  | Error (Protocol.Bad_version (Some 999)) -> ()
+  | _ -> Alcotest.fail "future version must be Bad_version");
+  (match parse_request "{\"id\":1,\"kind\":\"stats\"}" with
+  | Error (Protocol.Bad_version None) -> ()
+  | _ -> Alcotest.fail "missing version must be Bad_version");
+  (* the version check comes first, before any shape validation *)
+  match parse_request "{\"v\":2}" with
+  | Error (Protocol.Bad_version (Some 2)) -> ()
+  | _ -> Alcotest.fail "version precedes shape errors"
+
+let test_request_bad_shapes () =
+  let bad s =
+    match parse_request s with
+    | Error (Protocol.Bad_request _) -> ()
+    | Error (Protocol.Bad_version _) -> Alcotest.failf "%s: not a version issue" s
+    | Ok _ -> Alcotest.failf "accepted bad request: %s" s
+  in
+  bad "{\"v\":1}";
+  bad "{\"v\":1,\"id\":1,\"kind\":\"frobnicate\"}";
+  bad "{\"v\":1,\"kind\":\"stats\"}";
+  (* program kinds need a source *)
+  bad "{\"v\":1,\"id\":1,\"kind\":\"run\"}";
+  bad "{\"v\":1,\"id\":1,\"kind\":\"check\",\"file\":\"x.fg\"}"
+
+let test_response_roundtrip () =
+  List.iter
+    (fun st ->
+      let resp =
+        Protocol.{ r_id = 9; r_status = st; r_payload = "{\"ok\":true}\n" }
+      in
+      match Protocol.response_of_json (Protocol.response_to_json resp) with
+      | Ok r ->
+          Alcotest.(check int) "id" 9 r.Protocol.r_id;
+          Alcotest.(check string) "status"
+            (Protocol.status_name st)
+            (Protocol.status_name r.Protocol.r_status);
+          (* the payload is carried as opaque pre-rendered text:
+             byte-exact through the wire, trailing newline included *)
+          Alcotest.(check string) "payload bytes" "{\"ok\":true}\n"
+            r.Protocol.r_payload
+      | Error e -> Alcotest.failf "response round-trip failed: %s" e)
+    Protocol.
+      [ Ok_; Failed; Timeout; Overload; Shutting_down; Protocol_error ]
+
+let test_error_payload_shape () =
+  let p =
+    Protocol.error_payload ~file:"<conn>" ~code:"FG0803" "bad frame: %s" "x"
+  in
+  match Fg_util.Json.of_string p with
+  | Ok j ->
+      Alcotest.(check (option bool)) "ok:false" (Some false)
+        (Fg_util.Json.bool_field "ok" j);
+      Alcotest.(check (option string)) "file" (Some "<conn>")
+        (Fg_util.Json.str_field "file" j);
+      (match Fg_util.Json.mem "diagnostics" j with
+      | Some (Fg_util.Json.List [ d ]) ->
+          Alcotest.(check (option string)) "code" (Some "FG0803")
+            (Fg_util.Json.str_field "code" d)
+      | _ -> Alcotest.fail "expected one diagnostic")
+  | Error e -> Alcotest.failf "error payload is not valid JSON: %s" e
+
+let suite =
+  [
+    Alcotest.test_case "decoder: one byte at a time" `Quick test_byte_at_a_time;
+    Alcotest.test_case "decoder: two frames in one chunk" `Quick
+      test_two_frames_one_chunk;
+    Alcotest.test_case "decoder: oversized prefix" `Quick test_oversized_prefix;
+    Alcotest.test_case "decoder: max_frame boundary" `Quick
+      test_oversized_exact_boundary;
+    Alcotest.test_case "decoder: garbage bytes" `Quick test_garbage_bytes;
+    Alcotest.test_case "decoder: empty frame" `Quick test_empty_frame;
+    Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+    Alcotest.test_case "request version mismatch" `Quick
+      test_request_version_mismatch;
+    Alcotest.test_case "request bad shapes" `Quick test_request_bad_shapes;
+    Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+    Alcotest.test_case "error payload shape" `Quick test_error_payload_shape;
+  ]

@@ -32,3 +32,42 @@ echo "== fuzz smoke (seed 42, 200 programs)"
 
 echo "== bench smoke (BENCH_QUOTA=0.02)"
 BENCH_QUOTA=0.02 dune exec bench/main.exe
+
+echo "== server smoke"
+# A real daemon on a unix socket: 200+ requests through one batch
+# connection, the protocol-violation probe (garbage JSON frame,
+# version mismatch, oversized length prefix), a deliberate deadline
+# miss, live stats, then SIGTERM and a clean drain.  Any unexpected
+# status exits nonzero (the client maps statuses to exit codes).
+fgc=./_build/default/bin/fgc.exe
+sock=$(mktemp -u /tmp/fgc_ci_XXXXXX.sock)
+"$fgc" serve --socket "$sock" 2>/dev/null &
+serve_pid=$!
+trap 'rm -f "$actual"; kill "$serve_pid" 2>/dev/null || true; rm -f "$sock"' EXIT
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "server smoke: daemon never bound $sock"; exit 1; }
+
+echo "-- batch: 10 x programs/ through one connection"
+for _ in $(seq 1 10); do
+  "$fgc" client batch programs -p --socket "$sock" > /dev/null
+done
+
+echo "-- probe: malformed frame, version mismatch, oversized prefix"
+"$fgc" client probe --socket "$sock"
+
+echo "-- deliberate timeout (exit 4 expected)"
+rc=0
+"$fgc" client run -e '1 + 1' --timeout-ms 0 --socket "$sock" > /dev/null || rc=$?
+[ "$rc" -eq 4 ] || { echo "server smoke: timeout exit was $rc, want 4"; exit 1; }
+
+echo "-- stats"
+"$fgc" client stats --socket "$sock" | grep -q '"latency"' \
+  || { echo "server smoke: stats payload missing latency"; exit 1; }
+
+echo "-- SIGTERM: clean drain"
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "server smoke: daemon exited nonzero"; exit 1; }
+[ ! -S "$sock" ] || { echo "server smoke: socket not unlinked"; exit 1; }
+
+echo "== loadgen smoke (300 requests, byte-identity + 5x bar)"
+LOADGEN_REQUESTS=300 LOADGEN_ONESHOT_SAMPLE=10 dune exec bench/loadgen.exe
