@@ -172,20 +172,30 @@ let rec check (env : Env.t) (e : exp) : ty * exp * F.exp =
   | Some (env', body, wrap) -> wrap (check env' body)
   | None -> check_exp env e
 
-(* One declaration node: [Some (env', body, wrap)] when [e] is a
-   declaration with body [body], where [wrap] turns the body's checked
-   triple into the declaration's.  All side conditions of the
-   declaration itself (well-formedness, member checking, dictionary
-   construction, fresh-name generation) happen here, eagerly, in
-   exactly the order the fused judgment performed them. *)
 and check_decl (env : Env.t) (e : exp) :
     (Env.t * exp * (ty * exp * F.exp -> ty * exp * F.exp)) option =
+  Option.map
+    (fun (extend, body, wrap) -> (extend env, body, wrap))
+    (check_decl_parts env e)
+
+(* One declaration node: [Some (extend, body, wrap)] when [e] is a
+   declaration with body [body], where [extend] rebuilds the extended
+   environment from the one the declaration was checked under (or any
+   environment of the same family binding the same dependencies — that
+   is what lets {!Fg_core.Unit} replay a cached declaration without
+   re-checking it) and [wrap] turns the body's checked triple into the
+   declaration's.  All side conditions of the declaration itself
+   (well-formedness, member checking, dictionary construction,
+   fresh-name generation) happen here, eagerly, in exactly the order
+   the fused judgment performed them. *)
+and check_decl_parts (env : Env.t) (e : exp) :
+    ((Env.t -> Env.t) * exp * (ty * exp * F.exp -> ty * exp * F.exp)) option =
   let loc = e.loc in
   match e.desc with
   | Let (x, rhs, body) ->
       let trhs, rhs_elab, rhs' = check env rhs in
       Some
-        ( Env.bind_var env x trhs,
+        ( (fun env -> Env.bind_var env x trhs),
           body,
           fun (tbody, body_elab, body') ->
             (tbody, let_ ~loc x rhs_elab body_elab, F.let_ ~loc x rhs' body')
@@ -218,7 +228,7 @@ and check_decl (env : Env.t) (e : exp) :
           d.c_defaults
       end;
       Some
-        ( env',
+        ( (fun env -> Env.bind_concept env d),
           body,
           fun (tbody, body_elab, body') ->
             if env.Env.escape_check && Sset.mem d.c_name (concept_names tbody)
@@ -229,8 +239,8 @@ and check_decl (env : Env.t) (e : exp) :
                 (Pretty.ty_to_string tbody);
             (tbody, concept_decl ~loc d body_elab, body') )
   | ModelDecl (d, body) ->
-      let env_body, wrap = check_model_decl env ~loc d in
-      Some (env_body, body, wrap)
+      let extend, wrap = check_model_decl env ~loc d in
+      Some (extend, body, wrap)
   | Using (m, body) -> (
       match Env.lookup_named_model env m with
       | None ->
@@ -246,7 +256,7 @@ and check_decl (env : Env.t) (e : exp) :
             "unknown named model '%s'" m
       | Some entry ->
           Some
-            ( Env.bind_model env entry,
+            ( (fun env -> Env.bind_model env entry),
               body,
               fun (tbody, body_elab, body') ->
                 (tbody, using ~loc m body_elab, body') ))
@@ -255,9 +265,8 @@ and check_decl (env : Env.t) (e : exp) :
       if Env.tyvar_in_scope env t then
         Diag.wf_error ~code:"FG0205" ~loc
           "type alias '%s' shadows a type variable in scope" t;
-      let env' = Env.assume (Env.bind_tyvars env [ t ]) (TVar t) ty in
       Some
-        ( env',
+        ( (fun env -> Env.assume (Env.bind_tyvars env [ t ]) (TVar t) ty),
           body,
           fun (tbody, body_elab, body') ->
             (* translated after the body, as the fused judgment did, so
@@ -568,7 +577,7 @@ and infer_ty_args ~loc env (tvs : string list) (params : ty list)
     tvs
 
 and check_model_decl env ~loc (d : model_decl) :
-    Env.t * (ty * exp * F.exp -> ty * exp * F.exp) =
+    (Env.t -> Env.t) * (ty * exp * F.exp -> ty * exp * F.exp) =
   let c = d.m_concept in
   let decl = Env.lookup_concept_exn ~loc env c in
   Types.arity_check ~loc "concept" c
@@ -806,7 +815,7 @@ and check_model_decl env ~loc (d : model_decl) :
           "this model of %s shadows an earlier model of the same types"
           (Pretty.constr_to_string (CModel (c, d.m_args)))
   | _ -> ());
-  let env_body =
+  let extend env =
     match d.m_name with
     | Some m -> Env.bind_named_model env m entry
     | None ->
@@ -815,7 +824,7 @@ and check_model_decl env ~loc (d : model_decl) :
         in
         Env.bind_model base entry
   in
-  ( env_body,
+  ( extend,
     fun (tbody, body_elab, body') ->
       (* The model (and the meaning of its associated-type projections)
          goes out of scope here; resolve this model's projections in the

@@ -39,6 +39,30 @@ val check_result :
     point; the entry points above use [Env.create]). *)
 val check : Env.t -> exp -> ty * exp * F.exp
 
+(** One declaration node: [Some (extend, body, wrap)] when the
+    expression is a declaration form (let / concept / model / using /
+    type alias) with body [body].  All of the declaration's own work —
+    well-formedness, member checking, dictionary construction,
+    fresh-name generation — happens eagerly in this call; [extend]
+    rebuilds the extended environment from the environment the
+    declaration was checked under, or from any later environment of the
+    same family that binds the same dependencies (this is what lets
+    {!Unit} replay a cached declaration without re-checking it), and
+    [wrap] turns the body's checked triple into the declaration's.
+    Raises [Diag.Error] when the declaration itself is ill-typed;
+    returns [None] on non-declarations. *)
+val check_decl_parts :
+  Env.t ->
+  exp ->
+  ((Env.t -> Env.t) * exp * (ty * exp * F.exp -> ty * exp * F.exp)) option
+
+(** The names a failed declaration would have bound (an unnamed model
+    binds none, so its concept stands in) — recovery poisons these. *)
+val decl_poison : exp -> string list
+
+(** The body of a declaration form, if the expression is one. *)
+val decl_body : exp -> exp option
+
 (** Check the declaration spine of a program — every leading concept /
     model / let / using / type-alias declaration — without checking a
     body.  Returns the extended environment, the residual (first

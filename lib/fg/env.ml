@@ -71,7 +71,16 @@ type t = {
       (** warning sink, shared by every environment derived from the
           same {!create}; recovering drivers swap in their own engine
           for the duration of a run *)
+  family : int;
+      (** uniquely names the {!create} call this environment derives
+          from.  Closures produced while checking under one family
+          (declaration wrappers, cached compilation units) may capture
+          environments and their shared mutable state (the gensym, the
+          resolution cache), so they are only replayable under the same
+          family — {!Fg_core.Unit} keys its cache on this. *)
 }
+
+let family_supply = Atomic.make 0
 
 let create ?(resolution = Resolution.Lexical) ?(escape_check = true) () =
   {
@@ -89,6 +98,7 @@ let create ?(resolution = Resolution.Lexical) ?(escape_check = true) () =
     gen_supply = ref 0;
     resolve_cache = Hashtbl.create 256;
     diag = ref (Diag.engine ());
+    family = Atomic.fetch_and_add family_supply 1;
   }
 
 (* A fresh scope generation.  The supply is shared and monotone, so a

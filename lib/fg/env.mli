@@ -49,6 +49,10 @@ type t = {
       (** warning sink shared by all environments derived from one
           {!create}; recovering drivers swap in their own engine for
           the duration of a run *)
+  family : int;
+      (** uniquely names the {!create} call this environment derives
+          from; cached compilation units capture environments and are
+          only replayable under the same family *)
 }
 
 val create : ?resolution:Resolution.mode -> ?escape_check:bool -> unit -> t

@@ -175,6 +175,29 @@ let let_chain n =
         Printf.bprintf b " + g%d[int](%d)" i i
       done)
 
+(** [shared_prefix ?edit_at ?edit ~decls ()]: a [decls]-declaration
+    spine of independent generic definitions with a one-call residual
+    body.  All members of the family share every declaration except
+    number [edit_at], whose bound variable is renamed to [x<edit>] — a
+    content change that moves no other line and consumes no extra
+    fresh names, so re-checking one member against a session warm from
+    another re-checks exactly one compilation unit (B7, the
+    incremental-frontend dimension). *)
+let shared_prefix ?(edit_at = -1) ?(edit = 0) ~decls () =
+  assert (decls >= 1);
+  buf_program (fun b ->
+      Buffer.add_string b
+        "concept S<t> { op : fn(t, t) -> t; unit_elt : t; } in\n\
+         model S<int> { op = iadd; unit_elt = 0; } in\n";
+      for i = 0 to decls - 1 do
+        let v = if i = edit_at then Printf.sprintf "x%d" (max 0 edit) else "x" in
+        Printf.bprintf b
+          "let g%d = tfun t where S<t> => fun (%s : t) => \
+           S<t>.op(S<t>.op(S<t>.op(%s, S<t>.unit_elt), %s), %s) in\n"
+          i v v v v
+      done;
+      Printf.bprintf b "g%d[int](1)" (decls - 1))
+
 (** [param_depth n]: equality at [list^n int] through the parameterized
     [Eq<list t>] model — resolution must construct an [n]-deep
     dictionary chain (B6). *)

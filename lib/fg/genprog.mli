@@ -25,6 +25,13 @@ val assoc_chain : int -> string
 (** [n] sequential generic definitions and calls. *)
 val let_chain : int -> string
 
+(** Shared-prefix family for the incremental frontend: [decls]
+    independent generic definitions and a one-call body.  Members
+    differ only in declaration [edit_at] (default none), whose bound
+    variable is renamed by [edit] — re-checking one member against a
+    session warm from another re-checks exactly one declaration. *)
+val shared_prefix : ?edit_at:int -> ?edit:int -> decls:int -> unit -> string
+
 (** Equality at [list^n int] through the parameterized [Eq<list t>]
     model: resolution builds an [n]-deep dictionary chain. *)
 val param_depth : int -> string

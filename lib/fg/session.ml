@@ -2,9 +2,11 @@
 
     The load-bearing pieces:
 
-    - {!Check.check_prefix} walks the prelude's declaration spine once,
-      yielding the post-prelude environment and a wrapper that embeds a
-      checked body into the prelude's elaboration and translation;
+    - {!Unit.walk} drives every declaration spine — the prelude's, each
+      program's, each {!extend} — through a content-hashed unit cache:
+      a declaration is checked at most once per (content, dependency
+      chain, environment family, supply position) and replayed from the
+      cache everywhere else, byte-identically;
     - {!Fg_util.Gensym.mark}/[restore] rewind the fresh-name supply to
       its post-prelude position before every program, so a session's
       output for a program is identical to a standalone run's and
@@ -42,43 +44,55 @@ type t = {
   globals_mark : (string * Ast.ty list) list;
       (** the Global-ablation overlap set after the prelude *)
   hc : Hashcons.t;
+  cache : Unit.cache;  (** compilation-unit cache (possibly shared) *)
+  spine : Unit.checked list;
+      (** the units whose scope [env] reflects: prelude then every
+          [extend], in declaration order — their keys seed each
+          program's dependency chain *)
   created : Telemetry.snapshot;
 }
 
 (* ---------------------------------------------------------------- *)
 (* Construction                                                      *)
 
-(* Check a declaration stack on top of [env], returning the extended
-   environment and the composed wrapper.  The stack is parsed with a
-   dummy [0] body; anything left over after the declaration spine means
-   the text was not purely declarations. *)
-let check_decl_stack hc env src ~file =
+(* Check a declaration stack on top of [env] through the unit cache,
+   returning the extended environment, the composed wrapper, and the
+   checked units.  The stack is parsed with a dummy [0] body; anything
+   left over after the declaration spine means the text was not purely
+   declarations. *)
+let check_decl_stack hc cache ~spine env src ~file =
   let ast =
     Telemetry.time Telemetry.Parse (fun () ->
         Parser.exp_of_string ~file (src ^ "\n0"))
   in
   let ast = Hashcons.intern_exp hc ast in
-  let env', residual, wrap =
-    Telemetry.time Telemetry.Check (fun () -> Check.check_prefix env ast)
+  let w =
+    Telemetry.time Telemetry.Check (fun () ->
+        Unit.walk cache ~spine env ast)
   in
-  (match residual.Ast.desc with
+  (match w.Unit.w_residual.Ast.desc with
   | Ast.Lit (Ast.LInt 0) -> ()
   | _ ->
-      Diag.wf_error ~loc:residual.Ast.loc
+      Diag.wf_error ~loc:w.Unit.w_residual.Ast.loc
         "session prelude must be a stack of declarations (found a \
          non-declaration before the end)");
-  (env', wrap)
+  (w.Unit.w_env, w.Unit.w_wrap, w.Unit.w_units)
 
 let create ?(resolution = Resolution.Lexical) ?(escape_check = true) ?prelude
-    () : t =
+    ?cache ?unit_cache_capacity () : t =
   let env0 = Env.create ~resolution ~escape_check () in
   let hc = Hashcons.create () in
-  let env, wrap =
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Unit.create_cache ?capacity:unit_cache_capacity ()
+  in
+  let env, wrap, spine =
     match prelude with
-    | None -> (env0, fun res -> res)
+    | None -> (env0, (fun res -> res), [])
     | Some src ->
         Telemetry.record_prelude_build ();
-        check_decl_stack hc env0 src ~file:"<prelude>"
+        check_decl_stack hc cache ~spine:[] env0 src ~file:"<prelude>"
   in
   {
     res_mode = resolution;
@@ -89,6 +103,8 @@ let create ?(resolution = Resolution.Lexical) ?(escape_check = true) ?prelude
     mark = Gensym.mark env.Env.gensym;
     globals_mark = !(env.Env.global_models);
     hc;
+    cache;
+    spine;
     created = Telemetry.snapshot ();
   }
 
@@ -102,7 +118,36 @@ let extend t decls =
      many programs the session has served. *)
   Gensym.restore t.env.Env.gensym t.mark;
   t.env.Env.global_models := t.globals_mark;
-  let env', wrap' = check_decl_stack t.hc t.env decls ~file:"<decls>" in
+  let env', wrap', units =
+    check_decl_stack t.hc t.cache ~spine:t.spine t.env decls ~file:"<decls>"
+  in
+  (* A redefinition shadows earlier spine units; drop cached entries
+     that depended on the shadowed definitions.  (Correctness does not
+     need this — a dependent's key chains through its providers, so it
+     would miss anyway — but the dead entries would otherwise sit in
+     the cache until evicted, and the bump makes invalidation
+     observable in the stats.)  The spine itself stays protected:
+     shadowed units are still live history. *)
+  let provided =
+    List.fold_left
+      (fun s (u : Unit.checked) ->
+        Names.Sset.union u.Unit.ck_info.Declgraph.i_provides s)
+      Names.Sset.empty units
+  in
+  let seeds =
+    List.filter_map
+      (fun (u : Unit.checked) ->
+        if
+          Names.Sset.is_empty
+            (Names.Sset.inter u.Unit.ck_info.Declgraph.i_provides provided)
+        then None
+        else Some u.Unit.ck_key)
+      t.spine
+  in
+  let protect =
+    List.map (fun (u : Unit.checked) -> u.Unit.ck_key) (t.spine @ units)
+  in
+  ignore (Unit.invalidate t.cache ~protect ~seeds);
   {
     t with
     prelude_src =
@@ -112,6 +157,7 @@ let extend t decls =
     wrap = (fun res -> t.wrap (wrap' res));
     mark = Gensym.mark env'.Env.gensym;
     globals_mark = !(env'.Env.global_models);
+    spine = t.spine @ units;
   }
 
 let extend_result t decls = Diag.protect (fun () -> extend t decls)
@@ -138,12 +184,16 @@ let parse t ?(file = "<program>") source =
 
 (* Parse and check one program under the session environment, returning
    the program's own AST and the whole-program (prelude-wrapped)
-   elaboration triple. *)
+   elaboration triple.  The program's declaration spine goes through
+   the unit cache: re-checking an edited program re-checks only the
+   units whose content or dependencies changed. *)
 let check_source ?file t source =
   let ast = parse t ?file source in
   rewind t;
   let triple =
-    Telemetry.time Telemetry.Check (fun () -> t.wrap (Check.check t.env ast))
+    Telemetry.time Telemetry.Check (fun () ->
+        let w = Unit.walk t.cache ~spine:t.spine t.env ast in
+        t.wrap (w.Unit.w_wrap (Check.check w.Unit.w_env w.Unit.w_residual)))
   in
   (ast, triple)
 
@@ -225,17 +275,19 @@ let run_full ?(file = "<program>") ?fuel t source : run_report =
       let ast = Hashcons.intern_exp t.hc ast in
       rewind t;
       let poisoned = Names.Sset.of_list dropped in
-      let env', residual, wrap', poisoned =
+      let w =
         Telemetry.time Telemetry.Check (fun () ->
-            Check.check_prefix_recovering ~engine ~poisoned t.env ast)
+            Unit.walk ~recover:engine ~poisoned t.cache ~spine:t.spine t.env
+              ast)
       in
+      let poisoned = w.Unit.w_poisoned in
       (* The residual body is checked even when declarations failed, so
          its own independent errors surface in the same invocation;
          references to poisoned bindings are suppressed as cascades. *)
       let triple =
         match
           Telemetry.time Telemetry.Check (fun () ->
-              t.wrap (wrap' (Check.check env' residual)))
+              t.wrap (w.Unit.w_wrap (Check.check w.Unit.w_env w.Unit.w_residual)))
         with
         | triple -> Some triple
         | exception Diag.Error d ->
@@ -281,6 +333,8 @@ let run_batch ?domains ?fuel t (jobs : (string * string) list) :
     let spawned =
       List.init (domains - 1) (fun k ->
           Domain.spawn (fun () ->
+              (* Each spawned domain gets its own session and unit
+                 cache: the cache's table is single-writer by design. *)
               let t_local =
                 create ~resolution:t.res_mode ~escape_check:t.escape_check
                   ?prelude:t.prelude_src ()
@@ -302,3 +356,5 @@ let run_batch ?domains ?fuel t (jobs : (string * string) list) :
 
 let stats t = Telemetry.diff (Telemetry.snapshot ()) t.created
 let interned_types t = Hashcons.size t.hc
+let unit_cache t = t.cache
+let cache_stats t = Unit.stats t.cache

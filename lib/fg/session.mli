@@ -3,12 +3,13 @@
 
     A {!t} owns everything that one-shot driving rebuilt per program:
 
-    - a {b cached prelude}: the session's prelude source (any stack of
-      concept / model / let / using / type-alias declarations, e.g.
-      {!Prelude.full}) is parsed and checked {e once} at {!create};
-      every subsequent program is checked directly under the resulting
-      environment and wrapped into the prelude's translation, instead
-      of re-parsing and re-checking the whole prelude text;
+    - a {b compilation-unit cache} ({!Unit}): every declaration spine —
+      the prelude's, each program's, each {!extend} — is split into
+      content-hashed units, each checked at most once per (content,
+      dependency chain) and replayed from the cache everywhere else.
+      The prelude is checked {e once} at {!create}; re-checking an
+      edited program re-checks only the declarations whose content or
+      dependencies changed;
     - a {b hash-consed type table} ({!Hashcons}): each program's AST is
       interned on parse, so the pointer fast path in {!Ast.ty_equal}
       fires for every repeated type;
@@ -52,10 +53,15 @@ type outcome = {
 
 (** [create ?prelude ()] — a new session.  [prelude] is a declaration
     stack in concrete syntax (each declaration ending in [in], as
-    {!Prelude.full} is written); it is parsed and checked here, once.
-    Raises {!Diag.Error} if the prelude itself is ill-formed. *)
+    {!Prelude.full} is written); it is parsed and checked here, once,
+    through the session's compilation-unit cache.  [cache] shares an
+    existing unit cache (e.g. one per server worker) instead of
+    creating a private one; [unit_cache_capacity] bounds a private
+    cache (default {!Unit.default_capacity}).  Raises {!Diag.Error} if
+    the prelude itself is ill-formed. *)
 val create :
   ?resolution:Resolution.mode -> ?escape_check:bool -> ?prelude:string ->
+  ?cache:Unit.cache -> ?unit_cache_capacity:int ->
   unit -> t
 
 (** A session preloaded with the standard prelude ({!Prelude.full}). *)
@@ -143,3 +149,9 @@ val stats : t -> Telemetry.snapshot
 
 (** Distinct hash-consed types interned by this session. *)
 val interned_types : t -> int
+
+(** The session's compilation-unit cache (shared or private). *)
+val unit_cache : t -> Unit.cache
+
+(** Unit-cache counters: hits, misses, evictions, invalidations, size. *)
+val cache_stats : t -> Unit.stats

@@ -1,0 +1,391 @@
+(** Declaration-granular compilation units (see the interface).
+
+    Each declaration of a spine becomes a unit addressed by a content
+    hash chained through its dependencies:
+
+      key = H(decl content ‖ dep keys ‖ gensym position ‖ env family ‖
+              resolution mode ‖ escape-check flag)
+
+    The content hash covers the declaration node verbatim — locations
+    included, so a cached unit can only ever be replayed for text at
+    the same position of the same file, which is exactly the re-check
+    and shared-prefix scenarios and keeps every diagnostic and
+    elaborated location byte-identical.  [Marshal.No_sharing] keeps the
+    bytes independent of hash-consing.  The gensym position makes the
+    fresh names a unit consumed part of its address, the dependency
+    keys cover (transitively) everything the checker could observe in
+    scope, and the family confines hits to environments descending from
+    one [Env.create] — cached closures capture environments and their
+    shared supplies, so replaying them under a foreign family would not
+    be byte-identical.
+
+    A cache hit replays a unit instead of re-checking it: the recorded
+    environment delta is re-applied, the fresh-name supply fast-forwards
+    to the recorded end position, the Global ablation's overlap delta is
+    re-pushed, and the unit's recorded warnings are re-reported (once —
+    this is what keeps FG0701/FG0702 exactly-once per program).  Failed
+    declarations are never cached; after the first failure in a walk the
+    cache is bypassed entirely, so error programs behave exactly as a
+    cold recovering check. *)
+
+open Fg_util
+module F = Fg_systemf
+module Sset = Names.Sset
+
+type triple = Ast.ty * Ast.exp * F.Ast.exp
+
+type checked = {
+  ck_key : string;
+  ck_deps : string list;
+  ck_info : Declgraph.info;
+  ck_extend : Env.t -> Env.t;
+  ck_wrap : triple -> triple;
+  ck_gensym_end : int;
+  ck_globals_delta : (string * Ast.ty list) list;
+  ck_warnings : Diag.diagnostic list;
+}
+
+(* ---------------------------------------------------------------- *)
+(* The bounded cache                                                  *)
+
+type entry = { e_unit : checked; mutable e_tick : int }
+
+type cache = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable tick : int;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+  invalidations : int Atomic.t;
+  size : int Atomic.t;
+      (** mirrors [Hashtbl.length tbl]; atomic so other domains (the
+          server's stats endpoint) can read a consistent value while
+          the owning domain mutates the table *)
+}
+
+let default_capacity = 512
+
+let create_cache ?(capacity = default_capacity) () =
+  {
+    capacity = max 1 capacity;
+    tbl = Hashtbl.create 64;
+    tick = 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+    invalidations = Atomic.make 0;
+    size = Atomic.make 0;
+  }
+
+type stats = {
+  s_hits : int;
+  s_misses : int;
+  s_evictions : int;
+  s_invalidations : int;
+  s_size : int;
+  s_capacity : int;
+}
+
+let stats c =
+  {
+    s_hits = Atomic.get c.hits;
+    s_misses = Atomic.get c.misses;
+    s_evictions = Atomic.get c.evictions;
+    s_invalidations = Atomic.get c.invalidations;
+    s_size = Atomic.get c.size;
+    s_capacity = c.capacity;
+  }
+
+let tick c =
+  c.tick <- c.tick + 1;
+  c.tick
+
+let find c key =
+  match Hashtbl.find_opt c.tbl key with
+  | Some e ->
+      e.e_tick <- tick c;
+      Atomic.incr c.hits;
+      Telemetry.record_unit_hit ();
+      Some e.e_unit
+  | None ->
+      Atomic.incr c.misses;
+      Telemetry.record_unit_miss ();
+      None
+
+let remove c key =
+  if Hashtbl.mem c.tbl key then begin
+    Hashtbl.remove c.tbl key;
+    ignore (Atomic.fetch_and_add c.size (-1))
+  end
+
+(* Evict the least recently used entry — a linear scan, fine at the
+   default capacity and only reached when the cache is full. *)
+let evict_one c =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, t) when t <= e.e_tick -> ()
+      | _ -> victim := Some (key, e.e_tick))
+    c.tbl;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+      remove c key;
+      Atomic.incr c.evictions;
+      Telemetry.record_unit_eviction ()
+
+let insert c (u : checked) =
+  if not (Hashtbl.mem c.tbl u.ck_key) then begin
+    while Atomic.get c.size >= c.capacity do
+      evict_one c
+    done;
+    Hashtbl.replace c.tbl u.ck_key { e_unit = u; e_tick = tick c };
+    ignore (Atomic.fetch_and_add c.size 1)
+  end
+
+module KSet = Set.Make (String)
+
+let invalidate c ~protect ~seeds =
+  match seeds with
+  | [] -> 0
+  | _ ->
+      let protect = KSet.of_list protect in
+      let invalid = ref (KSet.of_list seeds) in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        Hashtbl.iter
+          (fun key e ->
+            if
+              (not (KSet.mem key !invalid))
+              && List.exists (fun d -> KSet.mem d !invalid) e.e_unit.ck_deps
+            then begin
+              invalid := KSet.add key !invalid;
+              changed := true
+            end)
+          c.tbl
+      done;
+      let dropped = ref 0 in
+      KSet.iter
+        (fun key ->
+          if (not (KSet.mem key protect)) && Hashtbl.mem c.tbl key then begin
+            remove c key;
+            incr dropped
+          end)
+        !invalid;
+      (* count the shadowed units themselves as bumped, so a
+         redefinition is observable even when nothing depended on it *)
+      let n = !dropped + List.length seeds in
+      ignore (Atomic.fetch_and_add c.invalidations n);
+      Telemetry.record_unit_invalidations n;
+      n
+
+(* ---------------------------------------------------------------- *)
+(* Keys                                                               *)
+
+(* Byte offsets in spans are written by the lexer and read nowhere —
+   every diagnostic and JSON rendering uses line/col only — so they are
+   normalized out of the content hash.  Without this, editing one
+   declaration would shift the offsets (but not the lines) of every
+   later same-line-count declaration and spuriously invalidate it. *)
+let zero_pos (p : Loc.pos) = { p with Loc.offset = 0 }
+
+let zero_span (s : Loc.span) =
+  {
+    s with
+    Loc.start_pos = zero_pos s.Loc.start_pos;
+    end_pos = zero_pos s.Loc.end_pos;
+  }
+
+let rec strip_offsets (e : Ast.exp) : Ast.exp =
+  let open Ast in
+  let desc =
+    match e.desc with
+    | (Var _ | Lit _ | Prim _ | Member _) as d -> d
+    | App (f, args) -> App (strip_offsets f, List.map strip_offsets args)
+    | Abs (params, body) -> Abs (params, strip_offsets body)
+    | TyAbs (tvs, constrs, body) -> TyAbs (tvs, constrs, strip_offsets body)
+    | TyApp (f, tys) -> TyApp (strip_offsets f, tys)
+    | Let (x, rhs, body) -> Let (x, strip_offsets rhs, strip_offsets body)
+    | Tuple es -> Tuple (List.map strip_offsets es)
+    | Nth (e0, i) -> Nth (strip_offsets e0, i)
+    | Fix (x, t, body) -> Fix (x, t, strip_offsets body)
+    | If (c, t, f) -> If (strip_offsets c, strip_offsets t, strip_offsets f)
+    | ConceptDecl (d, body) ->
+        ConceptDecl
+          ( {
+              d with
+              c_defaults =
+                List.map (fun (n, e) -> (n, strip_offsets e)) d.c_defaults;
+            },
+            strip_offsets body )
+    | ModelDecl (d, body) ->
+        ModelDecl
+          ( {
+              d with
+              m_members =
+                List.map (fun (n, e) -> (n, strip_offsets e)) d.m_members;
+            },
+            strip_offsets body )
+    | Using (m, body) -> Using (m, strip_offsets body)
+    | TypeAlias (t, ty, body) -> TypeAlias (t, ty, strip_offsets body)
+  in
+  { desc; loc = zero_span e.loc }
+
+let content_hash (e : Ast.exp) : string =
+  let dummy_body = Ast.unit ~loc:Loc.dummy () in
+  let header =
+    match e.Ast.desc with
+    | Ast.Let (x, rhs, _) -> { e with Ast.desc = Ast.Let (x, rhs, dummy_body) }
+    | Ast.ConceptDecl (d, _) ->
+        { e with Ast.desc = Ast.ConceptDecl (d, dummy_body) }
+    | Ast.ModelDecl (d, _) ->
+        { e with Ast.desc = Ast.ModelDecl (d, dummy_body) }
+    | Ast.Using (m, _) -> { e with Ast.desc = Ast.Using (m, dummy_body) }
+    | Ast.TypeAlias (t, ty, _) ->
+        { e with Ast.desc = Ast.TypeAlias (t, ty, dummy_body) }
+    | _ -> e
+  in
+  Digest.string (Marshal.to_string (strip_offsets header) [ Marshal.No_sharing ])
+
+let key_of ~(env : Env.t) ~gensym_start ~content ~dep_keys =
+  Digest.string
+    (String.concat "\x00"
+       (Resolution.mode_name env.Env.resolution
+        :: string_of_bool env.Env.escape_check
+        :: string_of_int env.Env.family
+        :: string_of_int gensym_start :: content :: dep_keys))
+
+(* ---------------------------------------------------------------- *)
+(* The walk                                                           *)
+
+type walk_result = {
+  w_env : Env.t;
+  w_residual : Ast.exp;
+  w_wrap : triple -> triple;
+  w_units : checked list;
+  w_poisoned : Sset.t;
+}
+
+let split_spine (e : Ast.exp) : Ast.exp list * Ast.exp =
+  let rec go acc e =
+    match Check.decl_body e with
+    | Some body when Declgraph.is_decl e -> go (e :: acc) body
+    | _ -> (List.rev acc, e)
+  in
+  go [] e
+
+(* Entries pushed onto the Global overlap set during one unit's check:
+   model declarations prepend, so the delta is the new prefix. *)
+let globals_delta ~before after =
+  let n = List.length after - List.length before in
+  let rec take n l =
+    if n <= 0 then [] else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
+  in
+  take n after
+
+let walk ?recover ?(poisoned = Sset.empty) cache ~(spine : checked list) env0
+    ast : walk_result =
+  let decls, residual = split_spine ast in
+  let n_spine = List.length spine in
+  let infos =
+    Array.of_list
+      (List.map (fun u -> u.ck_info) spine
+      @ List.map Declgraph.info_of_decl decls)
+  in
+  let global = env0.Env.resolution = Resolution.Global in
+  let deps = Declgraph.build ~global infos in
+  let keys = Array.make (Array.length infos) "" in
+  List.iteri (fun i u -> keys.(i) <- u.ck_key) spine;
+  let env = ref env0 in
+  let wraps = ref [] in
+  let units = ref [] in
+  let poisoned = ref poisoned in
+  let failed = ref false in
+  let commit (u : checked) =
+    env := u.ck_extend !env;
+    Gensym.restore !env.Env.gensym u.ck_gensym_end;
+    if u.ck_globals_delta <> [] then
+      !env.Env.global_models :=
+        u.ck_globals_delta @ !(!env.Env.global_models);
+    wraps := u.ck_wrap :: !wraps;
+    units := u :: !units
+  in
+  List.iteri
+    (fun i decl ->
+      let k = n_spine + i in
+      let gensym_start = Gensym.mark !env.Env.gensym in
+      let key =
+        if !failed then ""
+        else
+          key_of ~env:!env ~gensym_start ~content:(content_hash decl)
+            ~dep_keys:(List.map (fun j -> keys.(j)) deps.(k))
+      in
+      keys.(k) <- key;
+      match if !failed then None else find cache key with
+      | Some u ->
+          (* replay: re-extend the environment, fast-forward the
+             fresh-name supply, re-report the recorded warnings once *)
+          let sink = !(!env.Env.diag) in
+          commit u;
+          List.iter (fun d -> Diag.report sink d) u.ck_warnings
+      | None -> (
+          let diag_cell = !env.Env.diag in
+          let outer = !diag_cell in
+          let capture = Diag.engine () in
+          diag_cell := capture;
+          let finish () =
+            diag_cell := outer;
+            let warnings = Diag.diagnostics capture in
+            List.iter (fun d -> Diag.report outer d) warnings;
+            warnings
+          in
+          match Check.check_decl_parts !env decl with
+          | exception Diag.Error d -> (
+              ignore (finish ());
+              match recover with
+              | None -> raise (Diag.Error d)
+              | Some engine ->
+                  if not (Check.is_cascade !poisoned d) then
+                    Diag.report engine d;
+                  poisoned :=
+                    List.fold_left
+                      (fun s n -> Sset.add n s)
+                      !poisoned (Check.decl_poison decl);
+                  failed := true)
+          | None ->
+              ignore (finish ());
+              Diag.ice "Unit.walk: split_spine produced a non-declaration"
+          | Some (extend, _body, wrap) ->
+              let globals_before = !(!env.Env.global_models) in
+              let env' = extend !env in
+              let warnings = finish () in
+              let u =
+                {
+                  ck_key = key;
+                  ck_deps = List.map (fun j -> keys.(j)) deps.(k);
+                  ck_info = infos.(k);
+                  ck_extend = extend;
+                  ck_wrap = wrap;
+                  ck_gensym_end = Gensym.mark env'.Env.gensym;
+                  ck_globals_delta =
+                    globals_delta ~before:globals_before
+                      !(env'.Env.global_models);
+                  ck_warnings = warnings;
+                }
+              in
+              if not !failed then insert cache u;
+              env := env';
+              wraps := u.ck_wrap :: !wraps;
+              units := u :: !units))
+    decls;
+  let acc = !wraps in
+  {
+    w_env = !env;
+    w_residual = residual;
+    w_wrap = (fun res -> List.fold_left (fun res w -> w res) res acc);
+    w_units = List.rev !units;
+    w_poisoned = !poisoned;
+  }

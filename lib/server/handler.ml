@@ -11,10 +11,14 @@ module C = Fg_core
 
 type t = {
   fuel : int option;
+  cache : C.Unit.cache;
+      (** one compilation-unit cache shared by every session this
+          worker owns: bounded memory and unified counters across the
+          (prelude, resolution-mode) combinations *)
   mutable sessions : ((bool * bool) * C.Session.t) list;
 }
 
-let create ?fuel () = { fuel; sessions = [] }
+let create ?fuel () = { fuel; cache = C.Unit.create_cache (); sessions = [] }
 
 let session_for t ~prelude ~global_models =
   let key = (prelude, global_models) in
@@ -25,11 +29,15 @@ let session_for t ~prelude ~global_models =
         if global_models then C.Resolution.Global else C.Resolution.Lexical
       in
       let s =
-        if prelude then C.Session.with_prelude ~resolution ()
-        else C.Session.create ~resolution ()
+        if prelude then
+          C.Session.create ~resolution ~prelude:C.Prelude.full ~cache:t.cache
+            ()
+        else C.Session.create ~resolution ~cache:t.cache ()
       in
       t.sessions <- (key, s) :: t.sessions;
       s
+
+let cache_stats t = C.Unit.stats t.cache
 
 let warm t = ignore (session_for t ~prelude:true ~global_models:false)
 

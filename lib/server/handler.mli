@@ -18,6 +18,10 @@ val create : ?fuel:int -> unit -> t
     startup so the first request doesn't pay the prelude check). *)
 val warm : t -> unit
 
+(** Counters of this worker's compilation-unit cache (shared by all of
+    its sessions); safe to read from any domain. *)
+val cache_stats : t -> Fg_core.Unit.stats
+
 (** Execute one program-shaped request ([check | run | translate |
     fuzz_one]); control requests ([stats | shutdown]) are answered by
     the pool and must not reach a handler.  Never raises: diagnostics

@@ -112,6 +112,9 @@ type t = {
   queue : job Queue.t;
   mutable stopping : bool;  (** guarded by [m] *)
   mutable workers : unit Domain.t list;
+  mutable handlers : Handler.t list;
+      (** one per worker, registered at worker startup (guarded by [m]);
+          read by the stats payload for per-worker unit-cache counters *)
   metrics : metrics;
   stats_json : unit -> Json.t;
       (** the [stats] payload; the server closes over its own config *)
@@ -128,12 +131,58 @@ let create ?fuel ~capacity ~stats_json () =
     queue = Queue.create ();
     stopping = false;
     workers = [];
+    handlers = [];
     metrics;
     stats_json = (fun () -> stats_json metrics);
   }
 
 let metrics t = t.metrics
-let stats_payload t = Json.to_string (t.stats_json ())
+
+(* Per-worker unit-cache counters plus their totals.  The handler list
+   is read under the pool mutex; the counters themselves are atomics,
+   so reading them from whichever worker serves the stats request is
+   safe while other workers keep checking. *)
+let unit_cache_json t =
+  Mutex.lock t.m;
+  let handlers = List.rev t.handlers in
+  Mutex.unlock t.m;
+  let stats = List.map Handler.cache_stats handlers in
+  let obj (s : Fg_core.Unit.stats) =
+    Json.Obj
+      [
+        ("hits", Json.Int s.Fg_core.Unit.s_hits);
+        ("misses", Json.Int s.Fg_core.Unit.s_misses);
+        ("evictions", Json.Int s.Fg_core.Unit.s_evictions);
+        ("invalidations", Json.Int s.Fg_core.Unit.s_invalidations);
+        ("size", Json.Int s.Fg_core.Unit.s_size);
+        ("capacity", Json.Int s.Fg_core.Unit.s_capacity);
+      ]
+  in
+  let total f = List.fold_left (fun acc s -> acc + f s) 0 stats in
+  Json.Obj
+    [
+      ("workers", Json.List (List.map obj stats));
+      ( "totals",
+        Json.Obj
+          [
+            ("hits", Json.Int (total (fun s -> s.Fg_core.Unit.s_hits)));
+            ("misses", Json.Int (total (fun s -> s.Fg_core.Unit.s_misses)));
+            ( "evictions",
+              Json.Int (total (fun s -> s.Fg_core.Unit.s_evictions)) );
+            ( "invalidations",
+              Json.Int (total (fun s -> s.Fg_core.Unit.s_invalidations)) );
+            ("size", Json.Int (total (fun s -> s.Fg_core.Unit.s_size)));
+          ] );
+    ]
+
+let stats_payload t =
+  let base = t.stats_json () in
+  let json =
+    match base with
+    | Json.Obj fields -> Json.Obj (fields @ [ ("unit_cache", unit_cache_json t) ])
+    | j -> j
+  in
+  Json.to_string json
 
 let stopping t =
   Mutex.lock t.m;
@@ -213,6 +262,9 @@ let process t handler (job : job) =
 
 let worker_loop t =
   let handler = Handler.create ?fuel:t.fuel () in
+  Mutex.lock t.m;
+  t.handlers <- handler :: t.handlers;
+  Mutex.unlock t.m;
   Handler.warm handler;
   let rec loop () =
     Mutex.lock t.m;

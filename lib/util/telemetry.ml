@@ -137,12 +137,17 @@ let programs = Atomic.make 0
 let fuzz_generated = Atomic.make 0
 let fuzz_discarded = Atomic.make 0
 let fuzz_shrunk = Atomic.make 0
+let unit_hits = Atomic.make 0
+let unit_misses = Atomic.make 0
+let unit_evictions = Atomic.make 0
+let unit_invalidations = Atomic.make 0
 
 let all =
   [
     parse_ns; check_ns; verify_ns; eval_ns; cc_rebuilds; model_lookups;
     resolve_hits; resolve_misses; prelude_builds; prelude_reuses; programs;
-    fuzz_generated; fuzz_discarded; fuzz_shrunk;
+    fuzz_generated; fuzz_discarded; fuzz_shrunk; unit_hits; unit_misses;
+    unit_evictions; unit_invalidations;
   ]
 
 let bump c = Atomic.incr c
@@ -156,6 +161,12 @@ let record_program () = bump programs
 let record_fuzz_generated () = bump fuzz_generated
 let record_fuzz_discarded () = bump fuzz_discarded
 let record_fuzz_shrunk () = bump fuzz_shrunk
+let record_unit_hit () = bump unit_hits
+let record_unit_miss () = bump unit_misses
+let record_unit_eviction () = bump unit_evictions
+
+let record_unit_invalidations n =
+  if n > 0 then ignore (Atomic.fetch_and_add unit_invalidations n)
 
 let phase_counter = function
   | Parse -> parse_ns
@@ -195,6 +206,10 @@ type snapshot = {
   fuzz_generated : int;
   fuzz_discarded : int;
   fuzz_shrunk : int;
+  unit_hits : int;
+  unit_misses : int;
+  unit_evictions : int;
+  unit_invalidations : int;
 }
 
 let snapshot () =
@@ -213,6 +228,10 @@ let snapshot () =
     fuzz_generated = Atomic.get fuzz_generated;
     fuzz_discarded = Atomic.get fuzz_discarded;
     fuzz_shrunk = Atomic.get fuzz_shrunk;
+    unit_hits = Atomic.get unit_hits;
+    unit_misses = Atomic.get unit_misses;
+    unit_evictions = Atomic.get unit_evictions;
+    unit_invalidations = Atomic.get unit_invalidations;
   }
 
 let diff (b : snapshot) (a : snapshot) =
@@ -231,6 +250,10 @@ let diff (b : snapshot) (a : snapshot) =
     fuzz_generated = b.fuzz_generated - a.fuzz_generated;
     fuzz_discarded = b.fuzz_discarded - a.fuzz_discarded;
     fuzz_shrunk = b.fuzz_shrunk - a.fuzz_shrunk;
+    unit_hits = b.unit_hits - a.unit_hits;
+    unit_misses = b.unit_misses - a.unit_misses;
+    unit_evictions = b.unit_evictions - a.unit_evictions;
+    unit_invalidations = b.unit_invalidations - a.unit_invalidations;
   }
 
 let reset () = List.iter (fun c -> Atomic.set c 0) all
@@ -250,7 +273,12 @@ let pp ppf (s : snapshot) =
   Fmt.pf ppf "  cc rebuilds    : %10d@," s.cc_rebuilds;
   Fmt.pf ppf "  model lookups  : %10d@," s.model_lookups;
   Fmt.pf ppf "  resolve hits   : %10d@," s.resolve_hits;
-  Fmt.pf ppf "  resolve misses : %10d" s.resolve_misses;
+  Fmt.pf ppf "  resolve misses : %10d@," s.resolve_misses;
+  Fmt.pf ppf "unit cache:@,";
+  Fmt.pf ppf "  hits           : %10d@," s.unit_hits;
+  Fmt.pf ppf "  misses         : %10d@," s.unit_misses;
+  Fmt.pf ppf "  evictions      : %10d@," s.unit_evictions;
+  Fmt.pf ppf "  invalidations  : %10d" s.unit_invalidations;
   if s.fuzz_generated + s.fuzz_discarded + s.fuzz_shrunk > 0 then begin
     Fmt.pf ppf "@,fuzzing:@,";
     Fmt.pf ppf "  generated      : %10d@," s.fuzz_generated;
@@ -276,4 +304,8 @@ let to_json (s : snapshot) =
       ("fuzz_generated", Json.Int s.fuzz_generated);
       ("fuzz_discarded", Json.Int s.fuzz_discarded);
       ("fuzz_shrunk", Json.Int s.fuzz_shrunk);
+      ("unit_hits", Json.Int s.unit_hits);
+      ("unit_misses", Json.Int s.unit_misses);
+      ("unit_evictions", Json.Int s.unit_evictions);
+      ("unit_invalidations", Json.Int s.unit_invalidations);
     ]

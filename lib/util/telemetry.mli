@@ -88,6 +88,20 @@ val record_fuzz_discarded : unit -> unit
 val record_fuzz_shrunk : unit -> unit
 (** The shrinker committed one successful shrink step. *)
 
+val record_unit_hit : unit -> unit
+(** A compilation-unit cache served a declaration from cache. *)
+
+val record_unit_miss : unit -> unit
+(** A compilation-unit cache had to check a declaration. *)
+
+val record_unit_eviction : unit -> unit
+(** A bounded compilation-unit cache evicted its least recently used
+    entry to make room. *)
+
+val record_unit_invalidations : int -> unit
+(** [n] compilation units were invalidated by a redefinition (the
+    shadowed units plus their cached dependents). *)
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -105,6 +119,10 @@ type snapshot = {
   fuzz_generated : int;
   fuzz_discarded : int;
   fuzz_shrunk : int;
+  unit_hits : int;
+  unit_misses : int;
+  unit_evictions : int;
+  unit_invalidations : int;
 }
 
 val snapshot : unit -> snapshot

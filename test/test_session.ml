@@ -228,6 +228,135 @@ let prop_batch_matches_single_on_generated =
         jobs batched)
 
 (* ------------------------------------------------------------------ *)
+(* Incremental re-checking: the unit cache must be invisible            *)
+
+(* The full (type, elaborated term, translation, diagnostics, value)
+   quintuple of a run, printed — the strongest observable a program
+   has.  A warm session must reproduce a cold session's quintuple
+   byte-for-byte. *)
+let quintuple s file src =
+  let report = Session.run_full ~file s src in
+  let elaborated =
+    match Fg_util.Diag.protect (fun () -> Session.elaborate ~file s src) with
+    | Ok (ty, elab, f) ->
+        Pretty.ty_to_string ty ^ "\n" ^ Pretty.exp_to_string elab ^ "\n"
+        ^ f_exp_str f
+    | Error d -> "error: " ^ Fg_util.Diag.to_string d
+  in
+  Fg_util.Json.to_string (Jsonview.json_of_run_report ~file report)
+  ^ "\n" ^ elaborated
+
+let test_incremental_mutation_equals_cold () =
+  (* Check a shared-prefix program, then mutate declaration k and
+     re-check incrementally: every prefix unit replays from cache, and
+     the result must equal a cold check of the mutated program. *)
+  let decls = 6 in
+  let base = Genprog.shared_prefix ~decls () in
+  for k = 0 to decls - 1 do
+    let mutated = Genprog.shared_prefix ~edit_at:k ~edit:3 ~decls () in
+    let warm = Session.create () in
+    ignore (quintuple warm "t" base);
+    let before = Session.cache_stats warm in
+    let got = quintuple warm "t" mutated in
+    let after = Session.cache_stats warm in
+    let cold = Session.create () in
+    let want = quintuple cold "t" mutated in
+    Alcotest.(check string)
+      (Printf.sprintf "mutate decl %d: quintuple" k)
+      want got;
+    (* [quintuple] checks the program twice (run_full + elaborate), so
+       exactly the edited declaration misses, twice; everything else —
+       2 framing decls + the other [decls - 1] definitions — hits. *)
+    Alcotest.(check int)
+      (Printf.sprintf "mutate decl %d: misses" k)
+      2
+      (after.Unit.s_misses - before.Unit.s_misses);
+    Alcotest.(check bool)
+      (Printf.sprintf "mutate decl %d: prefix hit" k)
+      true
+      (after.Unit.s_hits - before.Unit.s_hits >= 2 * (decls + 1))
+  done
+
+let prop_warm_session_equals_cold =
+  QCheck.Test.make ~name:"generated programs: warm session = cold session"
+    ~count:40
+    QCheck.(make ~print:string_of_int (QCheck.Gen.int_bound 1_000_000))
+    (fun seed ->
+      (* one session serves three generated programs in a row; each
+         response must be byte-identical to a fresh session's *)
+      let warm = Session.create () in
+      List.for_all
+        (fun i ->
+          let file = Printf.sprintf "g%d" i in
+          let src =
+            Pretty.exp_to_string (Gen.program_of_seed (seed + (i * 131)))
+          in
+          let from_warm = quintuple warm file src in
+          let from_cold = quintuple (Session.create ()) file src in
+          from_warm = from_cold)
+        [ 0; 1; 2 ])
+
+let count_code code report =
+  List.length
+    (List.filter
+       (fun (d : Fg_util.Diag.diagnostic) -> d.code = code)
+       report.Session.diagnostics)
+
+let test_warnings_replayed_once () =
+  (* FG0701/FG0702 are emitted while checking a declaration; when the
+     declaration is served from cache they must be REPLAYED — present
+     exactly once, not zero times and not twice. *)
+  let src =
+    "concept N<t> { m : t; } in\n\
+     model N<int> { m = 1; } in\n\
+     model N<int> { m = 2; } in\n\
+     let f = tfun t where N<t> => fun (x : int) => x in\n\
+     f[int](N<int>.m)"
+  in
+  let s = Session.create () in
+  let cold = Session.run_full ~file:"w" s src in
+  let warm = Session.run_full ~file:"w" s src in
+  List.iter
+    (fun code ->
+      Alcotest.(check int) (code ^ " cold") 1 (count_code code cold);
+      Alcotest.(check int) (code ^ " replayed once") 1 (count_code code warm))
+    [ "FG0701"; "FG0702" ];
+  Alcotest.(check string) "identical reports"
+    (Fg_util.Json.to_string (Jsonview.json_of_run_report ~file:"w" cold))
+    (Fg_util.Json.to_string (Jsonview.json_of_run_report ~file:"w" warm))
+
+let test_repl_redefinition_invalidates () =
+  (* The REPL path: extend with x, extend again redefining x.  The new
+     session sees the new binding, the old session keeps the old one,
+     and the redefinition bumps the invalidation counter. *)
+  let base = Session.create () in
+  let s1 = Session.extend base "let x = 1 in" in
+  let o1 = Session.run ~file:"r" s1 "x + 0" in
+  Alcotest.(check bool) "x = 1" true (o1.value = Interp.FlInt 1);
+  let before = Session.cache_stats s1 in
+  let s2 = Session.extend s1 "let x = 2 in" in
+  let after = Session.cache_stats s2 in
+  Alcotest.(check bool) "redefinition recorded" true
+    (after.Unit.s_invalidations > before.Unit.s_invalidations);
+  let o2 = Session.run ~file:"r" s2 "x + 0" in
+  Alcotest.(check bool) "x = 2" true (o2.value = Interp.FlInt 2);
+  let o1' = Session.run ~file:"r" s1 "x + 0" in
+  Alcotest.(check bool) "old session still 1" true
+    (o1'.value = Interp.FlInt 1)
+
+let test_unit_cache_eviction () =
+  (* A deliberately tiny cache must stay within its bound and evict. *)
+  let s = Session.create ~unit_cache_capacity:2 () in
+  ignore (Session.run ~file:"t" s (Genprog.shared_prefix ~decls:6 ()));
+  let st = Session.cache_stats s in
+  Alcotest.(check bool) "evicted" true (st.Unit.s_evictions > 0);
+  Alcotest.(check bool) "bounded" true (st.Unit.s_size <= 2);
+  (* and eviction never compromises results *)
+  let cold = quintuple (Session.create ()) "t" (Genprog.shared_prefix ~decls:6 ()) in
+  let small = quintuple s "t" (Genprog.shared_prefix ~decls:6 ()) in
+  Alcotest.(check string) "tiny cache same output" cold small
+
+(* ------------------------------------------------------------------ *)
 (* Observability                                                       *)
 
 let test_stats_and_interning () =
@@ -270,6 +399,15 @@ let suite =
     Alcotest.test_case "batch with more domains than jobs" `Quick
       test_batch_more_domains_than_jobs;
     QCheck_alcotest.to_alcotest prop_batch_matches_single_on_generated;
+    Alcotest.test_case "incremental mutation = cold check" `Quick
+      test_incremental_mutation_equals_cold;
+    QCheck_alcotest.to_alcotest prop_warm_session_equals_cold;
+    Alcotest.test_case "warnings replayed exactly once" `Quick
+      test_warnings_replayed_once;
+    Alcotest.test_case "REPL redefinition invalidates" `Quick
+      test_repl_redefinition_invalidates;
+    Alcotest.test_case "tiny unit cache evicts, stays correct" `Quick
+      test_unit_cache_eviction;
     Alcotest.test_case "stats and interning observable" `Quick
       test_stats_and_interning;
     Alcotest.test_case "prelude must be declarations" `Quick

@@ -30,8 +30,17 @@ echo "== fuzz smoke (seed 42, 200 programs)"
 # machine, so a clean run here means a clean run everywhere.
 ./_build/default/bin/fgc.exe fuzz --seed 42 --count 200
 
-echo "== bench smoke (BENCH_QUOTA=0.02)"
-BENCH_QUOTA=0.02 dune exec bench/main.exe
+echo "== bench smoke (BENCH_QUOTA=0.02, incremental re-check >= 3x)"
+bench_out=$(mktemp)
+BENCH_QUOTA=0.02 dune exec bench/main.exe | tee "$bench_out"
+# The incremental group re-checks a program family sharing a long
+# declaration prefix; the unit cache must make warm re-checking at
+# least 3x faster than cold checking.
+speedup=$(grep 'incremental re-check speedup' "$bench_out" \
+  | grep -o '[0-9.]*x' | tr -d 'x')
+rm -f "$bench_out"
+awk -v s="$speedup" 'BEGIN { exit (s >= 3.0) ? 0 : 1 }' \
+  || { echo "bench smoke: incremental speedup ${speedup}x < 3x"; exit 1; }
 
 echo "== server smoke"
 # A real daemon on a unix socket: 200+ requests through one batch
@@ -68,6 +77,33 @@ echo "-- SIGTERM: clean drain"
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "server smoke: daemon exited nonzero"; exit 1; }
 [ ! -S "$sock" ] || { echo "server smoke: socket not unlinked"; exit 1; }
+
+echo "== incremental smoke (shared unit cache vs one-shot, byte-identity)"
+# Sweep every corpus program through one warm single-worker daemon —
+# twice, so the second pass replays cached compilation units — and
+# require each served response to be byte-identical to a one-shot
+# `fgc run --format=json` of the same file.
+sock=$(mktemp -u /tmp/fgc_inc_XXXXXX.sock)
+"$fgc" serve --socket "$sock" --workers 1 2>/dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$sock"' EXIT
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "incremental smoke: daemon never bound $sock"; exit 1; }
+oneshot=$(mktemp) && cold=$(mktemp) && warm=$(mktemp)
+for f in programs/*.fg programs/errors/*.fg programs/fuzz_regressions/*.fg; do
+  "$fgc" run --format=json "$f" > "$oneshot" 2>/dev/null || true
+  "$fgc" client run "$f" --socket "$sock" > "$cold" 2>/dev/null || true
+  "$fgc" client run "$f" --socket "$sock" > "$warm" 2>/dev/null || true
+  cmp -s "$oneshot" "$cold" \
+    || { echo "incremental smoke: served differs from one-shot: $f"; exit 1; }
+  cmp -s "$cold" "$warm" \
+    || { echo "incremental smoke: warm replay differs from cold: $f"; exit 1; }
+done
+rm -f "$oneshot" "$cold" "$warm"
+"$fgc" client stats --socket "$sock" | grep -q '"unit_cache"' \
+  || { echo "incremental smoke: stats payload missing unit_cache"; exit 1; }
+kill -TERM "$serve_pid"
+wait "$serve_pid" || { echo "incremental smoke: daemon exited nonzero"; exit 1; }
 
 echo "== loadgen smoke (300 requests, byte-identity + 5x bar)"
 LOADGEN_REQUESTS=300 LOADGEN_ONESHOT_SAMPLE=10 dune exec bench/loadgen.exe
