@@ -98,8 +98,24 @@ let with_prelude_flag =
 
 let stats_flag =
   let doc = "Report phase wall times and cache counters (prelude reuse, \
-             model-resolution hits, congruence rebuilds) on stderr." in
+             model-resolution hits, congruence rebuilds, stencil \
+             counters) on stderr." in
   Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* Kept a raw string at the cmdliner layer: unknown names become the
+   stable FG1001 configuration diagnostic (through
+   [Backend.of_string_exn] inside the command body), not a cmdliner
+   usage error — every command accepts and rejects the flag
+   identically. *)
+let backend_arg =
+  let doc =
+    "Translation backend: $(b,dict) (the paper's dictionary passing), \
+     $(b,stencil) (specialize every ground instantiation), or \
+     $(b,hybrid) (share stencils between same-shape instantiations, \
+     gcshape-style).  The specializing backends are re-checked in \
+     System F and evaluated against the dictionary semantics."
+  in
+  Arg.(value & opt string "dict" & info [ "backend" ] ~docv:"NAME" ~doc)
 
 let format_arg =
   let doc = "Output format: $(b,text) (default) or $(b,json)." in
@@ -107,11 +123,19 @@ let format_arg =
        & info [ "format" ] ~docv:"FMT" ~doc)
 
 (* The session every subcommand drives: prelude cached at creation when
-   requested, so per-program work excludes it. *)
-let make_session ~global ~with_prelude =
-  let resolution = resolution_of_flag global in
-  if with_prelude then C.Session.with_prelude ~resolution ()
-  else C.Session.create ~resolution ()
+   requested, so per-program work excludes it.  All construction goes
+   through one [Session.Config.t]. *)
+let session_config ?(backend = "dict") ~global ~with_prelude () =
+  let module Cfg = C.Session.Config in
+  let cfg =
+    Cfg.default
+    |> Cfg.with_resolution (resolution_of_flag global)
+    |> Cfg.with_backend (C.Backend.of_string_exn backend)
+  in
+  if with_prelude then Cfg.with_standard_prelude cfg else cfg
+
+let make_session ?backend ~global ~with_prelude () =
+  C.Session.of_config (session_config ?backend ~global ~with_prelude ())
 
 let get_source file expr =
   match expr with Some s -> ("<expr>", s) | None -> read_input file
@@ -124,26 +148,33 @@ let file_pos_arg =
 (* check                                                             *)
 
 let check_cmd =
-  let run file expr global with_prelude stats =
+  let run file expr global with_prelude backend stats =
     handle ~stats (fun () ->
         let name, src = get_source file expr in
-        let s = make_session ~global ~with_prelude in
+        let s = make_session ~backend ~global ~with_prelude () in
         Fmt.pr "%a@." C.Pretty.pp_ty (C.Session.typecheck ~file:name s src))
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Type check an FG program and print its type")
     Term.(const run $ file_pos_arg $ expr_arg $ global_flag
-          $ with_prelude_flag $ stats_flag)
+          $ with_prelude_flag $ backend_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* translate                                                         *)
 
 let translate_cmd =
-  let run file expr global with_prelude show_type stats =
+  let run file expr global with_prelude backend show_type stats =
     handle ~stats (fun () ->
         let name, src = get_source file expr in
-        let s = make_session ~global ~with_prelude in
+        let s = make_session ~backend ~global ~with_prelude () in
         let f = C.Session.translate ~file:name s src in
+        (* Off the Dict backend, print the partially evaluated program
+           (stencils and hoisted dictionaries on the spine). *)
+        let f =
+          match C.Backend.specialize_mode (C.Session.backend s) with
+          | None -> f
+          | Some mode -> fst (F.Specialize.specialize ~mode f)
+        in
         Fmt.pr "%a@." F.Pretty.pp_exp f;
         if show_type then
           Fmt.pr "// : %a@." F.Pretty.pp_ty (F.Typecheck.typecheck f))
@@ -154,19 +185,21 @@ let translate_cmd =
   in
   Cmd.v
     (Cmd.info "translate"
-       ~doc:"Translate an FG program to System F (dictionary passing)")
+       ~doc:
+         "Translate an FG program to System F (dictionary passing, or a \
+          specialized backend with $(b,--backend))")
     Term.(
       const run $ file_pos_arg $ expr_arg $ global_flag $ with_prelude_flag
-      $ show_type $ stats_flag)
+      $ backend_arg $ show_type $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* run                                                               *)
 
 let run_cmd =
-  let run file expr global with_prelude verbose format stats =
+  let run file expr global with_prelude backend verbose format stats =
     handle_code ~json:(format = `Json) ~stats (fun () ->
         let name, src = get_source file expr in
-        let s = make_session ~global ~with_prelude in
+        let s = make_session ~backend ~global ~with_prelude () in
         (* The recovering pipeline: every independent error in the
            program comes back in one invocation, plus any warnings. *)
         let report = C.Session.run_full ~file:name s src in
@@ -183,6 +216,16 @@ let run_cmd =
                   Fmt.pr "value       : %a@." C.Interp.pp_flat out.value;
                   Fmt.pr "direct steps: %d@." out.direct_steps;
                   Fmt.pr "trans steps : %d@." out.translated_steps;
+                  (match out.spec with
+                  | None -> ()
+                  | Some sp ->
+                      Fmt.pr "spec steps  : %d (%s: %d stencils, %d shared, \
+                              %d fallbacks)@."
+                        sp.C.Session.spec_steps
+                        (C.Backend.to_string out.backend)
+                        sp.C.Session.spec_stats.F.Specialize.st_stencils
+                        sp.C.Session.spec_stats.F.Specialize.st_shared
+                        sp.C.Session.spec_stats.F.Specialize.st_fallbacks);
                   Fmt.pr "theorem     : %s@."
                     (if out.theorem_holds then "holds" else "VIOLATED")
                 end
@@ -202,7 +245,7 @@ let run_cmd =
           (agreeing) value")
     Term.(
       const run $ file_pos_arg $ expr_arg $ global_flag $ with_prelude_flag
-      $ verbose $ format_arg $ stats_flag)
+      $ backend_arg $ verbose $ format_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* elaborate                                                         *)
@@ -211,7 +254,7 @@ let elaborate_cmd =
   let run file expr global with_prelude stats =
     handle ~stats (fun () ->
         let name, src = get_source file expr in
-        let s = make_session ~global ~with_prelude in
+        let s = make_session ~global ~with_prelude () in
         let _, elaborated, _ = C.Session.elaborate ~file:name s src in
         Fmt.pr "%a@." C.Pretty.pp_exp elaborated)
   in
@@ -230,7 +273,7 @@ let verify_cmd =
   let run file expr global with_prelude format stats =
     handle ~json:(format = `Json) ~stats (fun () ->
         let name, src = get_source file expr in
-        let s = make_session ~global ~with_prelude in
+        let s = make_session ~global ~with_prelude () in
         let report = C.Session.verify ~file:name s src in
         match format with
         | `Json ->
@@ -269,10 +312,10 @@ let domains_arg =
   Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N" ~doc)
 
 let batch_cmd =
-  let run files global with_prelude domains format stats =
+  let run files global with_prelude backend domains format stats =
     handle ~json:(format = `Json) ~stats (fun () ->
         let jobs = List.map read_input files in
-        let s = make_session ~global ~with_prelude in
+        let s = make_session ~backend ~global ~with_prelude () in
         let results = C.Session.run_batch ?domains s jobs in
         let failed = ref 0 in
         (match format with
@@ -314,14 +357,14 @@ let batch_cmd =
          "Run many FG programs through the full pipeline, fanned out over \
           OCaml domains with a shared session configuration; output order \
           matches the argument order regardless of the domain count")
-    Term.(const run $ files $ global_flag $ with_prelude_flag $ domains_arg
-          $ format_arg $ stats_flag)
+    Term.(const run $ files $ global_flag $ with_prelude_flag $ backend_arg
+          $ domains_arg $ format_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* corpus                                                            *)
 
 let corpus_cmd =
-  let run name_opt all domains format stats =
+  let run name_opt all backend domains format stats =
     handle ~json:(format = `Json) ~stats (fun () ->
         match (name_opt, all) with
         | None, false ->
@@ -332,7 +375,9 @@ let corpus_cmd =
         | None, true ->
             (* Run every entry, in parallel; an entry passes when its
                outcome matches its stated expectation. *)
-            let s = C.Session.create () in
+            let s =
+              make_session ~backend ~global:false ~with_prelude:false ()
+            in
             let jobs =
               List.map (fun (e : C.Corpus.entry) -> (e.name, e.source))
                 C.Corpus.all
@@ -398,7 +443,9 @@ let corpus_cmd =
         | Some name, _ -> (
             let e = C.Corpus.find name in
             Fmt.pr "// %s (%s)@.%s@.@." e.description e.paper e.source;
-            let s = C.Session.create () in
+            let s =
+              make_session ~backend ~global:false ~with_prelude:false ()
+            in
             match e.expected with
             | C.Corpus.Value expect ->
                 let out = C.Session.run ~file:e.name s e.source in
@@ -426,8 +473,8 @@ let corpus_cmd =
   Cmd.v
     (Cmd.info "corpus"
        ~doc:"List or run the built-in corpus of paper example programs")
-    Term.(const run $ entry_arg $ all_flag $ domains_arg $ format_arg
-          $ stats_flag)
+    Term.(const run $ entry_arg $ all_flag $ backend_arg $ domains_arg
+          $ format_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* eq: same-type queries                                             *)
@@ -471,9 +518,12 @@ let eq_cmd =
 (* fuzz                                                              *)
 
 let fuzz_cmd =
-  let run seed count size mutants domains format save_dir stats =
+  let run seed count size mutants backend domains format save_dir stats =
     handle_code ~json:(format = `Json) ~stats (fun () ->
-        let cfg = { C.Fuzz.seed; count; size; mutants } in
+        let cfg =
+          { C.Fuzz.seed; count; size; mutants;
+            backend = C.Backend.of_string_exn backend }
+        in
         let report = C.Fuzz.run ?domains cfg in
         let saved =
           match save_dir with
@@ -536,7 +586,7 @@ let fuzz_cmd =
           pretty-print/parse round-trip, and error recovery on corrupted \
           variants; failures are shrunk before reporting")
     Term.(const run $ seed_arg $ count_arg $ size_arg $ mutants_arg
-          $ domains_arg $ format_arg $ save_arg $ stats_flag)
+          $ backend_arg $ domains_arg $ format_arg $ save_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* serve: the compiler-service daemon                                 *)
@@ -564,7 +614,7 @@ let address_of ~socket ~port ~host =
 
 let serve_cmd =
   let run socket port host workers max_queue timeout_ms max_frame fuel
-      verbose =
+      backend verbose =
     handle_code (fun () ->
         let address = address_of ~socket ~port ~host in
         let base = Server.default_config address in
@@ -577,6 +627,7 @@ let serve_cmd =
             request_timeout_ms = timeout_ms;
             max_frame;
             fuel = (if fuel = 0 then None else Some fuel);
+            default_backend = C.Backend.of_string_exn backend;
             log = verbose;
           }
         in
@@ -639,7 +690,7 @@ let serve_cmd =
           fuzz_one/stats/shutdown with deadlines, backpressure and \
           graceful drain (see docs/SERVER.md)")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ max_queue
-          $ timeout_ms $ max_frame $ fuel $ verbose)
+          $ timeout_ms $ max_frame $ fuel $ backend_arg $ verbose)
 
 (* ---------------------------------------------------------------- *)
 (* client                                                            *)
@@ -711,10 +762,11 @@ let run_probe address =
           all answered correctly@."
 
 let client_cmd =
-  let run action files expr socket port host prelude global timeout_ms
-      window =
+  let run action files expr socket port host prelude global backend
+      timeout_ms window =
     handle_code (fun () ->
         let address = address_of ~socket ~port ~host in
+        let backend = C.Backend.of_string_exn backend in
         let kind_of = function
           | "run" -> Protocol.Run
           | "check" -> Protocol.Check
@@ -742,7 +794,7 @@ let client_cmd =
                 (fun i f ->
                   let name, source = read_input f in
                   Protocol.request ~id:(i + 1) ~file:name ~source ~prelude
-                    ~global_models:global ?timeout_ms Protocol.Run)
+                    ~global_models:global ~backend ?timeout_ms Protocol.Run)
                 files
             in
             let c = Client.connect address in
@@ -769,7 +821,7 @@ let client_cmd =
                 let r =
                   Client.request c
                     (Protocol.request ~id:1 ~file:name ~source ~prelude
-                       ~global_models:global ?timeout_ms kind)
+                       ~global_models:global ~backend ?timeout_ms kind)
                 in
                 print_endline r.Protocol.r_payload;
                 exit_of_status r.Protocol.r_status))
@@ -805,8 +857,8 @@ let client_cmd =
           for $(b,run) are byte-identical to one-shot \
           $(b,fgc run --format=json) output")
     Term.(const run $ action $ files $ expr_arg $ socket_arg $ port_arg
-          $ host_arg $ with_prelude_flag $ global_flag $ timeout_ms
-          $ window)
+          $ host_arg $ with_prelude_flag $ global_flag $ backend_arg
+          $ timeout_ms $ window)
 
 (* ---------------------------------------------------------------- *)
 (* repl                                                              *)

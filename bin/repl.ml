@@ -92,7 +92,9 @@ let relaxed_session st =
     | [] -> None
     | ds -> Some (String.concat "\n" ds)
   in
-  C.Session.create ~escape_check:false ?prelude ()
+  C.Session.of_config
+    C.Session.Config.(
+      default |> with_escape_check false |> with_prelude prelude)
 
 let show_type st text =
   match
@@ -170,7 +172,8 @@ let read_input () =
 let main () =
   Fmt.pr "System FG interactive (PLDI 2005 reproduction). :help for help.@.";
   let st =
-    { session = C.Session.create (); decls = []; prelude_loaded = false }
+    { session = C.Session.of_config C.Session.Config.default;
+      decls = []; prelude_loaded = false }
   in
   let rec loop () =
     match read_input () with
@@ -183,7 +186,7 @@ let main () =
          else if text = ":prelude" then load_prelude st
          else if text = ":stats" then show_stats st
          else if text = ":clear" then begin
-           st.session <- C.Session.create ();
+           st.session <- C.Session.of_config C.Session.Config.default;
            st.decls <- [];
            st.prelude_loaded <- false;
            Fmt.pr "cleared.@."

@@ -11,9 +11,16 @@
 
 open Fg_util
 
-type config = { seed : int; count : int; size : int; mutants : int }
+type config = {
+  seed : int;
+  count : int;
+  size : int;
+  mutants : int;
+  backend : Backend.t;
+}
 
-let default_config = { seed = 0; count = 100; size = 30; mutants = 2 }
+let default_config =
+  { seed = 0; count = 100; size = 30; mutants = 2; backend = Backend.Dict }
 
 type program = { p_index : int; p_ast : Ast.exp; p_source : string }
 
@@ -1429,14 +1436,15 @@ let recovery_failures cfg sess mutants_run (p : program) : failure list =
 
 let run ?domains cfg =
   let programs = List.init cfg.count (fun i -> generate cfg ~index:i) in
-  let sess = Session.create () in
+  let scfg = Session.Config.(default |> with_backend cfg.backend) in
+  let sess = Session.of_config scfg in
   let jobs =
     List.map
       (fun p -> (Printf.sprintf "fuzz-%d-%d" cfg.seed p.p_index, p.p_source))
       programs
   in
   let batch = Session.run_batch ?domains sess jobs in
-  let rsess = Session.create () in
+  let rsess = Session.of_config scfg in
   let mutants_run = ref 0 in
   let failures =
     List.concat
@@ -1472,12 +1480,18 @@ let report_to_json r =
     [
       ( "fuzz",
         Json.Obj
-          [
-            ("seed", Json.Int r.r_config.seed);
-            ("count", Json.Int r.r_config.count);
-            ("size", Json.Int r.r_config.size);
-            ("mutants", Json.Int r.r_config.mutants);
-          ] );
+          ([
+             ("seed", Json.Int r.r_config.seed);
+             ("count", Json.Int r.r_config.count);
+             ("size", Json.Int r.r_config.size);
+             ("mutants", Json.Int r.r_config.mutants);
+           ]
+          (* backend appears only off Dict, keeping the pinned
+             dictionary-backend JSON shape unchanged *)
+          @
+          match r.r_config.backend with
+          | Backend.Dict -> []
+          | b -> [ ("backend", Json.Str (Backend.to_string b)) ]) );
       ("generated", Json.Int r.r_generated);
       ("mutants_run", Json.Int r.r_mutants_run);
       ("ok", Json.Bool (r.r_failures = []));

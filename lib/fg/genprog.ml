@@ -198,6 +198,41 @@ let shared_prefix ?(edit_at = -1) ?(edit = 0) ~decls () =
       done;
       Printf.bprintf b "g%d[int](1)" (decls - 1))
 
+(** [instantiation_fanout ?reps n]: one generic called at [n] distinct
+    ground types ([int], [list int], …, [list^(n-1) int]), [reps]
+    times each, with the [Size<list t>] dictionaries built by the
+    parameterized model.  This is the specializer's scaling dimension:
+    full stenciling clones the generic [n] times, while the gcshape
+    hybrid keeps one stencil (every [Size] dictionary has the same
+    one-member layout) and shares it across the remaining [n-1]
+    instantiations.  Repetitions amplify what specialization hoists —
+    the dictionary chain is rebuilt at every call under dictionary
+    passing but built once per stencil. *)
+let instantiation_fanout ?(reps = 3) n =
+  assert (n >= 1 && reps >= 1);
+  buf_program (fun b ->
+      Buffer.add_string b
+        "concept Size<t> { size : fn(t) -> int; } in\n\
+         model Size<int> { size = fun (x : int) => 1; } in\n\
+         model <t> where Size<t> => Size<list t> {\n\
+        \  size = fix (go : fn(list t) -> int) =>\n\
+        \    fun (l : list t) =>\n\
+        \      if null[t](l) then 0\n\
+        \      else Size<t>.size(car[t](l)) + go(cdr[t](l));\n\
+         } in\n\
+         let total = tfun t where Size<t> => fun (x : t) => Size<t>.size(x) \
+         in\n\
+         0";
+      let rec ty k = if k = 0 then "int" else "list (" ^ ty (k - 1) ^ ")" in
+      for k = 0 to n - 1 do
+        let arg =
+          if k = 0 then "0" else Printf.sprintf "nil[%s]" (ty (k - 1))
+        in
+        for _ = 1 to reps do
+          Printf.bprintf b " + total[%s](%s)" (ty k) arg
+        done
+      done)
+
 (** [param_depth n]: equality at [list^n int] through the parameterized
     [Eq<list t>] model — resolution must construct an [n]-deep
     dictionary chain (B6). *)

@@ -36,6 +36,13 @@ val shared_prefix : ?edit_at:int -> ?edit:int -> decls:int -> unit -> string
     model: resolution builds an [n]-deep dictionary chain. *)
 val param_depth : int -> string
 
+(** One generic called at [n] distinct ground types ([int] through
+    [list^(n-1) int]), [reps] times each (default 3) — the
+    specializer's scaling dimension: full stenciling clones the
+    generic per instantiation; the gcshape hybrid keeps one stencil
+    for the whole same-layout family. *)
+val instantiation_fanout : ?reps:int -> int -> string
+
 (** [n] calls to a generic function, implicitly or explicitly
     instantiated — the inference-overhead comparison. *)
 val implicit_calls : implicit:bool -> int -> string

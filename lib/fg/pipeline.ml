@@ -13,6 +13,8 @@ type outcome = Session.outcome = {
   value : Interp.flat;
   direct_steps : int;
   translated_steps : int;
+  backend : Backend.t;
+  spec : Session.spec option;
 }
 
 let run ?file ?resolution ?fuel (source : string) : outcome =

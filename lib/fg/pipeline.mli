@@ -18,6 +18,8 @@ type outcome = Session.outcome = {
   value : Interp.flat;  (** the program's value (first-order part) *)
   direct_steps : int;  (** beta steps in the direct interpreter *)
   translated_steps : int;  (** beta steps evaluating the translation *)
+  backend : Backend.t;  (** always {!Backend.Dict} through this shim *)
+  spec : Session.spec option;
 }
 
 (** Run the whole pipeline; raises {!Fg_util.Diag.Error} on failure. *)

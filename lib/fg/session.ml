@@ -21,6 +21,39 @@
 open Fg_util
 module F = Fg_systemf
 
+module Config = struct
+  type t = {
+    backend : Backend.t;
+    resolution : Resolution.mode;
+    escape_check : bool;
+    prelude : string option;
+    unit_cache_capacity : int option;
+  }
+
+  let default =
+    {
+      backend = Backend.Dict;
+      resolution = Resolution.Lexical;
+      escape_check = true;
+      prelude = None;
+      unit_cache_capacity = None;
+    }
+
+  let with_backend backend c = { c with backend }
+  let with_resolution resolution c = { c with resolution }
+  let with_escape_check escape_check c = { c with escape_check }
+  let with_prelude prelude c = { c with prelude }
+  let with_standard_prelude c = { c with prelude = Some Prelude.full }
+  let with_unit_cache_capacity unit_cache_capacity c =
+    { c with unit_cache_capacity }
+end
+
+type spec = {
+  spec_exp : F.Ast.exp;
+  spec_steps : int;
+  spec_stats : F.Specialize.stats;
+}
+
 type outcome = {
   source : string;
   ast : Ast.exp;
@@ -31,12 +64,14 @@ type outcome = {
   value : Interp.flat;
   direct_steps : int;
   translated_steps : int;
+  backend : Backend.t;
+  spec : spec option;
 }
 
 type t = {
-  res_mode : Resolution.mode;
-  escape_check : bool;
-  prelude_src : string option;
+  cfg : Config.t;  (** creation-time configuration (prelude tracks
+                       {!extend}, so batch domains and servers can
+                       rebuild an equivalent session from it) *)
   env : Env.t;  (** the post-prelude environment *)
   wrap : Ast.ty * Ast.exp * F.Ast.exp -> Ast.ty * Ast.exp * F.Ast.exp;
       (** embeds a checked body into the prelude's results *)
@@ -78,26 +113,26 @@ let check_decl_stack hc cache ~spine env src ~file =
          non-declaration before the end)");
   (w.Unit.w_env, w.Unit.w_wrap, w.Unit.w_units)
 
-let create ?(resolution = Resolution.Lexical) ?(escape_check = true) ?prelude
-    ?cache ?unit_cache_capacity () : t =
-  let env0 = Env.create ~resolution ~escape_check () in
+let of_config ?cache (cfg : Config.t) : t =
+  let env0 =
+    Env.create ~resolution:cfg.Config.resolution
+      ~escape_check:cfg.Config.escape_check ()
+  in
   let hc = Hashcons.create () in
   let cache =
     match cache with
     | Some c -> c
-    | None -> Unit.create_cache ?capacity:unit_cache_capacity ()
+    | None -> Unit.create_cache ?capacity:cfg.Config.unit_cache_capacity ()
   in
   let env, wrap, spine =
-    match prelude with
+    match cfg.Config.prelude with
     | None -> (env0, (fun res -> res), [])
     | Some src ->
         Telemetry.record_prelude_build ();
         check_decl_stack hc cache ~spine:[] env0 src ~file:"<prelude>"
   in
   {
-    res_mode = resolution;
-    escape_check;
-    prelude_src = prelude;
+    cfg;
     env;
     wrap;
     mark = Gensym.mark env.Env.gensym;
@@ -108,10 +143,30 @@ let create ?(resolution = Resolution.Lexical) ?(escape_check = true) ?prelude
     created = Telemetry.snapshot ();
   }
 
-let with_prelude ?resolution () = create ?resolution ~prelude:Prelude.full ()
+let config t = t.cfg
 
-let resolution t = t.res_mode
-let prelude_source t = t.prelude_src
+(* Deprecated optional-argument shims, kept for one release. *)
+let create ?(resolution = Resolution.Lexical) ?(escape_check = true) ?prelude
+    ?cache ?unit_cache_capacity () : t =
+  of_config ?cache
+    {
+      Config.default with
+      Config.resolution;
+      escape_check;
+      prelude;
+      unit_cache_capacity;
+    }
+
+let with_prelude ?resolution () =
+  of_config
+    (Config.with_standard_prelude
+       (match resolution with
+       | None -> Config.default
+       | Some r -> Config.with_resolution r Config.default))
+
+let backend t = t.cfg.Config.backend
+let resolution t = t.cfg.Config.resolution
+let prelude_source t = t.cfg.Config.prelude
 
 let extend t decls =
   (* Rewind the supply first so extension points do not depend on how
@@ -150,9 +205,12 @@ let extend t decls =
   ignore (Unit.invalidate t.cache ~protect ~seeds);
   {
     t with
-    prelude_src =
-      Some (Option.fold ~none:decls ~some:(fun p -> p ^ "\n" ^ decls)
-              t.prelude_src);
+    cfg =
+      Config.with_prelude
+        (Some
+           (Option.fold ~none:decls ~some:(fun p -> p ^ "\n" ^ decls)
+              t.cfg.Config.prelude))
+        t.cfg;
     env = env';
     wrap = (fun res -> t.wrap (wrap' res));
     mark = Gensym.mark env'.Env.gensym;
@@ -173,7 +231,7 @@ let rewind t =
   Gensym.restore t.env.Env.gensym t.mark;
   t.env.Env.global_models := t.globals_mark;
   Telemetry.record_program ();
-  if t.prelude_src <> None then Telemetry.record_prelude_reuse ()
+  if t.cfg.Config.prelude <> None then Telemetry.record_prelude_reuse ()
 
 let parse t ?(file = "<program>") source =
   let ast =
@@ -216,9 +274,59 @@ let interpret ?file ?fuel t source =
   let _, elaborated, _ = elaborate ?file t source in
   Telemetry.time Telemetry.Eval (fun () -> Interp.run_value ?fuel elaborated)
 
+(* Specializing back end: partially evaluate the translation, then
+   enforce the oracle — the specialized program must re-typecheck in
+   System F at a type alpha-equal to the translation's and evaluate to
+   the same flat value as the direct interpreter.  Either failure is a
+   stable diagnostic (FG0502 / FG0503), not a silent divergence. *)
+let specialized ?fuel ~backend ~direct ~translated_steps
+    (report : Theorems.report) : spec option =
+  match Backend.specialize_mode backend with
+  | None -> None
+  | Some mode ->
+      let f_spec, stats =
+        Telemetry.time Telemetry.Specialize (fun () ->
+            F.Specialize.specialize ~mode report.Theorems.f_exp)
+      in
+      Telemetry.record_stencils_created stats.F.Specialize.st_stencils;
+      Telemetry.record_stencils_shared stats.F.Specialize.st_shared;
+      Telemetry.record_stencil_fallbacks stats.F.Specialize.st_fallbacks;
+      Telemetry.record_dicts_hoisted stats.F.Specialize.st_hoisted;
+      if not (F.Specialize.changed stats) then
+        (* nothing to specialize: the translation is the stencil *)
+        Some
+          {
+            spec_exp = report.Theorems.f_exp;
+            spec_steps = translated_steps;
+            spec_stats = stats;
+          }
+      else begin
+        let spec_ty =
+          Telemetry.time Telemetry.Verify (fun () ->
+              F.Typecheck.typecheck f_spec)
+        in
+        if not (F.Ast.alpha_equal spec_ty report.Theorems.f_ty) then
+          Diag.translate_error ~code:"FG0502"
+            "specialized program has type %s but the translation has type %s"
+            (F.Pretty.ty_to_string spec_ty)
+            (F.Pretty.ty_to_string report.Theorems.f_ty);
+        let v_spec, spec_steps =
+          Telemetry.time Telemetry.Eval (fun () -> F.Eval.run ?fuel f_spec)
+        in
+        let spec_flat = Interp.flatten_f v_spec in
+        if not (Interp.flat_equal direct spec_flat) then
+          Diag.eval_error ~code:"FG0503"
+            "direct interpreter computed %s but the specialized program \
+             computed %s"
+            (Interp.flat_to_string direct)
+            (Interp.flat_to_string spec_flat);
+        Some { spec_exp = f_spec; spec_steps; spec_stats = stats }
+      end
+
 (* Back half of the full pipeline, shared by [run] and [run_full]:
-   theorem check, both evaluations, agreement. *)
-let complete ?fuel ~source ~ast triple : outcome =
+   theorem check, both evaluations, agreement, and — off the Dict
+   backend — specialization plus its oracle. *)
+let complete ?fuel ~backend ~source ~ast triple : outcome =
   let report =
     Telemetry.time Telemetry.Verify (fun () ->
         Theorems.report_of_elaboration triple)
@@ -235,6 +343,7 @@ let complete ?fuel ~source ~ast triple : outcome =
       "direct interpreter computed %s but the translation computed %s"
       (Interp.flat_to_string direct)
       (Interp.flat_to_string translated);
+  let spec = specialized ?fuel ~backend ~direct ~translated_steps report in
   {
     source;
     ast;
@@ -245,11 +354,13 @@ let complete ?fuel ~source ~ast triple : outcome =
     value = direct;
     direct_steps;
     translated_steps;
+    backend;
+    spec;
   }
 
 let run ?file ?fuel t source : outcome =
   let ast, triple = check_source ?file t source in
-  complete ?fuel ~source ~ast triple
+  complete ?fuel ~backend:t.cfg.Config.backend ~source ~ast triple
 
 let run_result ?file ?fuel t source =
   Diag.protect (fun () -> run ?file ?fuel t source)
@@ -297,7 +408,9 @@ let run_full ?(file = "<program>") ?fuel t source : run_report =
       let outcome =
         match triple with
         | Some triple when not (Diag.has_errors engine) ->
-            Diag.capture engine (fun () -> complete ?fuel ~source ~ast triple)
+            Diag.capture engine (fun () ->
+                complete ?fuel ~backend:t.cfg.Config.backend ~source ~ast
+                  triple)
         | _ -> None
       in
       { outcome; diagnostics = Diag.diagnostics engine })
@@ -335,11 +448,7 @@ let run_batch ?domains ?fuel t (jobs : (string * string) list) :
           Domain.spawn (fun () ->
               (* Each spawned domain gets its own session and unit
                  cache: the cache's table is single-writer by design. *)
-              let t_local =
-                create ~resolution:t.res_mode ~escape_check:t.escape_check
-                  ?prelude:t.prelude_src ()
-              in
-              work t_local (k + 1)))
+              work (of_config t.cfg) (k + 1)))
     in
     work t 0;
     List.iter Domain.join spawned

@@ -34,6 +34,51 @@ module F := Fg_systemf
 
 type t
 
+(** Everything that parameterizes a session, in one structurally
+    comparable record: servers key worker sessions on a [Config.t],
+    batch domains rebuild sessions from one, and every driver entry
+    point ([fgc], the REPL, the fuzzer, tests) goes through
+    {!of_config}.  Build one with {!Config.default} and the [with_*]
+    narrowers. *)
+module Config : sig
+  type t = {
+    backend : Backend.t;  (** translation backend (default {!Backend.Dict}) *)
+    resolution : Resolution.mode;
+    escape_check : bool;
+    prelude : string option;
+        (** a declaration stack in concrete syntax (each declaration
+            ending in [in], as {!Prelude.full} is written) *)
+    unit_cache_capacity : int option;
+        (** bound for a private unit cache; [None] =
+            {!Unit.default_capacity} *)
+  }
+
+  val default : t
+
+  val with_backend : Backend.t -> t -> t
+  val with_resolution : Resolution.mode -> t -> t
+  val with_escape_check : bool -> t -> t
+  val with_prelude : string option -> t -> t
+
+  (** The standard prelude ({!Prelude.full}). *)
+  val with_standard_prelude : t -> t
+
+  val with_unit_cache_capacity : int option -> t -> t
+end
+
+(** What the specializing backends add to an outcome: the partially
+    evaluated program, its cost, and the specializer's counters.  The
+    session has already enforced the oracle by the time this record
+    exists: the specialized program re-typechecks in System F at a
+    type alpha-equal to the translation's ([FG0502] otherwise) and
+    evaluates to the same flat value as the direct interpreter
+    ([FG0503] otherwise). *)
+type spec = {
+  spec_exp : F.Ast.exp;  (** the specialized System F program *)
+  spec_steps : int;  (** beta steps evaluating it *)
+  spec_stats : F.Specialize.stats;
+}
+
 (** Everything the full pipeline produces for one program — the same
     shape {!Pipeline.outcome} always had. *)
 type outcome = {
@@ -49,24 +94,34 @@ type outcome = {
   value : Interp.flat;  (** the program's value (first-order part) *)
   direct_steps : int;  (** beta steps taken by the direct interpreter *)
   translated_steps : int;  (** beta steps evaluating the translation *)
+  backend : Backend.t;  (** the backend this outcome ran under *)
+  spec : spec option;  (** [Some] iff [backend] is not {!Backend.Dict} *)
 }
 
-(** [create ?prelude ()] — a new session.  [prelude] is a declaration
-    stack in concrete syntax (each declaration ending in [in], as
-    {!Prelude.full} is written); it is parsed and checked here, once,
-    through the session's compilation-unit cache.  [cache] shares an
-    existing unit cache (e.g. one per server worker) instead of
-    creating a private one; [unit_cache_capacity] bounds a private
-    cache (default {!Unit.default_capacity}).  Raises {!Diag.Error} if
-    the prelude itself is ill-formed. *)
+(** [of_config cfg] — a new session.  The prelude (if any) is parsed
+    and checked here, once, through the session's compilation-unit
+    cache.  [cache] shares an existing unit cache (e.g. one per server
+    worker) instead of creating a private one — it is a separate
+    argument, not part of {!Config.t}, precisely so configs stay
+    structurally comparable.  Raises {!Diag.Error} if the prelude
+    itself is ill-formed. *)
+val of_config : ?cache:Unit.cache -> Config.t -> t
+
+(** The session's configuration (its creation-time [Config.t]). *)
+val config : t -> Config.t
+
+(** [create ?prelude ()] — optional-argument shim over {!of_config}.
+    @deprecated Build a {!Config.t} and call {!of_config}. *)
 val create :
   ?resolution:Resolution.mode -> ?escape_check:bool -> ?prelude:string ->
   ?cache:Unit.cache -> ?unit_cache_capacity:int ->
   unit -> t
 
-(** A session preloaded with the standard prelude ({!Prelude.full}). *)
+(** A session preloaded with the standard prelude ({!Prelude.full}).
+    @deprecated Use {!Config.with_standard_prelude} and {!of_config}. *)
 val with_prelude : ?resolution:Resolution.mode -> unit -> t
 
+val backend : t -> Backend.t
 val resolution : t -> Resolution.mode
 val prelude_source : t -> string option
 

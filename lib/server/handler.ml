@@ -1,10 +1,12 @@
 (** Request execution against warm sessions (see the interface).
 
-    One handler lives inside one worker domain and owns up to four
-    sessions — one per (prelude, resolution-mode) combination — each
-    created lazily on the first request that needs it and kept warm
-    from then on, so the prelude is parsed and checked once per worker
-    rather than once per request. *)
+    One handler lives inside one worker domain and owns one session per
+    distinct {!Fg_core.Session.Config.t} it has served — the config a
+    request denotes (prelude × resolution mode × backend) {e is} the
+    cache key, so adding a session-shaping request field never needs a
+    new ad-hoc tuple here.  Each session is created lazily on the first
+    request that needs it and kept warm from then on, so the prelude is
+    parsed and checked once per worker rather than once per request. *)
 
 open Fg_util
 module C = Fg_core
@@ -13,33 +15,38 @@ type t = {
   fuel : int option;
   cache : C.Unit.cache;
       (** one compilation-unit cache shared by every session this
-          worker owns: bounded memory and unified counters across the
-          (prelude, resolution-mode) combinations *)
-  mutable sessions : ((bool * bool) * C.Session.t) list;
+          worker owns: bounded memory and unified counters across all
+          served configurations *)
+  mutable sessions : (C.Session.Config.t * C.Session.t) list;
 }
 
 let create ?fuel () = { fuel; cache = C.Unit.create_cache (); sessions = [] }
 
-let session_for t ~prelude ~global_models =
-  let key = (prelude, global_models) in
-  match List.assoc_opt key t.sessions with
+let config_of ~prelude ~global_models ~backend =
+  let module Cfg = C.Session.Config in
+  let cfg =
+    Cfg.default
+    |> Cfg.with_resolution
+         (if global_models then C.Resolution.Global else C.Resolution.Lexical)
+    |> Cfg.with_backend backend
+  in
+  if prelude then Cfg.with_standard_prelude cfg else cfg
+
+let session_for t cfg =
+  match List.assoc_opt cfg t.sessions with
   | Some s -> s
   | None ->
-      let resolution =
-        if global_models then C.Resolution.Global else C.Resolution.Lexical
-      in
-      let s =
-        if prelude then
-          C.Session.create ~resolution ~prelude:C.Prelude.full ~cache:t.cache
-            ()
-        else C.Session.create ~resolution ~cache:t.cache ()
-      in
-      t.sessions <- (key, s) :: t.sessions;
+      let s = C.Session.of_config ~cache:t.cache cfg in
+      t.sessions <- (cfg, s) :: t.sessions;
       s
 
 let cache_stats t = C.Unit.stats t.cache
 
-let warm t = ignore (session_for t ~prelude:true ~global_models:false)
+let warm t =
+  ignore
+    (session_for t
+       (config_of ~prelude:true ~global_models:false
+          ~backend:C.Backend.Dict))
 
 (* The check/translate payloads mirror the run payload's envelope
    ({"file", "ok", ..., "diagnostics"}) so clients can switch on the
@@ -74,7 +81,7 @@ let handle t (req : Protocol.request) : Protocol.status * string =
   | Protocol.FuzzOne ->
       let cfg =
         { C.Fuzz.seed = req.seed; count = 1; size = max 1 req.size;
-          mutants = max 0 req.mutants }
+          mutants = max 0 req.mutants; backend = req.backend }
       in
       let report = C.Fuzz.run ~domains:1 cfg in
       let status =
@@ -84,7 +91,9 @@ let handle t (req : Protocol.request) : Protocol.status * string =
       (status, Json.to_string (C.Fuzz.report_to_json report))
   | Protocol.Check | Protocol.Run | Protocol.Translate -> (
       let s =
-        session_for t ~prelude:req.prelude ~global_models:req.global_models
+        session_for t
+          (config_of ~prelude:req.prelude ~global_models:req.global_models
+             ~backend:req.backend)
       in
       match req.kind with
       | Protocol.Check ->

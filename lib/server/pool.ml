@@ -30,9 +30,15 @@ let all_statuses =
 let n_statuses = List.length all_statuses
 let status_index s = Option.get (List.find_index (( = ) s) all_statuses)
 
+let backend_index b =
+  Option.get (List.find_index (( = ) b) Fg_core.Backend.all)
+
 type metrics = {
   started_ns : int;
   by_kind_status : int Atomic.t array;  (** [n_kinds * n_statuses] grid *)
+  by_backend : int Atomic.t array;
+      (** requests served per translation backend, {!Fg_core.Backend.all}
+          order *)
   queue_depth : int Atomic.t;
   enqueued : int Atomic.t;
   protocol_errors : int Atomic.t;
@@ -46,6 +52,8 @@ let metrics () =
     started_ns = now_ns ();
     by_kind_status =
       Array.init (n_kinds * n_statuses) (fun _ -> Atomic.make 0);
+    by_backend =
+      Array.init (List.length Fg_core.Backend.all) (fun _ -> Atomic.make 0);
     queue_depth = Atomic.make 0;
     enqueued = Atomic.make 0;
     protocol_errors = Atomic.make 0;
@@ -57,6 +65,8 @@ let metrics () =
 let record_outcome m kind status =
   Atomic.incr m.by_kind_status.((kind_index kind * n_statuses)
                                 + status_index status)
+
+let record_backend m b = Atomic.incr m.by_backend.(backend_index b)
 
 let record_protocol_error m = Atomic.incr m.protocol_errors
 let record_connection m = Atomic.incr m.connections_opened
@@ -88,6 +98,13 @@ let metrics_to_json ?(extra = []) m =
        ("protocol_errors", Json.Int (Atomic.get m.protocol_errors));
        ("connections_opened", Json.Int (Atomic.get m.connections_opened));
        ("requests", Json.Obj requests);
+       ( "backends",
+         Json.Obj
+           (List.map
+              (fun b ->
+                ( Fg_core.Backend.to_string b,
+                  Json.Int (Atomic.get m.by_backend.(backend_index b)) ))
+              Fg_core.Backend.all) );
        ("latency", Telemetry.Histogram.to_json m.latency);
        ("queue_wait", Telemetry.Histogram.to_json m.queue_wait);
      ]
@@ -258,6 +275,7 @@ let process t handler (job : job) =
   let done_ns = now_ns () in
   Telemetry.Histogram.observe t.metrics.latency (done_ns - job.enqueued_ns);
   record_outcome t.metrics job.req.Protocol.kind resp.Protocol.r_status;
+  record_backend t.metrics job.req.Protocol.backend;
   job.respond resp
 
 let worker_loop t =

@@ -25,6 +25,10 @@ val metrics_to_json : ?extra:(string * Json.t) list -> metrics -> Json.t
 val record_protocol_error : metrics -> unit
 val record_connection : metrics -> unit
 
+(** Count a served request against its translation backend (the
+    [stats] payload's ["backends"] object). *)
+val record_backend : metrics -> Fg_core.Backend.t -> unit
+
 (** Count a response in the kind × status grid — workers do this for
     everything they serve; the server's reader threads do it for
     responses that never reach a worker (overload, shutting-down). *)

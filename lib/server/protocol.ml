@@ -10,7 +10,12 @@
 
 open Fg_util
 
-let version = 1
+(* Version 2 added the optional request field ["backend"] (absent means
+   the dictionary backend).  Frames from version-1 clients are still
+   accepted — every v1 field kept its meaning — so [min_version] stays
+   at 1; only versions outside [min_version .. version] are refused. *)
+let version = 2
+let min_version = 1
 let default_max_frame = 4 * 1024 * 1024
 
 (* ---------------------------------------------------------------- *)
@@ -125,6 +130,7 @@ type request = {
   source : string;
   prelude : bool;
   global_models : bool;
+  backend : Fg_core.Backend.t;  (** v2; absent on the wire means Dict *)
   timeout_ms : int option;  (** overrides the server default deadline *)
   seed : int;  (** fuzz_one *)
   size : int;  (** fuzz_one *)
@@ -132,10 +138,10 @@ type request = {
 }
 
 let request ?(file = "<request>") ?(source = "") ?(prelude = false)
-    ?(global_models = false) ?timeout_ms ?(seed = 0) ?(size = 30)
-    ?(mutants = 0) ~id kind =
-  { id; kind; file; source; prelude; global_models; timeout_ms; seed; size;
-    mutants }
+    ?(global_models = false) ?(backend = Fg_core.Backend.Dict) ?timeout_ms
+    ?(seed = 0) ?(size = 30) ?(mutants = 0) ~id kind =
+  { id; kind; file; source; prelude; global_models; backend; timeout_ms;
+    seed; size; mutants }
 
 let request_to_json r =
   Json.Obj
@@ -146,6 +152,10 @@ let request_to_json r =
     @ (if r.source = "" then [] else [ ("source", Json.Str r.source) ])
     @ (if r.prelude then [ ("prelude", Json.Bool true) ] else [])
     @ (if r.global_models then [ ("global_models", Json.Bool true) ] else [])
+    @ (match r.backend with
+      | Fg_core.Backend.Dict -> []
+      | b ->
+          [ ("backend", Json.Str (Fg_core.Backend.to_string b)) ])
     @ (match r.timeout_ms with
       | Some t -> [ ("timeout_ms", Json.Int t) ]
       | None -> [])
@@ -156,13 +166,15 @@ let request_to_json r =
     else [])
 
 type proto_error =
-  | Bad_version of int option  (** absent or not {!version} *)
+  | Bad_version of int option
+      (** absent or outside [min_version .. version] *)
   | Bad_request of string  (** shape violation; the message says what *)
 
 let request_of_json j =
   match Json.int_field "v" j with
   | None -> Error (Bad_version None)
-  | Some v when v <> version -> Error (Bad_version (Some v))
+  | Some v when v < min_version || v > version ->
+      Error (Bad_version (Some v))
   | Some _ -> (
       match Json.str_field "kind" j with
       | None -> Error (Bad_request "missing request field 'kind'")
@@ -181,6 +193,20 @@ let request_of_json j =
                 | Check | Run | Translate -> true
                 | FuzzOne | Stats | Shutdown -> false
               in
+              let backend =
+                match Json.str_field "backend" j with
+                | None -> Ok Fg_core.Backend.Dict
+                | Some s -> (
+                    match Fg_core.Backend.of_string s with
+                    | Some b -> Ok b
+                    | None ->
+                        Error
+                          (Bad_request
+                             (Printf.sprintf "unknown backend %S" s)))
+              in
+              match backend with
+              | Error e -> Error e
+              | Ok backend ->
               if needs_source && Json.str_field "source" j = None then
                 Error
                   (Bad_request
@@ -195,6 +221,7 @@ let request_of_json j =
                     source = str "source" "";
                     prelude = bool "prelude";
                     global_models = bool "global_models";
+                    backend;
                     timeout_ms = Json.int_field "timeout_ms" j;
                     seed =
                       Option.value ~default:0 (Json.int_field "seed" j);
@@ -257,8 +284,10 @@ let response_of_json j =
       Json.str_field "status" j,
       Json.str_field "payload" j )
   with
-  | Some v, _, _, _ when v <> version ->
-      Error (Printf.sprintf "response version %d (want %d)" v version)
+  | Some v, _, _, _ when v < min_version || v > version ->
+      Error
+        (Printf.sprintf "response version %d (want %d..%d)" v min_version
+           version)
   | Some _, Some r_id, Some sname, Some r_payload -> (
       match status_of_name sname with
       | Some r_status -> Ok { r_id; r_status; r_payload }

@@ -8,14 +8,18 @@
     must be closed.
 
     {b Requests} are JSON objects
-    [{"v": 1, "id": N, "kind": K, ...}] where [K] is one of
+    [{"v": 2, "id": N, "kind": K, ...}] where [K] is one of
     [check | run | translate | fuzz_one | stats | shutdown]; program
     kinds carry ["file"], ["source"] and the one-shot driver's flags
-    (["prelude"], ["global_models"]); any request may set
-    ["timeout_ms"] to override the server's default deadline.
+    (["prelude"], ["global_models"], and — since version 2 — an
+    optional ["backend"] of [dict | stencil | hybrid], absent meaning
+    [dict]); any request may set ["timeout_ms"] to override the
+    server's default deadline.  Any version in
+    [min_version .. version] is accepted: version-1 frames decode and
+    route exactly as before.
 
     {b Responses} are
-    [{"v": 1, "id": N, "status": S, "payload": P}] where [S] is one of
+    [{"v": 2, "id": N, "status": S, "payload": P}] where [S] is one of
     [ok | error | timeout | overload | shutting_down | protocol_error]
     and [P] is the result document as {e pre-rendered JSON text} — for
     [run] requests, byte-identical to what one-shot
@@ -24,6 +28,10 @@
 open Fg_util
 
 val version : int
+
+(** The oldest request/response version still accepted. *)
+val min_version : int
+
 val default_max_frame : int
 
 (** {1 Framing} *)
@@ -67,6 +75,8 @@ type request = {
   source : string;
   prelude : bool;
   global_models : bool;
+  backend : Fg_core.Backend.t;
+      (** added in version 2; absent on the wire means {!Fg_core.Backend.Dict} *)
   timeout_ms : int option;
   seed : int;
   size : int;
@@ -76,13 +86,14 @@ type request = {
 (** Build a request with the wire defaults filled in. *)
 val request :
   ?file:string -> ?source:string -> ?prelude:bool -> ?global_models:bool ->
-  ?timeout_ms:int -> ?seed:int -> ?size:int -> ?mutants:int -> id:int ->
-  kind -> request
+  ?backend:Fg_core.Backend.t -> ?timeout_ms:int -> ?seed:int -> ?size:int ->
+  ?mutants:int -> id:int -> kind -> request
 
 val request_to_json : request -> Json.t
 
 type proto_error =
-  | Bad_version of int option  (** ["v"] absent or not {!version} *)
+  | Bad_version of int option
+      (** ["v"] absent or outside [{!min_version} .. {!version}] *)
   | Bad_request of string
 
 val request_of_json : Json.t -> (request, proto_error) result

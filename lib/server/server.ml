@@ -21,6 +21,9 @@ type config = {
   request_timeout_ms : int option;
   max_frame : int;
   fuel : int option;
+  default_backend : Fg_core.Backend.t;
+      (** backend for requests whose frame omits the [backend] field
+          (v1 clients in particular) *)
   log : bool;
 }
 
@@ -32,6 +35,7 @@ let default_config address =
     request_timeout_ms = None;
     max_frame = Protocol.default_max_frame;
     fuel = Some 10_000_000;
+    default_backend = Fg_core.Backend.Dict;
     log = false;
   }
 
@@ -131,17 +135,28 @@ let request_shutdown t =
   Atomic.set t.stop_requested true;
   Pool.initiate_stop t.pool
 
-(* The stats payload: live pool metrics plus the static config. *)
+(* The stats payload: live pool metrics plus the static config, plus
+   the process-wide specializer counters (covering every worker's
+   stencil/hybrid requests, since telemetry is process-global). *)
 let stats_json cfg metrics =
+  let t = Telemetry.snapshot () in
   Pool.metrics_to_json metrics
     ~extra:
       [
         ("workers", Json.Int cfg.workers);
         ("max_queue", Json.Int cfg.max_queue);
         ( "request_timeout_ms",
-          match cfg.request_timeout_ms with
+          (match cfg.request_timeout_ms with
           | Some t -> Json.Int t
-          | None -> Json.Null );
+          | None -> Json.Null) );
+        ( "specializer",
+          Json.Obj
+            [
+              ("stencils_created", Json.Int t.Telemetry.stencils_created);
+              ("stencils_shared", Json.Int t.Telemetry.stencils_shared);
+              ("stencil_fallbacks", Json.Int t.Telemetry.stencil_fallbacks);
+              ("dicts_hoisted", Json.Int t.Telemetry.dicts_hoisted);
+            ] );
       ]
 
 let listen_on = function
@@ -254,6 +269,13 @@ let handle_frame t conn payload =
                   "malformed request: %s" msg;
             }
       | Ok req -> (
+          (* The server-wide default backend applies only when the
+             frame said nothing; an explicit "backend" always wins. *)
+          let req =
+            if Json.str_field "backend" j = None then
+              { req with Protocol.backend = t.cfg.default_backend }
+            else req
+          in
           let enqueued_ns = Pool.now_ns () in
           Atomic.incr conn.inflight;
           let job =

@@ -27,11 +27,15 @@ type config = {
   request_timeout_ms : int option;  (** default per-request deadline *)
   max_frame : int;  (** largest accepted wire frame, bytes *)
   fuel : int option;  (** evaluator step bound per served run *)
+  default_backend : Fg_core.Backend.t;
+      (** backend for requests whose frame omits ["backend"]; an
+          explicit request field always wins *)
   log : bool;  (** chatty lifecycle lines on stderr *)
 }
 
 (** Sensible defaults: one worker per recommended domain, queue of
-    128, no deadline, 4 MiB frames, 10M evaluation steps, quiet. *)
+    128, no deadline, 4 MiB frames, 10M evaluation steps, the
+    dictionary backend, quiet. *)
 val default_config : address -> config
 
 type t

@@ -214,6 +214,93 @@ let rec exp_equal (a : exp) (b : exp) =
       exp_equal c1 c2 && exp_equal t1 t2 && exp_equal e1 e2
   | _ -> false
 
+(** Free term variables of an expression. *)
+let rec free_vars e =
+  match e.desc with
+  | Var x -> Sset.singleton x
+  | Lit _ | Prim _ -> Sset.empty
+  | App (f, args) ->
+      List.fold_left
+        (fun acc a -> Sset.union acc (free_vars a))
+        (free_vars f) args
+  | Abs (params, body) ->
+      Sset.diff (free_vars body) (Sset.of_list (List.map fst params))
+  | TyAbs (_, body) -> free_vars body
+  | TyApp (f, _) -> free_vars f
+  | Let (x, rhs, body) ->
+      Sset.union (free_vars rhs) (Sset.remove x (free_vars body))
+  | Tuple es ->
+      List.fold_left (fun acc a -> Sset.union acc (free_vars a)) Sset.empty es
+  | Nth (e0, _) -> free_vars e0
+  | Fix (x, _, body) -> Sset.remove x (free_vars body)
+  | If (c, t, f) ->
+      Sset.union (free_vars c) (Sset.union (free_vars t) (free_vars f))
+
+(** Capture-avoiding simultaneous substitution of expressions for term
+    variables.  Binders that would capture a free variable of an image
+    are renamed (the specializing backend substitutes dictionary
+    atoms — spine-level names — under user-named lambdas). *)
+let subst_exp (s0 : exp Smap.t) (e0 : exp) : exp =
+  let range_fv s =
+    Smap.fold (fun _ img acc -> Sset.union acc (free_vars img)) s Sset.empty
+  in
+  let rec go s e =
+    if Smap.is_empty s then e
+    else
+      (* Refresh binder list [xs] against the live substitution: drop
+         shadowed entries, rename binders that would capture an image
+         variable.  Returns the adjusted substitution and binders. *)
+      let binders s xs body =
+        let s = Smap.filter (fun x _ -> not (List.mem x xs)) s in
+        if Smap.is_empty s then (s, xs)
+        else
+          let rfv = range_fv s in
+          let avoid =
+            ref
+              (Sset.union rfv
+                 (Sset.union (free_vars body) (Sset.of_list xs)))
+          in
+          List.fold_left_map
+            (fun s x ->
+              if Sset.mem x rfv then begin
+                let x' = freshen !avoid x in
+                avoid := Sset.add x' !avoid;
+                (Smap.add x (var x') s, x')
+              end
+              else (s, x))
+            s xs
+      in
+      let desc =
+        match e.desc with
+        | Var x -> (
+            match Smap.find_opt x s with
+            | Some img -> img.desc
+            | None -> e.desc)
+        | (Lit _ | Prim _) as d -> d
+        | App (f, args) -> App (go s f, List.map (go s) args)
+        | Abs (params, body) ->
+            let s', names = binders s (List.map fst params) body in
+            let params' =
+              List.map2 (fun (_, t) x -> (x, t)) params names
+            in
+            Abs (params', go s' body)
+        | TyAbs (tvs, body) -> TyAbs (tvs, go s body)
+        | TyApp (f, tys) -> TyApp (go s f, tys)
+        | Let (x, rhs, body) ->
+            let s', names = binders s [ x ] body in
+            let x' = List.hd names in
+            Let (x', go s rhs, go s' body)
+        | Tuple es -> Tuple (List.map (go s) es)
+        | Nth (e1, k) -> Nth (go s e1, k)
+        | Fix (x, t, body) ->
+            let s', names = binders s [ x ] body in
+            Fix (List.hd names, t, go s' body)
+        | If (c, t, f) -> If (go s c, go s t, go s f)
+      in
+      { e with desc }
+  in
+  go s0 e0
+
 (** Substitute types for type variables throughout an expression
     (needed by type application in the substitution-based small-step
     semantics). *)

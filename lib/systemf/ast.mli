@@ -81,5 +81,13 @@ val exp_size : exp -> int
 (** Structural equality, ignoring locations (not up to term alpha). *)
 val exp_equal : exp -> exp -> bool
 
+(** Free term variables. *)
+val free_vars : exp -> Sset.t
+
+(** Capture-avoiding simultaneous substitution of expressions for term
+    variables (binders renamed where an image variable would be
+    captured). *)
+val subst_exp : exp Smap.t -> exp -> exp
+
 (** Substitute types for type variables throughout an expression. *)
 val subst_ty_exp : ty Smap.t -> exp -> exp

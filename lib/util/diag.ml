@@ -20,6 +20,7 @@ type phase =
   | Translate
   | Eval
   | Server  (** the [fgc serve] daemon: timeouts, overload, protocol *)
+  | Config  (** driver configuration: flags, backend names, capacities *)
   | Internal
 
 let phase_name = function
@@ -31,6 +32,7 @@ let phase_name = function
   | Translate -> "translation error"
   | Eval -> "runtime error"
   | Server -> "server error"
+  | Config -> "configuration error"
   | Internal -> "internal error"
 
 (* Every phase has a generic fallback code; specific failure shapes get
@@ -46,6 +48,7 @@ let default_code = function
   | Translate -> "FG0501"
   | Eval -> "FG0601"
   | Server -> "FG0801"
+  | Config -> "FG1001"
   | Internal -> "FG0901"
 
 type severity = Err | Warn
@@ -143,6 +146,7 @@ let translate_error ?code ?notes ?loc fmt =
 
 let eval_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Eval fmt
 let server_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Server fmt
+let config_error ?code ?notes ?loc fmt = error ?code ?notes ?loc Config fmt
 
 (** Internal invariant violation; not attributable to the input program. *)
 let ice fmt = error Internal fmt

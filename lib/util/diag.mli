@@ -14,6 +14,7 @@ type phase =
   | Translate
   | Eval
   | Server  (** the [fgc serve] daemon: timeouts, overload, protocol *)
+  | Config  (** driver configuration: flags, backend names, capacities *)
   | Internal
 
 val phase_name : phase -> string
@@ -106,6 +107,10 @@ val eval_error :
   ('a, Format.formatter, unit, 'b) format4 -> 'a
 
 val server_error :
+  ?code:string -> ?notes:note list -> ?loc:Loc.t ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+val config_error :
   ?code:string -> ?notes:note list -> ?loc:Loc.t ->
   ('a, Format.formatter, unit, 'b) format4 -> 'a
 

@@ -112,11 +112,12 @@ module Histogram = struct
       ]
 end
 
-type phase = Parse | Check | Verify | Eval
+type phase = Parse | Check | Specialize | Verify | Eval
 
 let phase_label = function
   | Parse -> "parse"
   | Check -> "check"
+  | Specialize -> "specialize"
   | Verify -> "verify"
   | Eval -> "eval"
 
@@ -125,6 +126,7 @@ let phase_label = function
 
 let parse_ns = Atomic.make 0
 let check_ns = Atomic.make 0
+let specialize_ns = Atomic.make 0
 let verify_ns = Atomic.make 0
 let eval_ns = Atomic.make 0
 let cc_rebuilds = Atomic.make 0
@@ -141,13 +143,18 @@ let unit_hits = Atomic.make 0
 let unit_misses = Atomic.make 0
 let unit_evictions = Atomic.make 0
 let unit_invalidations = Atomic.make 0
+let stencils_created = Atomic.make 0
+let stencils_shared = Atomic.make 0
+let stencil_fallbacks = Atomic.make 0
+let dicts_hoisted = Atomic.make 0
 
 let all =
   [
-    parse_ns; check_ns; verify_ns; eval_ns; cc_rebuilds; model_lookups;
-    resolve_hits; resolve_misses; prelude_builds; prelude_reuses; programs;
-    fuzz_generated; fuzz_discarded; fuzz_shrunk; unit_hits; unit_misses;
-    unit_evictions; unit_invalidations;
+    parse_ns; check_ns; specialize_ns; verify_ns; eval_ns; cc_rebuilds;
+    model_lookups; resolve_hits; resolve_misses; prelude_builds;
+    prelude_reuses; programs; fuzz_generated; fuzz_discarded; fuzz_shrunk;
+    unit_hits; unit_misses; unit_evictions; unit_invalidations;
+    stencils_created; stencils_shared; stencil_fallbacks; dicts_hoisted;
   ]
 
 let bump c = Atomic.incr c
@@ -168,9 +175,16 @@ let record_unit_eviction () = bump unit_evictions
 let record_unit_invalidations n =
   if n > 0 then ignore (Atomic.fetch_and_add unit_invalidations n)
 
+let add c n = if n > 0 then ignore (Atomic.fetch_and_add c n)
+let record_stencils_created n = add stencils_created n
+let record_stencils_shared n = add stencils_shared n
+let record_stencil_fallbacks n = add stencil_fallbacks n
+let record_dicts_hoisted n = add dicts_hoisted n
+
 let phase_counter = function
   | Parse -> parse_ns
   | Check -> check_ns
+  | Specialize -> specialize_ns
   | Verify -> verify_ns
   | Eval -> eval_ns
 
@@ -194,6 +208,7 @@ let time phase f =
 type snapshot = {
   parse_ns : int;
   check_ns : int;
+  specialize_ns : int;
   verify_ns : int;
   eval_ns : int;
   cc_rebuilds : int;
@@ -210,12 +225,17 @@ type snapshot = {
   unit_misses : int;
   unit_evictions : int;
   unit_invalidations : int;
+  stencils_created : int;
+  stencils_shared : int;
+  stencil_fallbacks : int;
+  dicts_hoisted : int;
 }
 
 let snapshot () =
   {
     parse_ns = Atomic.get parse_ns;
     check_ns = Atomic.get check_ns;
+    specialize_ns = Atomic.get specialize_ns;
     verify_ns = Atomic.get verify_ns;
     eval_ns = Atomic.get eval_ns;
     cc_rebuilds = Atomic.get cc_rebuilds;
@@ -232,12 +252,17 @@ let snapshot () =
     unit_misses = Atomic.get unit_misses;
     unit_evictions = Atomic.get unit_evictions;
     unit_invalidations = Atomic.get unit_invalidations;
+    stencils_created = Atomic.get stencils_created;
+    stencils_shared = Atomic.get stencils_shared;
+    stencil_fallbacks = Atomic.get stencil_fallbacks;
+    dicts_hoisted = Atomic.get dicts_hoisted;
   }
 
 let diff (b : snapshot) (a : snapshot) =
   {
     parse_ns = b.parse_ns - a.parse_ns;
     check_ns = b.check_ns - a.check_ns;
+    specialize_ns = b.specialize_ns - a.specialize_ns;
     verify_ns = b.verify_ns - a.verify_ns;
     eval_ns = b.eval_ns - a.eval_ns;
     cc_rebuilds = b.cc_rebuilds - a.cc_rebuilds;
@@ -254,6 +279,10 @@ let diff (b : snapshot) (a : snapshot) =
     unit_misses = b.unit_misses - a.unit_misses;
     unit_evictions = b.unit_evictions - a.unit_evictions;
     unit_invalidations = b.unit_invalidations - a.unit_invalidations;
+    stencils_created = b.stencils_created - a.stencils_created;
+    stencils_shared = b.stencils_shared - a.stencils_shared;
+    stencil_fallbacks = b.stencil_fallbacks - a.stencil_fallbacks;
+    dicts_hoisted = b.dicts_hoisted - a.dicts_hoisted;
   }
 
 let reset () = List.iter (fun c -> Atomic.set c 0) all
@@ -264,6 +293,8 @@ let pp ppf (s : snapshot) =
   Fmt.pf ppf "@[<v>phase wall time:@,";
   Fmt.pf ppf "  parse          : %10.3f ms@," (ms s.parse_ns);
   Fmt.pf ppf "  check          : %10.3f ms@," (ms s.check_ns);
+  if s.specialize_ns > 0 then
+    Fmt.pf ppf "  specialize     : %10.3f ms@," (ms s.specialize_ns);
   Fmt.pf ppf "  verify         : %10.3f ms@," (ms s.verify_ns);
   Fmt.pf ppf "  eval           : %10.3f ms@," (ms s.eval_ns);
   Fmt.pf ppf "counters:@,";
@@ -285,6 +316,17 @@ let pp ppf (s : snapshot) =
     Fmt.pf ppf "  discarded      : %10d@," s.fuzz_discarded;
     Fmt.pf ppf "  shrink steps   : %10d" s.fuzz_shrunk
   end;
+  if
+    s.stencils_created + s.stencils_shared + s.stencil_fallbacks
+    + s.dicts_hoisted
+    > 0
+  then begin
+    Fmt.pf ppf "@,specializer:@,";
+    Fmt.pf ppf "  stencils       : %10d@," s.stencils_created;
+    Fmt.pf ppf "  shape shared   : %10d@," s.stencils_shared;
+    Fmt.pf ppf "  fallbacks      : %10d@," s.stencil_fallbacks;
+    Fmt.pf ppf "  dicts hoisted  : %10d" s.dicts_hoisted
+  end;
   Fmt.pf ppf "@]"
 
 let to_json (s : snapshot) =
@@ -292,6 +334,7 @@ let to_json (s : snapshot) =
     [
       ("parse_ns", Json.Int s.parse_ns);
       ("check_ns", Json.Int s.check_ns);
+      ("specialize_ns", Json.Int s.specialize_ns);
       ("verify_ns", Json.Int s.verify_ns);
       ("eval_ns", Json.Int s.eval_ns);
       ("cc_rebuilds", Json.Int s.cc_rebuilds);
@@ -308,4 +351,8 @@ let to_json (s : snapshot) =
       ("unit_misses", Json.Int s.unit_misses);
       ("unit_evictions", Json.Int s.unit_evictions);
       ("unit_invalidations", Json.Int s.unit_invalidations);
+      ("stencils_created", Json.Int s.stencils_created);
+      ("stencils_shared", Json.Int s.stencils_shared);
+      ("stencil_fallbacks", Json.Int s.stencil_fallbacks);
+      ("dicts_hoisted", Json.Int s.dicts_hoisted);
     ]

@@ -46,6 +46,7 @@ end
 type phase =
   | Parse  (** FG source to AST *)
   | Check  (** type checking + elaboration + translation *)
+  | Specialize  (** stenciling / shape-sharing partial evaluation *)
   | Verify  (** System F re-check and theorem comparison *)
   | Eval  (** both evaluations (direct and translated) *)
 
@@ -102,11 +103,28 @@ val record_unit_invalidations : int -> unit
 (** [n] compilation units were invalidated by a redefinition (the
     shadowed units plus their cached dependents). *)
 
+val record_stencils_created : int -> unit
+(** The specializing backend created [n] stencils (specialized
+    clones of generic bindings). *)
+
+val record_stencils_shared : int -> unit
+(** [n] call sites were served by an existing same-shape stencil
+    class (hybrid gcshape sharing) instead of a new clone. *)
+
+val record_stencil_fallbacks : int -> unit
+(** [n] ground generic calls stayed on dictionary passing (budget
+    exhausted, non-static dictionaries, unrecognized shape). *)
+
+val record_dicts_hoisted : int -> unit
+(** [n] dictionary expressions were hoisted to top-level bindings by
+    the specializing backend. *)
+
 (** {1 Snapshots} *)
 
 type snapshot = {
   parse_ns : int;  (** accumulated wall time per phase, nanoseconds *)
   check_ns : int;
+  specialize_ns : int;
   verify_ns : int;
   eval_ns : int;
   cc_rebuilds : int;
@@ -123,6 +141,10 @@ type snapshot = {
   unit_misses : int;
   unit_evictions : int;
   unit_invalidations : int;
+  stencils_created : int;
+  stencils_shared : int;
+  stencil_fallbacks : int;
+  dicts_hoisted : int;
 }
 
 val snapshot : unit -> snapshot

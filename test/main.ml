@@ -41,4 +41,5 @@ let () =
       ("roundtrip", Test_roundtrip.suite);
       ("fuzz", Test_fuzz.suite);
       ("scaling-families", Test_genprog.suite);
+      ("backend", Test_backend.suite);
     ]

@@ -339,6 +339,42 @@ let test_repl_using () =
   Alcotest.(check bool) "resolves through using" true
     (Astring_contains.contains ~needle:"- : int = 42" out)
 
+(* --backend: accepted by every driving subcommand, rejected with the
+   stable FG1001 diagnostic (not a cmdliner usage error) everywhere. *)
+let test_backend_flag () =
+  let src =
+    "'concept N<t> { m : fn(t, t) -> t; } in model N<int> { m = imult; } in \
+     let sq = tfun t where N<t> => fun (x : t) => N<t>.m(x, x) in sq(4)'"
+  in
+  check_out ("run --backend=stencil -e " ^ src) "16";
+  check_out ("run --backend=hybrid -e " ^ src) "16";
+  let code, out =
+    run_cmd ("run -v --backend=stencil -e " ^ src) ~stdin_text:""
+  in
+  Alcotest.(check int) "verbose exit" 0 code;
+  Alcotest.(check bool) "verbose reports stencils" true
+    (Astring_contains.contains ~needle:"1 stencils" out);
+  let code, out =
+    run_cmd ("run --format=json --backend=hybrid -e " ^ src) ~stdin_text:""
+  in
+  Alcotest.(check int) "json exit" 0 code;
+  Alcotest.(check bool) "json backend field" true
+    (Astring_contains.contains ~needle:"\"backend\": \"hybrid\"" out);
+  List.iter
+    (fun cmd ->
+      let code, out =
+        run_cmd (cmd ^ " --backend=jit -e '1 + 1'") ~stdin_text:""
+      in
+      Alcotest.(check bool) (cmd ^ " rejects with nonzero exit") true
+        (code <> 0);
+      Alcotest.(check bool) (cmd ^ " names FG1001") true
+        (Astring_contains.contains ~needle:"FG1001" out))
+    [ "run"; "check"; "translate" ];
+  let code, out = run_cmd "fuzz --count 1 --backend=jit" ~stdin_text:"" in
+  Alcotest.(check bool) "fuzz rejects" true (code <> 0);
+  Alcotest.(check bool) "fuzz names FG1001" true
+    (Astring_contains.contains ~needle:"FG1001" out)
+
 let suite =
   [
     Alcotest.test_case "run" `Quick test_run;
@@ -367,4 +403,5 @@ let suite =
     Alcotest.test_case "corpus --all" `Quick test_corpus_all;
     Alcotest.test_case "repl session" `Quick test_repl_session;
     Alcotest.test_case "repl using commits" `Quick test_repl_using;
+    Alcotest.test_case "--backend flag" `Quick test_backend_flag;
   ]

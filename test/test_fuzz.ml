@@ -24,7 +24,7 @@ let test_regressions () =
     |> List.sort compare
   in
   Alcotest.(check bool) "regression corpus is non-empty" true (files <> []);
-  let sess = Session.create () in
+  let sess = Session.of_config Session.Config.default in
   List.iter
     (fun f ->
       let src = read_file (Filename.concat regressions_dir f) in
@@ -73,7 +73,7 @@ let test_generate_deterministic () =
 (* A small live pass: every generated program satisfies all three
    oracles, and the run is reproducible end to end. *)
 let test_run_clean () =
-  let cfg = { Fuzz.seed = 5; count = 15; size = 25; mutants = 2 } in
+  let cfg = { Fuzz.default_config with Fuzz.seed = 5; count = 15; size = 25; mutants = 2 } in
   let r = Fuzz.run ~domains:2 cfg in
   Alcotest.(check int) "generated" 15 r.Fuzz.r_generated;
   Alcotest.(check int) "mutants run" 30 r.Fuzz.r_mutants_run;
@@ -123,7 +123,7 @@ let test_shrink_deletes_decls () =
 
 (* The stable report shape documented in docs/LANGUAGE.md. *)
 let test_report_json_shape () =
-  let cfg = { Fuzz.seed = 3; count = 2; size = 15; mutants = 1 } in
+  let cfg = { Fuzz.default_config with Fuzz.seed = 3; count = 2; size = 15; mutants = 1 } in
   let r = Fuzz.run ~domains:1 cfg in
   match Fuzz.report_to_json r with
   | Json.Obj fields ->
@@ -151,7 +151,7 @@ let test_report_json_shape () =
 let test_save_failures_layout () =
   let r =
     {
-      Fuzz.r_config = { Fuzz.seed = 9; count = 1; size = 10; mutants = 0 };
+      Fuzz.r_config = { Fuzz.default_config with Fuzz.seed = 9; count = 1; size = 10; mutants = 0 };
       r_generated = 1;
       r_mutants_run = 0;
       r_failures =

@@ -136,9 +136,74 @@ let test_request_version_mismatch () =
   | Error (Protocol.Bad_version None) -> ()
   | _ -> Alcotest.fail "missing version must be Bad_version");
   (* the version check comes first, before any shape validation *)
-  match parse_request "{\"v\":2}" with
-  | Error (Protocol.Bad_version (Some 2)) -> ()
-  | _ -> Alcotest.fail "version precedes shape errors"
+  (match parse_request "{\"v\":999}" with
+  | Error (Protocol.Bad_version (Some 999)) -> ()
+  | _ -> Alcotest.fail "version precedes shape errors");
+  (* versions below the floor are refused too *)
+  match parse_request "{\"v\":0,\"id\":1,\"kind\":\"stats\"}" with
+  | Error (Protocol.Bad_version (Some 0)) -> ()
+  | _ -> Alcotest.fail "sub-min_version must be Bad_version"
+
+(* Version-1 frames predate the optional "backend" field; they must
+   keep decoding — defaulting to the dictionary backend — and keep
+   routing through a handler to the same result as a v2 frame. *)
+let test_v1_frame_decodes_and_routes () =
+  Alcotest.(check int) "wire version is 2" 2 Protocol.version;
+  Alcotest.(check int) "v1 still accepted" 1 Protocol.min_version;
+  let v1 = "{\"v\":1,\"id\":7,\"kind\":\"run\",\"source\":\"1 + 1\"}" in
+  match parse_request v1 with
+  | Error _ -> Alcotest.fail "v1 frame no longer decodes"
+  | Ok req ->
+      Alcotest.(check int) "id" 7 req.Protocol.id;
+      Alcotest.(check string) "defaults to dict" "dict"
+        (Fg_core.Backend.to_string req.Protocol.backend);
+      let handler = Handler.create () in
+      let status, payload = Handler.handle_safe handler req in
+      Alcotest.(check string) "status" "ok" (Protocol.status_name status);
+      (match Fg_util.Json.of_string payload with
+      | Ok j ->
+          Alcotest.(check (option int)) "value" (Some 2)
+            (match Fg_util.Json.mem "value" j with
+            | Some (Fg_util.Json.Int n) -> Some n
+            | _ -> None);
+          (* a v1 (hence dict) payload must not grow backend fields *)
+          Alcotest.(check (option string)) "no backend field" None
+            (Fg_util.Json.str_field "backend" j)
+      | Error e -> Alcotest.failf "run payload is not JSON: %s" e)
+
+let test_request_backend_field () =
+  (* explicit backend survives the codec round-trip *)
+  let req =
+    Protocol.request ~source:"1" ~backend:Fg_core.Backend.Hybrid ~id:3
+      Protocol.Run
+  in
+  let r = roundtrip_request req in
+  Alcotest.(check string) "hybrid survives" "hybrid"
+    (Fg_core.Backend.to_string r.Protocol.backend);
+  (* dict is the wire default, so it is never emitted *)
+  let j = Protocol.request_to_json (Protocol.request ~source:"1" ~id:4 Protocol.Run) in
+  Alcotest.(check (option string)) "dict not on the wire" None
+    (Fg_util.Json.str_field "backend" j);
+  (* a named backend parses *)
+  (match
+     parse_request
+       "{\"v\":2,\"id\":1,\"kind\":\"run\",\"source\":\"1\",\
+        \"backend\":\"stencil\"}"
+   with
+  | Ok r ->
+      Alcotest.(check string) "stencil parses" "stencil"
+        (Fg_core.Backend.to_string r.Protocol.backend)
+  | Error _ -> Alcotest.fail "stencil backend rejected");
+  (* an unknown backend is a stable Bad_request, not an exception *)
+  match
+    parse_request
+      "{\"v\":2,\"id\":1,\"kind\":\"run\",\"source\":\"1\",\
+       \"backend\":\"jit\"}"
+  with
+  | Error (Protocol.Bad_request msg) ->
+      Alcotest.(check bool) "names the backend" true
+        (Astring_contains.contains ~needle:"jit" msg)
+  | _ -> Alcotest.fail "unknown backend must be Bad_request"
 
 let test_request_bad_shapes () =
   let bad s =
@@ -207,4 +272,8 @@ let suite =
     Alcotest.test_case "request bad shapes" `Quick test_request_bad_shapes;
     Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
     Alcotest.test_case "error payload shape" `Quick test_error_payload_shape;
+    Alcotest.test_case "v1 frame decodes and routes" `Quick
+      test_v1_frame_decodes_and_routes;
+    Alcotest.test_case "request backend field" `Quick
+      test_request_backend_field;
   ]

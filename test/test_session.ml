@@ -30,7 +30,7 @@ let check_outcome_equal what (a : Session.outcome) (b : Session.outcome) =
 (* Session-reuse equivalence                                           *)
 
 let test_session_matches_pipeline () =
-  let s = Session.with_prelude () in
+  let s = Session.of_config Session.Config.(default |> with_standard_prelude) in
   List.iter
     (fun body ->
       let from_session = Session.run ~file:"t" s body in
@@ -46,7 +46,7 @@ let test_session_matches_pipeline () =
 let test_repeat_runs_identical () =
   (* The second run hits the warm caches; its output must not change,
      and the resolution cache must actually be exercised. *)
-  let s = Session.with_prelude () in
+  let s = Session.of_config Session.Config.(default |> with_standard_prelude) in
   let body = Printf.sprintf "accumulate[int](%s)" (l [ 4; 5; 6 ]) in
   let o1 = Session.run ~file:"t" s body in
   let before = Fg_util.Telemetry.snapshot () in
@@ -63,7 +63,7 @@ let test_repeat_runs_identical () =
 
 let test_session_error_then_recover () =
   (* A failing program must not poison the session for the next one. *)
-  let s = Session.with_prelude () in
+  let s = Session.of_config Session.Config.(default |> with_standard_prelude) in
   (match Session.run_result ~file:"bad" s "unbound_variable_q" with
   | Error d -> Alcotest.(check bool) "typecheck error" true
                  (d.phase = Fg_util.Diag.Typecheck)
@@ -80,7 +80,7 @@ let test_overlapping_models_across_programs () =
      resolution cache is keyed by scope generation, so program 2 must
      see ITS model, not program 1's cached resolution. *)
   let s =
-    Session.create ~prelude:(Corpus.monoid_prelude ^ Corpus.accumulate_def) ()
+    Session.of_config Session.Config.(default |> with_prelude (Some (Corpus.monoid_prelude ^ Corpus.accumulate_def)))
   in
   let sum_prog =
     Printf.sprintf
@@ -107,7 +107,7 @@ let test_overlapping_models_across_programs () =
 let test_local_model_does_not_leak () =
   (* Program 1 declares a model for a prelude concept; program 2 uses
      the concept WITHOUT declaring the model and must be rejected. *)
-  let s = Session.create ~prelude:Corpus.monoid_prelude () in
+  let s = Session.of_config Session.Config.(default |> with_prelude (Some Corpus.monoid_prelude)) in
   let with_model =
     "model Semigroup<int> { binary_op = iadd; } in\n\
      model Monoid<int> { identity_elt = 0; } in\n\
@@ -124,7 +124,7 @@ let test_local_model_does_not_leak () =
 (* Extension                                                           *)
 
 let test_extend () =
-  let base = Session.with_prelude () in
+  let base = Session.of_config Session.Config.(default |> with_standard_prelude) in
   let extended =
     Session.extend base "let triple = fun (x : int) => x + x + x in"
   in
@@ -142,7 +142,7 @@ let test_extend () =
   Alcotest.(check bool) "prelude + extension" true (o2.value = Interp.FlInt 9)
 
 let test_extend_rejects_bad_decls () =
-  let s = Session.with_prelude () in
+  let s = Session.of_config Session.Config.(default |> with_standard_prelude) in
   (match Session.extend_result s "let broken = undefined_name in" with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "expected extension to fail");
@@ -162,7 +162,7 @@ let batch_jobs =
         else Printf.sprintf "accumulate[int](%s)" (l [ i; i + 1 ]) ))
 
 let run_jobs domains =
-  let s = Session.with_prelude () in
+  let s = Session.of_config Session.Config.(default |> with_standard_prelude) in
   Session.run_batch ~domains s batch_jobs
 
 let check_batches_equal a b =
@@ -185,7 +185,7 @@ let test_batch_deterministic () =
   check_batches_equal b1 b2;
   check_batches_equal b1 bn;
   (* and the batch agrees with serving the jobs one by one *)
-  let s = Session.with_prelude () in
+  let s = Session.of_config Session.Config.(default |> with_standard_prelude) in
   List.iter2
     (fun (name, src) (n, r) ->
       Alcotest.(check string) "order" name n;
@@ -196,7 +196,7 @@ let test_batch_deterministic () =
     batch_jobs b1
 
 let test_batch_more_domains_than_jobs () =
-  let s = Session.with_prelude () in
+  let s = Session.of_config Session.Config.(default |> with_standard_prelude) in
   let jobs = [ ("only", "power[int](2, 4)") ] in
   match Session.run_batch ~domains:8 s jobs with
   | [ ("only", Ok o) ] ->
@@ -215,7 +215,7 @@ let prop_batch_matches_single_on_generated =
             ( Printf.sprintf "g%d" i,
               Pretty.exp_to_string (Gen.program_of_seed (seed + (i * 101))) ))
       in
-      let s = Session.create () in
+      let s = Session.of_config Session.Config.default in
       let batched = Session.run_batch ~domains:2 s jobs in
       List.for_all2
         (fun (name, src) (_, r) ->
@@ -254,12 +254,12 @@ let test_incremental_mutation_equals_cold () =
   let base = Genprog.shared_prefix ~decls () in
   for k = 0 to decls - 1 do
     let mutated = Genprog.shared_prefix ~edit_at:k ~edit:3 ~decls () in
-    let warm = Session.create () in
+    let warm = Session.of_config Session.Config.default in
     ignore (quintuple warm "t" base);
     let before = Session.cache_stats warm in
     let got = quintuple warm "t" mutated in
     let after = Session.cache_stats warm in
-    let cold = Session.create () in
+    let cold = Session.of_config Session.Config.default in
     let want = quintuple cold "t" mutated in
     Alcotest.(check string)
       (Printf.sprintf "mutate decl %d: quintuple" k)
@@ -284,7 +284,7 @@ let prop_warm_session_equals_cold =
     (fun seed ->
       (* one session serves three generated programs in a row; each
          response must be byte-identical to a fresh session's *)
-      let warm = Session.create () in
+      let warm = Session.of_config Session.Config.default in
       List.for_all
         (fun i ->
           let file = Printf.sprintf "g%d" i in
@@ -292,7 +292,7 @@ let prop_warm_session_equals_cold =
             Pretty.exp_to_string (Gen.program_of_seed (seed + (i * 131)))
           in
           let from_warm = quintuple warm file src in
-          let from_cold = quintuple (Session.create ()) file src in
+          let from_cold = quintuple (Session.of_config Session.Config.default) file src in
           from_warm = from_cold)
         [ 0; 1; 2 ])
 
@@ -313,7 +313,7 @@ let test_warnings_replayed_once () =
      let f = tfun t where N<t> => fun (x : int) => x in\n\
      f[int](N<int>.m)"
   in
-  let s = Session.create () in
+  let s = Session.of_config Session.Config.default in
   let cold = Session.run_full ~file:"w" s src in
   let warm = Session.run_full ~file:"w" s src in
   List.iter
@@ -329,7 +329,7 @@ let test_repl_redefinition_invalidates () =
   (* The REPL path: extend with x, extend again redefining x.  The new
      session sees the new binding, the old session keeps the old one,
      and the redefinition bumps the invalidation counter. *)
-  let base = Session.create () in
+  let base = Session.of_config Session.Config.default in
   let s1 = Session.extend base "let x = 1 in" in
   let o1 = Session.run ~file:"r" s1 "x + 0" in
   Alcotest.(check bool) "x = 1" true (o1.value = Interp.FlInt 1);
@@ -346,13 +346,13 @@ let test_repl_redefinition_invalidates () =
 
 let test_unit_cache_eviction () =
   (* A deliberately tiny cache must stay within its bound and evict. *)
-  let s = Session.create ~unit_cache_capacity:2 () in
+  let s = Session.of_config Session.Config.(default |> with_unit_cache_capacity (Some 2)) in
   ignore (Session.run ~file:"t" s (Genprog.shared_prefix ~decls:6 ()));
   let st = Session.cache_stats s in
   Alcotest.(check bool) "evicted" true (st.Unit.s_evictions > 0);
   Alcotest.(check bool) "bounded" true (st.Unit.s_size <= 2);
   (* and eviction never compromises results *)
-  let cold = quintuple (Session.create ()) "t" (Genprog.shared_prefix ~decls:6 ()) in
+  let cold = quintuple (Session.of_config Session.Config.default) "t" (Genprog.shared_prefix ~decls:6 ()) in
   let small = quintuple s "t" (Genprog.shared_prefix ~decls:6 ()) in
   Alcotest.(check string) "tiny cache same output" cold small
 
@@ -360,7 +360,7 @@ let test_unit_cache_eviction () =
 (* Observability                                                       *)
 
 let test_stats_and_interning () =
-  let s = Session.with_prelude () in
+  let s = Session.of_config Session.Config.(default |> with_standard_prelude) in
   ignore (Session.run ~file:"t" s "power[int](2, 6)");
   ignore (Session.run ~file:"t" s "power[int](2, 6)");
   let st = Session.stats s in
@@ -374,7 +374,7 @@ let test_stats_and_interning () =
 let test_prelude_must_be_declarations () =
   match
     Fg_util.Diag.protect (fun () ->
-        Session.create ~prelude:"1 + 1 in" ())
+        Session.of_config Session.Config.(default |> with_prelude (Some "1 + 1 in")))
   with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "non-declaration prelude accepted"

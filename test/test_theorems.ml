@@ -17,7 +17,7 @@ let test_theorem_on_corpus () =
         | Corpus.Fails _ -> None)
       Corpus.all
   in
-  let s = Session.create () in
+  let s = Session.of_config Session.Config.default in
   let results = Session.run_batch s jobs in
   Alcotest.(check int) "all positive entries ran" (List.length jobs)
     (List.length results);

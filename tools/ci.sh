@@ -30,6 +30,24 @@ echo "== fuzz smoke (seed 42, 200 programs)"
 # machine, so a clean run here means a clean run everywhere.
 ./_build/default/bin/fgc.exe fuzz --seed 42 --count 200
 
+echo "== stencil-diff: backend byte-identity (corpus + 1k fuzz)"
+# The specializing backends must be observationally invisible: every
+# program in the tree prints the same bytes under dict, stencil and
+# hybrid (the session's internal oracle additionally asserts the
+# specialized term typechecks and evaluates identically — FG0502 /
+# FG0503 would surface here as diverging output).  Then a 1k seeded
+# fuzz batch per specializing backend, where every generated program
+# runs the same differential oracle.
+for f in programs/*.fg programs/errors/*.fg programs/fuzz_regressions/*.fg; do
+  d=$(./_build/default/bin/fgc.exe run "$f" 2>&1 || true)
+  s=$(./_build/default/bin/fgc.exe run --backend=stencil "$f" 2>&1 || true)
+  h=$(./_build/default/bin/fgc.exe run --backend=hybrid "$f" 2>&1 || true)
+  [ "$d" = "$s" ] || { echo "stencil-diff: stencil diverges on $f"; exit 1; }
+  [ "$d" = "$h" ] || { echo "stencil-diff: hybrid diverges on $f"; exit 1; }
+done
+./_build/default/bin/fgc.exe fuzz --seed 7 --count 1000 --backend=stencil
+./_build/default/bin/fgc.exe fuzz --seed 7 --count 1000 --backend=hybrid
+
 echo "== bench smoke (BENCH_QUOTA=0.02, incremental re-check >= 3x)"
 bench_out=$(mktemp)
 BENCH_QUOTA=0.02 dune exec bench/main.exe | tee "$bench_out"
