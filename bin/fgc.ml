@@ -102,6 +102,25 @@ let stats_flag =
              counters) on stderr." in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+let cache_dir_arg =
+  let doc =
+    "Persist checked compilation units under $(docv) and reuse them \
+     across invocations: a warm run replays every unchanged declaration \
+     from disk instead of re-checking it, with byte-identical output.  \
+     Entries only decode in the compiler build that wrote them; \
+     anything else reads as a miss."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_max_bytes_arg =
+  let doc =
+    "Size bound for $(b,--cache-dir); past it the oldest-accessed \
+     entries are evicted (default: unbounded)."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "cache-max-bytes" ] ~docv:"BYTES" ~doc)
+
 (* Kept a raw string at the cmdliner layer: unknown names become the
    stable FG1001 configuration diagnostic (through
    [Backend.of_string_exn] inside the command body), not a cmdliner
@@ -125,17 +144,23 @@ let format_arg =
 (* The session every subcommand drives: prelude cached at creation when
    requested, so per-program work excludes it.  All construction goes
    through one [Session.Config.t]. *)
-let session_config ?(backend = "dict") ~global ~with_prelude () =
+let session_config ?(backend = "dict") ?cache_dir ?cache_max_bytes ~global
+    ~with_prelude () =
   let module Cfg = C.Session.Config in
   let cfg =
     Cfg.default
     |> Cfg.with_resolution (resolution_of_flag global)
     |> Cfg.with_backend (C.Backend.of_string_exn backend)
+    |> Cfg.with_cache_dir cache_dir
+    |> Cfg.with_cache_max_bytes cache_max_bytes
   in
   if with_prelude then Cfg.with_standard_prelude cfg else cfg
 
-let make_session ?backend ~global ~with_prelude () =
-  C.Session.of_config (session_config ?backend ~global ~with_prelude ())
+let make_session ?backend ?cache_dir ?cache_max_bytes ~global ~with_prelude
+    () =
+  C.Session.of_config
+    (session_config ?backend ?cache_dir ?cache_max_bytes ~global
+       ~with_prelude ())
 
 let get_source file expr =
   match expr with Some s -> ("<expr>", s) | None -> read_input file
@@ -148,25 +173,34 @@ let file_pos_arg =
 (* check                                                             *)
 
 let check_cmd =
-  let run file expr global with_prelude backend stats =
+  let run file expr global with_prelude backend cache_dir cache_max_bytes
+      stats =
     handle ~stats (fun () ->
         let name, src = get_source file expr in
-        let s = make_session ~backend ~global ~with_prelude () in
+        let s =
+          make_session ~backend ?cache_dir ?cache_max_bytes ~global
+            ~with_prelude ()
+        in
         Fmt.pr "%a@." C.Pretty.pp_ty (C.Session.typecheck ~file:name s src))
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Type check an FG program and print its type")
     Term.(const run $ file_pos_arg $ expr_arg $ global_flag
-          $ with_prelude_flag $ backend_arg $ stats_flag)
+          $ with_prelude_flag $ backend_arg $ cache_dir_arg
+          $ cache_max_bytes_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* translate                                                         *)
 
 let translate_cmd =
-  let run file expr global with_prelude backend show_type stats =
+  let run file expr global with_prelude backend cache_dir cache_max_bytes
+      show_type stats =
     handle ~stats (fun () ->
         let name, src = get_source file expr in
-        let s = make_session ~backend ~global ~with_prelude () in
+        let s =
+          make_session ~backend ?cache_dir ?cache_max_bytes ~global
+            ~with_prelude ()
+        in
         let f = C.Session.translate ~file:name s src in
         (* Off the Dict backend, print the partially evaluated program
            (stencils and hoisted dictionaries on the spine). *)
@@ -190,16 +224,21 @@ let translate_cmd =
           specialized backend with $(b,--backend))")
     Term.(
       const run $ file_pos_arg $ expr_arg $ global_flag $ with_prelude_flag
-      $ backend_arg $ show_type $ stats_flag)
+      $ backend_arg $ cache_dir_arg $ cache_max_bytes_arg $ show_type
+      $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* run                                                               *)
 
 let run_cmd =
-  let run file expr global with_prelude backend verbose format stats =
+  let run file expr global with_prelude backend cache_dir cache_max_bytes
+      verbose format stats =
     handle_code ~json:(format = `Json) ~stats (fun () ->
         let name, src = get_source file expr in
-        let s = make_session ~backend ~global ~with_prelude () in
+        let s =
+          make_session ~backend ?cache_dir ?cache_max_bytes ~global
+            ~with_prelude ()
+        in
         (* The recovering pipeline: every independent error in the
            program comes back in one invocation, plus any warnings. *)
         let report = C.Session.run_full ~file:name s src in
@@ -245,7 +284,8 @@ let run_cmd =
           (agreeing) value")
     Term.(
       const run $ file_pos_arg $ expr_arg $ global_flag $ with_prelude_flag
-      $ backend_arg $ verbose $ format_arg $ stats_flag)
+      $ backend_arg $ cache_dir_arg $ cache_max_bytes_arg $ verbose
+      $ format_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* elaborate                                                         *)
@@ -312,10 +352,14 @@ let domains_arg =
   Arg.(value & opt (some int) None & info [ "j"; "domains" ] ~docv:"N" ~doc)
 
 let batch_cmd =
-  let run files global with_prelude backend domains format stats =
+  let run files global with_prelude backend cache_dir cache_max_bytes
+      domains format stats =
     handle ~json:(format = `Json) ~stats (fun () ->
         let jobs = List.map read_input files in
-        let s = make_session ~backend ~global ~with_prelude () in
+        let s =
+          make_session ~backend ?cache_dir ?cache_max_bytes ~global
+            ~with_prelude ()
+        in
         let results = C.Session.run_batch ?domains s jobs in
         let failed = ref 0 in
         (match format with
@@ -358,13 +402,15 @@ let batch_cmd =
           OCaml domains with a shared session configuration; output order \
           matches the argument order regardless of the domain count")
     Term.(const run $ files $ global_flag $ with_prelude_flag $ backend_arg
-          $ domains_arg $ format_arg $ stats_flag)
+          $ cache_dir_arg $ cache_max_bytes_arg $ domains_arg $ format_arg
+          $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* corpus                                                            *)
 
 let corpus_cmd =
-  let run name_opt all backend domains format stats =
+  let run name_opt all backend cache_dir cache_max_bytes domains format
+      stats =
     handle ~json:(format = `Json) ~stats (fun () ->
         match (name_opt, all) with
         | None, false ->
@@ -376,7 +422,8 @@ let corpus_cmd =
             (* Run every entry, in parallel; an entry passes when its
                outcome matches its stated expectation. *)
             let s =
-              make_session ~backend ~global:false ~with_prelude:false ()
+              make_session ~backend ?cache_dir ?cache_max_bytes
+                ~global:false ~with_prelude:false ()
             in
             let jobs =
               List.map (fun (e : C.Corpus.entry) -> (e.name, e.source))
@@ -444,7 +491,8 @@ let corpus_cmd =
             let e = C.Corpus.find name in
             Fmt.pr "// %s (%s)@.%s@.@." e.description e.paper e.source;
             let s =
-              make_session ~backend ~global:false ~with_prelude:false ()
+              make_session ~backend ?cache_dir ?cache_max_bytes
+                ~global:false ~with_prelude:false ()
             in
             match e.expected with
             | C.Corpus.Value expect ->
@@ -473,8 +521,8 @@ let corpus_cmd =
   Cmd.v
     (Cmd.info "corpus"
        ~doc:"List or run the built-in corpus of paper example programs")
-    Term.(const run $ entry_arg $ all_flag $ backend_arg $ domains_arg
-          $ format_arg $ stats_flag)
+    Term.(const run $ entry_arg $ all_flag $ backend_arg $ cache_dir_arg
+          $ cache_max_bytes_arg $ domains_arg $ format_arg $ stats_flag)
 
 (* ---------------------------------------------------------------- *)
 (* eq: same-type queries                                             *)
@@ -612,9 +660,31 @@ let host_arg =
 let address_of ~socket ~port ~host =
   match port with Some p -> `Tcp (host, p) | None -> `Unix socket
 
+(* A peer spec is "unix:PATH" or "HOST:PORT"; the spec string itself is
+   the peer's ring name, so every farm member that lists the same specs
+   agrees on key placement. *)
+let parse_peer spec : string * Protocol.address =
+  let bad () =
+    Diag.config_error ~code:"FG1002"
+      "bad --cache-peer %S (want unix:PATH or HOST:PORT)" spec
+  in
+  match String.index_opt spec ':' with
+  | None -> bad ()
+  | Some i when String.sub spec 0 i = "unix" ->
+      let path = String.sub spec 5 (String.length spec - 5) in
+      if path = "" then bad () else (spec, `Unix path)
+  | Some _ -> (
+      let i = String.rindex spec ':' in
+      let host = String.sub spec 0 i in
+      match int_of_string_opt (String.sub spec (i + 1)
+                                 (String.length spec - i - 1)) with
+      | Some port when host <> "" && port > 0 && port < 65536 ->
+          (spec, `Tcp (host, port))
+      | _ -> bad ())
+
 let serve_cmd =
   let run socket port host workers max_queue timeout_ms max_frame fuel
-      backend verbose =
+      backend cache_dir cache_max_bytes cache_peers verbose =
     handle_code (fun () ->
         let address = address_of ~socket ~port ~host in
         let base = Server.default_config address in
@@ -628,6 +698,9 @@ let serve_cmd =
             max_frame;
             fuel = (if fuel = 0 then None else Some fuel);
             default_backend = C.Backend.of_string_exn backend;
+            cache_dir;
+            cache_max_bytes;
+            cache_peers = List.map parse_peer cache_peers;
             log = verbose;
           }
         in
@@ -677,6 +750,15 @@ let serve_cmd =
              ~doc:"Evaluator step bound per served run (0 = unbounded), \
                    so divergent programs cannot pin a worker.")
   in
+  let cache_peers =
+    Arg.(value & opt_all string []
+         & info [ "cache-peer" ] ~docv:"ADDR"
+             ~doc:"Another daemon whose unit store backs this one's \
+                   cache: $(b,unix:PATH) or $(b,HOST:PORT), repeatable.  \
+                   Workers consult peers on a local miss and populate \
+                   them on fresh checks; a peer that stops answering \
+                   degrades silently to local compilation.")
+  in
   let verbose =
     Arg.(value & flag
          & info [ "verbose" ] ~doc:"Log lifecycle events on stderr.")
@@ -687,10 +769,12 @@ let serve_cmd =
          "Run the compiler as a persistent daemon: a bounded request \
           queue fans out to worker domains with cached preludes; the \
           length-prefixed JSON protocol serves check/run/translate/\
-          fuzz_one/stats/shutdown with deadlines, backpressure and \
+          fuzz_one/stats/shutdown — plus cache_get/cache_put for the \
+          peer cache tier — with deadlines, backpressure and \
           graceful drain (see docs/SERVER.md)")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ workers $ max_queue
-          $ timeout_ms $ max_frame $ fuel $ backend_arg $ verbose)
+          $ timeout_ms $ max_frame $ fuel $ backend_arg $ cache_dir_arg
+          $ cache_max_bytes_arg $ cache_peers $ verbose)
 
 (* ---------------------------------------------------------------- *)
 (* client                                                            *)

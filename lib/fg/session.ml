@@ -28,6 +28,8 @@ module Config = struct
     escape_check : bool;
     prelude : string option;
     unit_cache_capacity : int option;
+    cache_dir : string option;
+    cache_max_bytes : int option;
   }
 
   let default =
@@ -37,6 +39,8 @@ module Config = struct
       escape_check = true;
       prelude = None;
       unit_cache_capacity = None;
+      cache_dir = None;
+      cache_max_bytes = None;
     }
 
   let with_backend backend c = { c with backend }
@@ -46,6 +50,8 @@ module Config = struct
   let with_standard_prelude c = { c with prelude = Some Prelude.full }
   let with_unit_cache_capacity unit_cache_capacity c =
     { c with unit_cache_capacity }
+  let with_cache_dir cache_dir c = { c with cache_dir }
+  let with_cache_max_bytes cache_max_bytes c = { c with cache_max_bytes }
 end
 
 type spec = {
@@ -122,7 +128,18 @@ let of_config ?cache (cfg : Config.t) : t =
   let cache =
     match cache with
     | Some c -> c
-    | None -> Unit.create_cache ?capacity:cfg.Config.unit_cache_capacity ()
+    | None ->
+        let c = Unit.create_cache ?capacity:cfg.Config.unit_cache_capacity () in
+        (* Attach the disk tier before the prelude walk so the
+           prelude's own units persist too (and replay on warm runs). *)
+        (match cfg.Config.cache_dir with
+        | None -> ()
+        | Some dir ->
+            let d =
+              Diskcache.open_store ?max_bytes:cfg.Config.cache_max_bytes dir
+            in
+            Unit.set_stores c [ Unit.disk_store d ]);
+        c
   in
   let env, wrap, spine =
     match cfg.Config.prelude with

@@ -51,6 +51,15 @@ module Config : sig
     unit_cache_capacity : int option;
         (** bound for a private unit cache; [None] =
             {!Unit.default_capacity} *)
+    cache_dir : string option;
+        (** root of a persistent on-disk unit store ({!Diskcache})
+            attached behind the session's private unit cache; [None]
+            (the default) keeps the cache memory-only.  Ignored when a
+            shared [cache] is passed to {!of_config} — whoever owns the
+            shared cache owns its tiers. *)
+    cache_max_bytes : int option;
+        (** size bound for the disk store; oldest-accessed entries are
+            evicted past it.  [None] = unbounded. *)
   }
 
   val default : t
@@ -64,6 +73,8 @@ module Config : sig
   val with_standard_prelude : t -> t
 
   val with_unit_cache_capacity : int option -> t -> t
+  val with_cache_dir : string option -> t -> t
+  val with_cache_max_bytes : int option -> t -> t
 end
 
 (** What the specializing backends add to an outcome: the partially

@@ -3,8 +3,13 @@
     Each declaration of a spine becomes a unit addressed by a content
     hash chained through its dependencies:
 
-      key = H(decl content ‖ dep keys ‖ gensym position ‖ env family ‖
-              resolution mode ‖ escape-check flag)
+      pkey = H(decl content ‖ dep pkeys ‖ gensym position ‖
+               resolution mode ‖ escape-check flag)
+      key  = H(env family ‖ pkey)
+
+    The portable key (pkey) addresses the persistent tiers — disk
+    store and cache peers — which outlive any process; the memory map
+    additionally scopes it by the process-local environment family.
 
     The content hash covers the declaration node verbatim — locations
     included, so a cached unit can only ever be replayed for text at
@@ -36,6 +41,7 @@ type triple = Ast.ty * Ast.exp * F.Ast.exp
 
 type checked = {
   ck_key : string;
+  ck_pkey : string;
   ck_deps : string list;
   ck_info : Declgraph.info;
   ck_extend : Env.t -> Env.t;
@@ -43,6 +49,15 @@ type checked = {
   ck_gensym_end : int;
   ck_globals_delta : (string * Ast.ty list) list;
   ck_warnings : Diag.diagnostic list;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Persistent tiers                                                  *)
+
+type store = {
+  st_name : string;
+  st_get : string -> string option;
+  st_put : string -> string -> unit;
 }
 
 (* ---------------------------------------------------------------- *)
@@ -54,6 +69,9 @@ type cache = {
   capacity : int;
   tbl : (string, entry) Hashtbl.t;
   mutable tick : int;
+  mutable stores : store list;
+      (** persistent tiers behind the memory map, consulted in order
+          (disk first, then peers); empty by default *)
   hits : int Atomic.t;
   misses : int Atomic.t;
   evictions : int Atomic.t;
@@ -71,6 +89,7 @@ let create_cache ?(capacity = default_capacity) () =
     capacity = max 1 capacity;
     tbl = Hashtbl.create 64;
     tick = 0;
+    stores = [];
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     evictions = Atomic.make 0;
@@ -101,17 +120,28 @@ let tick c =
   c.tick <- c.tick + 1;
   c.tick
 
-let find c key =
+let set_stores c stores = c.stores <- stores
+
+(* The memory tier alone; the tiered [find] below decides whether a
+   memory miss is a real miss (nothing deeper either) or a hit served
+   from a deeper tier. *)
+let find_mem c key =
   match Hashtbl.find_opt c.tbl key with
   | Some e ->
       e.e_tick <- tick c;
-      Atomic.incr c.hits;
-      Telemetry.record_unit_hit ();
       Some e.e_unit
-  | None ->
-      Atomic.incr c.misses;
-      Telemetry.record_unit_miss ();
-      None
+  | None -> None
+
+let record_hit c =
+  Atomic.incr c.hits;
+  Telemetry.record_unit_hit ()
+
+(* A miss means the checker actually ran: [unit_misses] is the "unit
+   re-checks" number the cache-smoke CI asserts to be zero on a warm
+   store, so it is bumped only when every tier came up empty. *)
+let record_miss c =
+  Atomic.incr c.misses;
+  Telemetry.record_unit_miss ()
 
 let remove c key =
   if Hashtbl.mem c.tbl key then begin
@@ -136,7 +166,7 @@ let evict_one c =
       Atomic.incr c.evictions;
       Telemetry.record_unit_eviction ()
 
-let insert c (u : checked) =
+let insert_mem c (u : checked) =
   if not (Hashtbl.mem c.tbl u.ck_key) then begin
     while Atomic.get c.size >= c.capacity do
       evict_one c
@@ -144,6 +174,69 @@ let insert c (u : checked) =
     Hashtbl.replace c.tbl u.ck_key { e_unit = u; e_tick = tick c };
     ignore (Atomic.fetch_and_add c.size 1)
   end
+
+(* ---------------------------------------------------------------- *)
+(* Marshalling units through persistent tiers                         *)
+
+(* [Marshal.Closures] persists the replay closures by code pointer +
+   code digest: bytes written by any other compiler build refuse to
+   unmarshal (Failure), which is one of the guards below.  Encoding can
+   also fail — a closure could in principle capture an unmarshalable
+   value — and a unit that cannot be persisted is simply not persisted. *)
+let encode (u : checked) =
+  try Some (Marshal.to_string u [ Marshal.Closures ]) with _ -> None
+
+(* Decoding guards every failure mode a persisted blob has: truncation
+   and wire-format drift (Failure from [Marshal]), foreign-build
+   closures (code digest mismatch), and a blob that unmarshals but was
+   stored under the wrong address (the embedded pkey disagrees).  All
+   of them count as corrupt and read as a miss — never a crash. *)
+let decode ~pkey blob : checked option =
+  match (Marshal.from_string blob 0 : checked) with
+  | u when String.equal u.ck_pkey pkey -> Some u
+  | _ | (exception _) ->
+      Telemetry.record_corrupt_entry ();
+      None
+
+let store_put st pkey blob = try st.st_put pkey blob with _ -> ()
+
+(* Insert a freshly checked unit: memory, then write-through to every
+   persistent tier (content-addressed by the portable key). *)
+let insert c (u : checked) =
+  insert_mem c u;
+  if c.stores <> [] && u.ck_pkey <> "" then
+    match encode u with
+    | None -> ()
+    | Some blob -> List.iter (fun st -> store_put st u.ck_pkey blob) c.stores
+
+(* memory → disk → peer.  A deeper hit is written back into the tiers
+   that missed (so the next cold process finds it locally) and promoted
+   into the memory map under the current family-scoped key. *)
+let find c ~key ~pkey ~dep_keys =
+  match find_mem c key with
+  | Some u ->
+      record_hit c;
+      Some u
+  | None ->
+      let rec go missed = function
+        | [] ->
+            record_miss c;
+            None
+        | st :: rest -> (
+            match (try st.st_get pkey with _ -> None) with
+            | None -> go (st :: missed) rest
+            | Some blob -> (
+                match decode ~pkey blob with
+                | None -> go (st :: missed) rest
+                | Some u ->
+                    let u = { u with ck_key = key; ck_pkey = pkey;
+                              ck_deps = dep_keys } in
+                    List.iter (fun st' -> store_put st' pkey blob) missed;
+                    insert_mem c u;
+                    record_hit c;
+                    Some u))
+      in
+      go [] c.stores
 
 module KSet = Set.Make (String)
 
@@ -250,13 +343,28 @@ let content_hash (e : Ast.exp) : string =
   in
   Digest.string (Marshal.to_string (strip_offsets header) [ Marshal.No_sharing ])
 
-let key_of ~(env : Env.t) ~gensym_start ~content ~dep_keys =
+(* The portable key is everything the checker can observe except the
+   environment family: families are allocated from a per-process
+   counter, so they can never agree across processes.  Persistent tiers
+   are addressed by the portable key; the memory map scopes it by
+   family (cached closures may share supplies with their environment,
+   so in-memory replay stays confined to environments descending from
+   one [Env.create], exactly as before). *)
+let pkey_of ~(env : Env.t) ~gensym_start ~content ~dep_pkeys =
   Digest.string
     (String.concat "\x00"
        (Resolution.mode_name env.Env.resolution
         :: string_of_bool env.Env.escape_check
-        :: string_of_int env.Env.family
-        :: string_of_int gensym_start :: content :: dep_keys))
+        :: string_of_int gensym_start :: content :: dep_pkeys))
+
+let key_of ~(env : Env.t) ~pkey =
+  Digest.string (string_of_int env.Env.family ^ "\x00" ^ pkey)
+
+(* ---------------------------------------------------------------- *)
+(* The disk tier as a store                                          *)
+
+let disk_store (d : Diskcache.t) =
+  { st_name = "disk"; st_get = Diskcache.get d; st_put = Diskcache.put d }
 
 (* ---------------------------------------------------------------- *)
 (* The walk                                                           *)
@@ -298,7 +406,12 @@ let walk ?recover ?(poisoned = Sset.empty) cache ~(spine : checked list) env0
   let global = env0.Env.resolution = Resolution.Global in
   let deps = Declgraph.build ~global infos in
   let keys = Array.make (Array.length infos) "" in
-  List.iteri (fun i u -> keys.(i) <- u.ck_key) spine;
+  let pkeys = Array.make (Array.length infos) "" in
+  List.iteri
+    (fun i u ->
+      keys.(i) <- u.ck_key;
+      pkeys.(i) <- u.ck_pkey)
+    spine;
   let env = ref env0 in
   let wraps = ref [] in
   let units = ref [] in
@@ -317,14 +430,21 @@ let walk ?recover ?(poisoned = Sset.empty) cache ~(spine : checked list) env0
     (fun i decl ->
       let k = n_spine + i in
       let gensym_start = Gensym.mark !env.Env.gensym in
-      let key =
+      let pkey =
         if !failed then ""
         else
-          key_of ~env:!env ~gensym_start ~content:(content_hash decl)
-            ~dep_keys:(List.map (fun j -> keys.(j)) deps.(k))
+          pkey_of ~env:!env ~gensym_start ~content:(content_hash decl)
+            ~dep_pkeys:(List.map (fun j -> pkeys.(j)) deps.(k))
       in
+      let key = if !failed then "" else key_of ~env:!env ~pkey in
       keys.(k) <- key;
-      match if !failed then None else find cache key with
+      pkeys.(k) <- pkey;
+      match
+        if !failed then None
+        else
+          find cache ~key ~pkey
+            ~dep_keys:(List.map (fun j -> keys.(j)) deps.(k))
+      with
       | Some u ->
           (* replay: re-extend the environment, fast-forward the
              fresh-name supply, re-report the recorded warnings once *)
@@ -365,6 +485,7 @@ let walk ?recover ?(poisoned = Sset.empty) cache ~(spine : checked list) env0
               let u =
                 {
                   ck_key = key;
+                  ck_pkey = pkey;
                   ck_deps = List.map (fun j -> keys.(j)) deps.(k);
                   ck_info = infos.(k);
                   ck_extend = extend;

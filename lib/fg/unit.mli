@@ -31,7 +31,10 @@ type triple = ty * exp * F.exp
     warnings it emitted (replayed verbatim on a hit, so warnings appear
     exactly once per program). *)
 type checked = {
-  ck_key : string;
+  ck_key : string;  (** memory-tier key: the family-scoped {!ck_pkey} *)
+  ck_pkey : string;
+      (** portable key — family-free, so it addresses the persistent
+          tiers (disk store, cache peers), which outlive any process *)
   ck_deps : string list;
   ck_info : Declgraph.info;
   ck_extend : Env.t -> Env.t;
@@ -47,6 +50,26 @@ type cache
 val default_capacity : int
 
 val create_cache : ?capacity:int -> unit -> cache
+
+(** A persistent tier behind the memory map.  Keys are portable unit
+    keys; values are opaque marshalled-unit blobs.  Lookups go memory →
+    stores in list order; a deeper hit is written back into the tiers
+    that missed, a fresh check is written through to every tier, and a
+    store that throws is treated as a miss (peer failures degrade
+    silently to local compilation).  Blobs only decode in the compiler
+    build that produced them — a mismatched or corrupt blob counts as a
+    corrupt entry and reads as a miss. *)
+type store = {
+  st_name : string;
+  st_get : string -> string option;
+  st_put : string -> string -> unit;
+}
+
+(** Attach the persistent tiers consulted after the memory map. *)
+val set_stores : cache -> store list -> unit
+
+(** The on-disk store ({!Diskcache}) as a tier. *)
+val disk_store : Diskcache.t -> store
 
 type stats = {
   s_hits : int;

@@ -13,7 +13,7 @@ exception Client_error of string
 
 let fail fmt = Fmt.kstr (fun m -> raise (Client_error m)) fmt
 
-let connect ?max_frame (addr : Server.address) =
+let connect ?max_frame ?rcv_timeout (addr : Protocol.address) =
   let fd =
     match addr with
     | `Unix path ->
@@ -38,6 +38,13 @@ let connect ?max_frame (addr : Server.address) =
              (Unix.error_message e));
         fd
   in
+  (* A bounded receive wait turns a hung peer into a Unix error the
+     caller can degrade on, instead of a stuck worker. *)
+  (match rcv_timeout with
+  | None -> ()
+  | Some s -> (
+      try Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+      with Unix.Unix_error _ | Invalid_argument _ -> ()));
   { fd; dec = Protocol.decoder ?max_frame () }
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
@@ -87,8 +94,22 @@ let request c req =
 
 let default_window = 32
 
-let batch ?(window = default_window) ?(overload_retries = 64) c
-    (reqs : Protocol.request list) : Protocol.response list =
+(* Overload backoff: exponential from 2ms, capped, with uniform jitter
+   in [delay/2, delay] so synchronized clients spread out instead of
+   re-stampeding the queue in lockstep.  Pure in the generator, so
+   tests can replay a seed and assert the exact delay sequence. *)
+let backoff_base_ms = 2
+let backoff_cap_ms = 200
+
+let backoff_ms rng ~attempt =
+  let d =
+    min backoff_cap_ms (backoff_base_ms * (1 lsl min (max 0 attempt) 7))
+  in
+  Prng.in_range rng (max 1 (d / 2)) d
+
+let batch ?(window = default_window) ?(overload_retries = 64)
+    ?(backoff_seed = 0) c (reqs : Protocol.request list) :
+    Protocol.response list =
   let reqs = Array.of_list reqs in
   let n = Array.length reqs in
   (* Re-key requests onto ids 1..n so responses map back to slots no
@@ -98,6 +119,9 @@ let batch ?(window = default_window) ?(overload_retries = 64) c
   in
   let results : Protocol.response option array = Array.make n None in
   let retries_left = Array.make n overload_retries in
+  let attempts = Array.make n 0 in
+  let slept_ms = Array.make n 0 in
+  let rng = ref (Prng.make backoff_seed) in
   let window = max 1 window in
   let next_to_send = ref 0 in
   let to_resend = Queue.create () in
@@ -125,14 +149,30 @@ let batch ?(window = default_window) ?(overload_retries = 64) c
     let idx = r.Protocol.r_id - 1 in
     if idx < 0 || idx >= n then
       fail "response for unknown request id %d" r.Protocol.r_id
-    else if r.Protocol.r_status = Protocol.Overload && retries_left.(idx) > 0
-    then begin
-      (* Bounded retry with a small pause: the queue was full, give
-         the workers a moment to drain it. *)
-      retries_left.(idx) <- retries_left.(idx) - 1;
-      Unix.sleepf 0.002;
-      Queue.push idx to_resend
-    end
+    else if
+      r.Protocol.r_status = Protocol.Overload
+      && retries_left.(idx) > 0
+      &&
+      (* The queue was full: back off before resending, unless the
+         accumulated pauses would outlive the request's own deadline —
+         past that point the retry could only come back [Timeout], so
+         surface the overload instead. *)
+      let d, rng' = backoff_ms !rng ~attempt:attempts.(idx) in
+      rng := rng';
+      let budget =
+        match keyed.(idx).Protocol.timeout_ms with
+        | Some t -> t
+        | None -> max_int
+      in
+      slept_ms.(idx) + d <= budget
+      && begin
+           retries_left.(idx) <- retries_left.(idx) - 1;
+           attempts.(idx) <- attempts.(idx) + 1;
+           slept_ms.(idx) <- slept_ms.(idx) + d;
+           Unix.sleepf (float_of_int d /. 1000.);
+           true
+         end
+    then Queue.push idx to_resend
     else begin
       (match results.(idx) with
       | None -> incr received
@@ -159,3 +199,34 @@ let run_file c ?timeout_ms ?(prelude = false) ?(global_models = false)
   request c
     (Protocol.request ~id:1 ~file ~source ~prelude ~global_models
        ?timeout_ms Protocol.Run)
+
+(* ---------------------------------------------------------------- *)
+(* Cache peer tier (v3)                                              *)
+
+(* Keys and blobs are raw bytes in the compiler and hex on the wire.
+   Both calls answer the tier contract: anything unexpected — not-ok
+   status, malformed payload, undecodable hex — is simply a miss or a
+   dropped put, never an error for the caller. *)
+
+let cache_get c ~key =
+  let r =
+    request c
+      (Protocol.request ~id:1 ~key:(Strutil.hex_encode key)
+         Protocol.CacheGet)
+  in
+  if r.Protocol.r_status <> Protocol.Ok_ then None
+  else
+    match Json.of_string r.Protocol.r_payload with
+    | Error _ -> None
+    | Ok j ->
+        if Json.bool_field "found" j = Some true then
+          Option.bind (Json.str_field "data" j) Strutil.hex_decode
+        else None
+
+let cache_put c ~key ~data =
+  let r =
+    request c
+      (Protocol.request ~id:1 ~key:(Strutil.hex_encode key)
+         ~data:(Strutil.hex_encode data) Protocol.CachePut)
+  in
+  r.Protocol.r_status = Protocol.Ok_

@@ -11,7 +11,12 @@ exception Client_error of string
 (** All failures (connect, framing, bad responses) raise
     {!Client_error} with a human-readable message. *)
 
-val connect : ?max_frame:int -> Server.address -> conn
+(** [rcv_timeout] (seconds) bounds every blocking read on the
+    connection ([SO_RCVTIMEO]), so a hung server surfaces as a
+    {!Client_error} instead of a stuck caller — the peer cache tier
+    connects with a short one. *)
+val connect :
+  ?max_frame:int -> ?rcv_timeout:float -> Protocol.address -> conn
 
 val close : conn -> unit
 
@@ -32,13 +37,23 @@ val request : conn -> Protocol.request -> Protocol.response
 
 val default_window : int
 
+(** [backoff_ms rng ~attempt] — the pause (in milliseconds) before
+    overload retry number [attempt] (0-based): exponential from 2ms,
+    capped at 200ms, jittered uniformly into [delay/2, delay].  Pure
+    in the generator, so a seed replays the exact delay sequence. *)
+val backoff_ms : Fg_util.Prng.t -> attempt:int -> int * Fg_util.Prng.t
+
 (** [batch c reqs] — pipeline every request through [c] with at most
     [window] in flight; overloaded requests are retried up to
-    [overload_retries] times with a small pause.  Results come back in
-    request order carrying the caller's original ids. *)
+    [overload_retries] times with {!backoff_ms} pauses (jitter drawn
+    from a generator seeded by [backoff_seed], so tests are
+    deterministic).  A request's accumulated backoff never exceeds its
+    own [timeout_ms], if set — past that the overload is returned
+    as-is.  Results come back in request order carrying the caller's
+    original ids. *)
 val batch :
-  ?window:int -> ?overload_retries:int -> conn -> Protocol.request list ->
-  Protocol.response list
+  ?window:int -> ?overload_retries:int -> ?backoff_seed:int -> conn ->
+  Protocol.request list -> Protocol.response list
 
 val stats : conn -> Protocol.response
 val shutdown : conn -> Protocol.response
@@ -46,3 +61,13 @@ val shutdown : conn -> Protocol.response
 val run_file :
   conn -> ?timeout_ms:int -> ?prelude:bool -> ?global_models:bool ->
   file:string -> string -> Protocol.response
+
+(** {1 Cache peer tier (protocol v3)}
+
+    [key] and the returned/offered blob are raw bytes; both are
+    hex-encoded on the wire.  Neither call raises on a cooperating
+    server: a missing entry, a cache-less peer, or a malformed payload
+    all read as [None] / [false]. *)
+
+val cache_get : conn -> key:string -> string option
+val cache_put : conn -> key:string -> data:string -> bool

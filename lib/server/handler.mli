@@ -12,8 +12,20 @@ type t
 
 (** [fuel] bounds both evaluators of every served [run] request, so a
     divergent program cannot pin a worker forever (it reports the
-    FG0601 fuel diagnostic instead). *)
-val create : ?fuel:int -> unit -> t
+    FG0601 fuel diagnostic instead).
+
+    [disk] attaches the daemon's shared on-disk unit store behind this
+    worker's memory cache; [peers] additionally attaches the cache
+    peer tier — each [(name, address)] is another daemon whose disk
+    store is consulted over the wire ([cache_get]) and populated on
+    fresh checks ([cache_put]).  Keys route to peers on a
+    consistent-hash ring keyed by peer name, so every member of a farm
+    agrees on placement; a peer that fails is benched for a few
+    seconds and retried, and every peer failure degrades silently to
+    local compilation. *)
+val create :
+  ?fuel:int -> ?disk:Fg_core.Diskcache.t ->
+  ?peers:(string * Protocol.address) list -> unit -> t
 
 (** Eagerly build the standard-prelude session (workers call this at
     startup so the first request doesn't pay the prelude check). *)

@@ -15,7 +15,9 @@
 
 open Fg_util
 
-let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+(* The shared monotonized clock: durations measured against it are
+   never negative even if wall time steps backwards. *)
+let now_ns = Telemetry.now_ns
 
 (* ---------------------------------------------------------------- *)
 (* Metrics                                                           *)
@@ -123,6 +125,9 @@ type job = {
 type t = {
   capacity : int;
   fuel : int option;
+  disk : Fg_core.Diskcache.t option;
+      (** the daemon's shared on-disk unit store, one per server *)
+  peers : (string * Protocol.address) list;  (** the cache peer tier *)
   m : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
@@ -137,11 +142,13 @@ type t = {
       (** the [stats] payload; the server closes over its own config *)
 }
 
-let create ?fuel ~capacity ~stats_json () =
+let create ?fuel ?disk ?(peers = []) ~capacity ~stats_json () =
   let metrics = metrics () in
   {
     capacity = max 1 capacity;
     fuel;
+    disk;
+    peers;
     m = Mutex.create ();
     not_empty = Condition.create ();
     not_full = Condition.create ();
@@ -279,7 +286,9 @@ let process t handler (job : job) =
   job.respond resp
 
 let worker_loop t =
-  let handler = Handler.create ?fuel:t.fuel () in
+  let handler =
+    Handler.create ?fuel:t.fuel ?disk:t.disk ~peers:t.peers ()
+  in
   Mutex.lock t.m;
   t.handlers <- handler :: t.handlers;
   Mutex.unlock t.m;

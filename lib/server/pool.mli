@@ -50,9 +50,13 @@ type job = {
 type t
 
 (** [stats_json] renders the [stats] payload from the live metrics
-    (the server adds its own config fields via [?extra]). *)
+    (the server adds its own config fields via [?extra]).  [disk] and
+    [peers] are handed to every worker's {!Handler.create}: one shared
+    on-disk unit store and one set of cache peers per daemon. *)
 val create :
-  ?fuel:int -> capacity:int -> stats_json:(metrics -> Json.t) -> unit -> t
+  ?fuel:int -> ?disk:Fg_core.Diskcache.t ->
+  ?peers:(string * Protocol.address) list -> capacity:int ->
+  stats_json:(metrics -> Json.t) -> unit -> t
 
 val metrics : t -> metrics
 val stats_payload : t -> string

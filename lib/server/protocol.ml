@@ -11,12 +11,19 @@
 open Fg_util
 
 (* Version 2 added the optional request field ["backend"] (absent means
-   the dictionary backend).  Frames from version-1 clients are still
-   accepted — every v1 field kept its meaning — so [min_version] stays
-   at 1; only versions outside [min_version .. version] are refused. *)
-let version = 2
+   the dictionary backend).  Version 3 added the [cache_get]/[cache_put]
+   request kinds with their ["key"]/["data"] fields (the peer tier of
+   the compilation-unit cache).  Frames from older clients are still
+   accepted — every earlier field kept its meaning — so [min_version]
+   stays at 1; only versions outside [min_version .. version] are
+   refused. *)
+let version = 3
 let min_version = 1
 let default_max_frame = 4 * 1024 * 1024
+
+(* Where a daemon listens and a client or cache peer connects; shared
+   by {!Server}, {!Client} and the peer tier in {!Handler}. *)
+type address = [ `Unix of string | `Tcp of string * int ]
 
 (* ---------------------------------------------------------------- *)
 (* Framing                                                           *)
@@ -102,7 +109,15 @@ let read_chunk d fd =
 (* ---------------------------------------------------------------- *)
 (* Requests                                                          *)
 
-type kind = Check | Run | Translate | FuzzOne | Stats | Shutdown
+type kind =
+  | Check
+  | Run
+  | Translate
+  | FuzzOne
+  | Stats
+  | Shutdown
+  | CacheGet
+  | CachePut
 
 let kind_name = function
   | Check -> "check"
@@ -111,6 +126,8 @@ let kind_name = function
   | FuzzOne -> "fuzz_one"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
+  | CacheGet -> "cache_get"
+  | CachePut -> "cache_put"
 
 let kind_of_name = function
   | "check" -> Some Check
@@ -119,9 +136,12 @@ let kind_of_name = function
   | "fuzz_one" -> Some FuzzOne
   | "stats" -> Some Stats
   | "shutdown" -> Some Shutdown
+  | "cache_get" -> Some CacheGet
+  | "cache_put" -> Some CachePut
   | _ -> None
 
-let all_kinds = [ Check; Run; Translate; FuzzOne; Stats; Shutdown ]
+let all_kinds =
+  [ Check; Run; Translate; FuzzOne; Stats; Shutdown; CacheGet; CachePut ]
 
 type request = {
   id : int;
@@ -135,13 +155,16 @@ type request = {
   seed : int;  (** fuzz_one *)
   size : int;  (** fuzz_one *)
   mutants : int;  (** fuzz_one *)
+  key : string;  (** cache_get/cache_put: hex portable unit key (v3) *)
+  data : string;  (** cache_put: hex unit blob (v3) *)
 }
 
 let request ?(file = "<request>") ?(source = "") ?(prelude = false)
     ?(global_models = false) ?(backend = Fg_core.Backend.Dict) ?timeout_ms
-    ?(seed = 0) ?(size = 30) ?(mutants = 0) ~id kind =
+    ?(seed = 0) ?(size = 30) ?(mutants = 0) ?(key = "") ?(data = "") ~id kind
+    =
   { id; kind; file; source; prelude; global_models; backend; timeout_ms;
-    seed; size; mutants }
+    seed; size; mutants; key; data }
 
 let request_to_json r =
   Json.Obj
@@ -159,11 +182,15 @@ let request_to_json r =
     @ (match r.timeout_ms with
       | Some t -> [ ("timeout_ms", Json.Int t) ]
       | None -> [])
+    @ (if r.kind = FuzzOne then
+         [ ("seed", Json.Int r.seed); ("size", Json.Int r.size);
+           ("mutants", Json.Int r.mutants) ]
+       else [])
     @
-    if r.kind = FuzzOne then
-      [ ("seed", Json.Int r.seed); ("size", Json.Int r.size);
-        ("mutants", Json.Int r.mutants) ]
-    else [])
+    match r.kind with
+    | CacheGet -> [ ("key", Json.Str r.key) ]
+    | CachePut -> [ ("key", Json.Str r.key); ("data", Json.Str r.data) ]
+    | _ -> [])
 
 type proto_error =
   | Bad_version of int option
@@ -191,7 +218,10 @@ let request_of_json j =
               let needs_source =
                 match kind with
                 | Check | Run | Translate -> true
-                | FuzzOne | Stats | Shutdown -> false
+                | FuzzOne | Stats | Shutdown | CacheGet | CachePut -> false
+              in
+              let needs_key =
+                match kind with CacheGet | CachePut -> true | _ -> false
               in
               let backend =
                 match Json.str_field "backend" j with
@@ -212,6 +242,10 @@ let request_of_json j =
                   (Bad_request
                      (Printf.sprintf "kind %S requires a 'source' field"
                         kname))
+              else if needs_key && Json.str_field "key" j = None then
+                Error
+                  (Bad_request
+                     (Printf.sprintf "kind %S requires a 'key' field" kname))
               else
                 Ok
                   {
@@ -229,6 +263,8 @@ let request_of_json j =
                       Option.value ~default:30 (Json.int_field "size" j);
                     mutants =
                       Option.value ~default:0 (Json.int_field "mutants" j);
+                    key = str "key" "";
+                    data = str "data" "";
                   })))
 
 (* ---------------------------------------------------------------- *)

@@ -8,18 +8,20 @@
     must be closed.
 
     {b Requests} are JSON objects
-    [{"v": 2, "id": N, "kind": K, ...}] where [K] is one of
-    [check | run | translate | fuzz_one | stats | shutdown]; program
-    kinds carry ["file"], ["source"] and the one-shot driver's flags
-    (["prelude"], ["global_models"], and — since version 2 — an
-    optional ["backend"] of [dict | stencil | hybrid], absent meaning
-    [dict]); any request may set ["timeout_ms"] to override the
-    server's default deadline.  Any version in
-    [min_version .. version] is accepted: version-1 frames decode and
-    route exactly as before.
+    [{"v": 3, "id": N, "kind": K, ...}] where [K] is one of
+    [check | run | translate | fuzz_one | stats | shutdown |
+    cache_get | cache_put]; program kinds carry ["file"], ["source"]
+    and the one-shot driver's flags (["prelude"], ["global_models"],
+    and — since version 2 — an optional ["backend"] of
+    [dict | stencil | hybrid], absent meaning [dict]); the cache kinds
+    (since version 3) carry a hex ["key"] and, for [cache_put], a hex
+    ["data"] blob — the peer tier of the compilation-unit cache; any
+    request may set ["timeout_ms"] to override the server's default
+    deadline.  Any version in [min_version .. version] is accepted:
+    version-1 frames decode and route exactly as before.
 
     {b Responses} are
-    [{"v": 2, "id": N, "status": S, "payload": P}] where [S] is one of
+    [{"v": 3, "id": N, "status": S, "payload": P}] where [S] is one of
     [ok | error | timeout | overload | shutting_down | protocol_error]
     and [P] is the result document as {e pre-rendered JSON text} — for
     [run] requests, byte-identical to what one-shot
@@ -33,6 +35,10 @@ val version : int
 val min_version : int
 
 val default_max_frame : int
+
+(** Where a daemon listens and a client or cache peer connects; shared
+    by {!Server}, {!Client} and the peer tier in {!Handler}. *)
+type address = [ `Unix of string | `Tcp of string * int ]
 
 (** {1 Framing} *)
 
@@ -62,7 +68,15 @@ val read_chunk : decoder -> Unix.file_descr -> bool
 
 (** {1 Requests} *)
 
-type kind = Check | Run | Translate | FuzzOne | Stats | Shutdown
+type kind =
+  | Check
+  | Run
+  | Translate
+  | FuzzOne
+  | Stats
+  | Shutdown
+  | CacheGet  (** v3: probe the server's disk store for a unit blob *)
+  | CachePut  (** v3: offer a unit blob to the server's disk store *)
 
 val kind_name : kind -> string
 val kind_of_name : string -> kind option
@@ -81,13 +95,15 @@ type request = {
   seed : int;
   size : int;
   mutants : int;
+  key : string;  (** cache_get/cache_put: hex portable unit key (v3) *)
+  data : string;  (** cache_put: hex unit blob (v3) *)
 }
 
 (** Build a request with the wire defaults filled in. *)
 val request :
   ?file:string -> ?source:string -> ?prelude:bool -> ?global_models:bool ->
   ?backend:Fg_core.Backend.t -> ?timeout_ms:int -> ?seed:int -> ?size:int ->
-  ?mutants:int -> id:int -> kind -> request
+  ?mutants:int -> ?key:string -> ?data:string -> id:int -> kind -> request
 
 val request_to_json : request -> Json.t
 

@@ -12,7 +12,7 @@
 
 open Fg_util
 
-type address = [ `Unix of string | `Tcp of string * int ]
+type address = Protocol.address
 
 type config = {
   address : address;
@@ -24,6 +24,13 @@ type config = {
   default_backend : Fg_core.Backend.t;
       (** backend for requests whose frame omits the [backend] field
           (v1 clients in particular) *)
+  cache_dir : string option;
+      (** root of the daemon's shared on-disk unit store; [None] (the
+          default) runs memory-only and answers [cache_get] with
+          "not found" *)
+  cache_max_bytes : int option;
+  cache_peers : (string * address) list;
+      (** other daemons whose stores form this daemon's peer tier *)
   log : bool;
 }
 
@@ -36,6 +43,9 @@ let default_config address =
     max_frame = Protocol.default_max_frame;
     fuel = Some 10_000_000;
     default_backend = Fg_core.Backend.Dict;
+    cache_dir = None;
+    cache_max_bytes = None;
+    cache_peers = [];
     log = false;
   }
 
@@ -112,6 +122,9 @@ let force_shutdown conn =
 type t = {
   cfg : config;
   pool : Pool.t;
+  disk : Fg_core.Diskcache.t option;
+      (** the store behind [cache_dir]: shared by every worker and
+          served to peers via [cache_get]/[cache_put] *)
   listen_fd : Unix.file_descr;
   bound : address;  (** with the OS-chosen port resolved *)
   reg_m : Mutex.t;
@@ -138,7 +151,7 @@ let request_shutdown t =
 (* The stats payload: live pool metrics plus the static config, plus
    the process-wide specializer counters (covering every worker's
    stencil/hybrid requests, since telemetry is process-global). *)
-let stats_json cfg metrics =
+let stats_json cfg disk metrics =
   let t = Telemetry.snapshot () in
   Pool.metrics_to_json metrics
     ~extra:
@@ -156,6 +169,27 @@ let stats_json cfg metrics =
               ("stencils_shared", Json.Int t.Telemetry.stencils_shared);
               ("stencil_fallbacks", Json.Int t.Telemetry.stencil_fallbacks);
               ("dicts_hoisted", Json.Int t.Telemetry.dicts_hoisted);
+            ] );
+        ( "disk_cache",
+          match disk with
+          | None -> Json.Null
+          | Some d ->
+              let s = Fg_core.Diskcache.stats d in
+              Json.Obj
+                [
+                  ("hits", Json.Int s.Fg_core.Diskcache.d_hits);
+                  ("misses", Json.Int s.Fg_core.Diskcache.d_misses);
+                  ("evictions", Json.Int s.Fg_core.Diskcache.d_evictions);
+                  ("corrupt", Json.Int s.Fg_core.Diskcache.d_corrupt);
+                  ("entries", Json.Int s.Fg_core.Diskcache.d_entries);
+                  ("bytes", Json.Int s.Fg_core.Diskcache.d_bytes);
+                ] );
+        ( "peer_cache",
+          Json.Obj
+            [
+              ("hits", Json.Int t.Telemetry.peer_hits);
+              ("misses", Json.Int t.Telemetry.peer_misses);
+              ("failures", Json.Int t.Telemetry.peer_failures);
             ] );
       ]
 
@@ -184,15 +218,21 @@ let listen_on = function
 
 let create cfg =
   let cfg = { cfg with workers = max 1 cfg.workers } in
+  let disk =
+    Option.map
+      (Fg_core.Diskcache.open_store ?max_bytes:cfg.cache_max_bytes)
+      cfg.cache_dir
+  in
   let pool =
-    Pool.create ?fuel:cfg.fuel ~capacity:cfg.max_queue
-      ~stats_json:(stats_json cfg) ()
+    Pool.create ?fuel:cfg.fuel ?disk ~peers:cfg.cache_peers
+      ~capacity:cfg.max_queue ~stats_json:(stats_json cfg disk) ()
   in
   let listen_fd, bound = listen_on cfg.address in
   Pool.start ~workers:cfg.workers pool;
   {
     cfg;
     pool;
+    disk;
     listen_fd;
     bound;
     reg_m = Mutex.create ();
@@ -212,6 +252,43 @@ let deadline_of t (req : Protocol.request) ~enqueued_ns =
   with
   | Some ms -> Some (enqueued_ns + (ms * 1_000_000))
   | None -> None
+
+(* Serve one cache_get/cache_put against the daemon's own disk store.
+   These run in the reader thread, never in the pool: cache traffic
+   must not wait behind compilation (two daemons peering at each other
+   with full queues would deadlock), and a disk probe is cheap enough
+   to answer inline.  A daemon without [--cache-dir] answers honestly
+   — found:false / stored:false — so a misconfigured peer set degrades
+   to misses, not errors. *)
+let cache_response t (req : Protocol.request) =
+  let ok fields =
+    { Protocol.r_id = req.Protocol.id; r_status = Protocol.Ok_;
+      r_payload = Json.to_string (Json.Obj fields) }
+  in
+  let malformed msg =
+    { Protocol.r_id = req.Protocol.id; r_status = Protocol.Protocol_error;
+      r_payload =
+        Protocol.error_payload ~file:"<cache>" ~code:"FG0803" "%s" msg }
+  in
+  match Strutil.hex_decode req.Protocol.key with
+  | None -> malformed "cache key is not valid hex"
+  | Some key -> (
+      match (req.Protocol.kind, t.disk) with
+      | Protocol.CacheGet, Some d -> (
+          match Fg_core.Diskcache.get d key with
+          | Some body ->
+              ok
+                [ ("found", Json.Bool true);
+                  ("data", Json.Str (Strutil.hex_encode body)) ]
+          | None -> ok [ ("found", Json.Bool false) ])
+      | Protocol.CacheGet, None -> ok [ ("found", Json.Bool false) ]
+      | _, Some d -> (
+          match Strutil.hex_decode req.Protocol.data with
+          | None -> malformed "cache data is not valid hex"
+          | Some body ->
+              Fg_core.Diskcache.put d key body;
+              ok [ ("stored", Json.Bool true) ])
+      | _, None -> ok [ ("stored", Json.Bool false) ])
 
 let reject conn (req : Protocol.request) status code msg =
   respond_direct conn
@@ -276,6 +353,13 @@ let handle_frame t conn payload =
               { req with Protocol.backend = t.cfg.default_backend }
             else req
           in
+          match req.Protocol.kind with
+          | Protocol.CacheGet | Protocol.CachePut ->
+              let resp = cache_response t req in
+              Pool.record_outcome metrics req.Protocol.kind
+                resp.Protocol.r_status;
+              respond_direct conn resp
+          | _ ->
           let enqueued_ns = Pool.now_ns () in
           Atomic.incr conn.inflight;
           let job =

@@ -18,7 +18,7 @@
       kind and status, queue depth, and p50/p95/p99 latency histograms
       ({!Fg_util.Telemetry.Histogram}). *)
 
-type address = [ `Unix of string | `Tcp of string * int ]
+type address = Protocol.address
 
 type config = {
   address : address;
@@ -30,6 +30,19 @@ type config = {
   default_backend : Fg_core.Backend.t;
       (** backend for requests whose frame omits ["backend"]; an
           explicit request field always wins *)
+  cache_dir : string option;
+      (** root of the daemon's shared on-disk unit store
+          ({!Fg_core.Diskcache}), consulted by every worker behind its
+          memory cache and served to cache peers over [cache_get] /
+          [cache_put]; [None] (the default) runs memory-only *)
+  cache_max_bytes : int option;  (** disk-store size bound *)
+  cache_peers : (string * address) list;
+      (** other daemons whose stores form this daemon's peer tier:
+          workers consult them over the wire on a disk miss and
+          populate them on fresh checks.  [cache_get]/[cache_put]
+          requests are answered directly in the reader thread (never
+          queued behind compilation), so two daemons may peer at each
+          other without deadlock. *)
   log : bool;  (** chatty lifecycle lines on stderr *)
 }
 

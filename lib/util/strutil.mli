@@ -9,6 +9,14 @@ val contains : needle:string -> string -> bool
     costs). *)
 val levenshtein : string -> string -> int
 
+(** [hex_encode s] — lowercase hexadecimal rendering of [s]'s bytes
+    (the wire encoding of binary cache blobs). *)
+val hex_encode : string -> string
+
+(** [hex_decode s] — the bytes [s] encodes, or [None] when [s] is not
+    even-length hexadecimal.  Inverse of {!hex_encode}. *)
+val hex_decode : string -> string option
+
 (** [nearest ~candidates name] is the candidate closest to [name] in
     edit distance, provided the distance is small relative to the
     length of [name] (at most 2, and strictly less than the length);

@@ -147,6 +147,13 @@ let stencils_created = Atomic.make 0
 let stencils_shared = Atomic.make 0
 let stencil_fallbacks = Atomic.make 0
 let dicts_hoisted = Atomic.make 0
+let disk_hits = Atomic.make 0
+let disk_misses = Atomic.make 0
+let disk_evictions = Atomic.make 0
+let corrupt_entries = Atomic.make 0
+let peer_hits = Atomic.make 0
+let peer_misses = Atomic.make 0
+let peer_failures = Atomic.make 0
 
 let all =
   [
@@ -155,6 +162,8 @@ let all =
     prelude_reuses; programs; fuzz_generated; fuzz_discarded; fuzz_shrunk;
     unit_hits; unit_misses; unit_evictions; unit_invalidations;
     stencils_created; stencils_shared; stencil_fallbacks; dicts_hoisted;
+    disk_hits; disk_misses; disk_evictions; corrupt_entries; peer_hits;
+    peer_misses; peer_failures;
   ]
 
 let bump c = Atomic.incr c
@@ -171,6 +180,13 @@ let record_fuzz_shrunk () = bump fuzz_shrunk
 let record_unit_hit () = bump unit_hits
 let record_unit_miss () = bump unit_misses
 let record_unit_eviction () = bump unit_evictions
+let record_disk_hit () = bump disk_hits
+let record_disk_miss () = bump disk_misses
+let record_disk_eviction () = bump disk_evictions
+let record_corrupt_entry () = bump corrupt_entries
+let record_peer_hit () = bump peer_hits
+let record_peer_miss () = bump peer_misses
+let record_peer_failure () = bump peer_failures
 
 let record_unit_invalidations n =
   if n > 0 then ignore (Atomic.fetch_and_add unit_invalidations n)
@@ -188,12 +204,32 @@ let phase_counter = function
   | Verify -> verify_ns
   | Eval -> eval_ns
 
-let now_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+(* The wall clock is the only time source available here, and it can
+   step backwards (NTP).  [monotonize] pins every reading to the
+   maximum ever observed — a CAS loop, so concurrent domains agree on
+   one non-decreasing stream — which turns a backwards step into a
+   brief plateau instead of a negative duration. *)
+let last_ns = Atomic.make 0
+
+let monotonize ns =
+  let rec go () =
+    let seen = Atomic.get last_ns in
+    if ns <= seen then seen
+    else if Atomic.compare_and_set last_ns seen ns then ns
+    else go ()
+  in
+  go ()
+
+let raw_ns () = Int64.to_int (Int64.of_float (Unix.gettimeofday () *. 1e9))
+
+let now_ns () = monotonize (raw_ns ())
 
 let time phase f =
   let counter = phase_counter phase in
   let t0 = now_ns () in
-  let record () = ignore (Atomic.fetch_and_add counter (now_ns () - t0)) in
+  let record () =
+    ignore (Atomic.fetch_and_add counter (max 0 (now_ns () - t0)))
+  in
   match f () with
   | v ->
       record ();
@@ -229,6 +265,13 @@ type snapshot = {
   stencils_shared : int;
   stencil_fallbacks : int;
   dicts_hoisted : int;
+  disk_hits : int;
+  disk_misses : int;
+  disk_evictions : int;
+  corrupt_entries : int;
+  peer_hits : int;
+  peer_misses : int;
+  peer_failures : int;
 }
 
 let snapshot () =
@@ -256,6 +299,13 @@ let snapshot () =
     stencils_shared = Atomic.get stencils_shared;
     stencil_fallbacks = Atomic.get stencil_fallbacks;
     dicts_hoisted = Atomic.get dicts_hoisted;
+    disk_hits = Atomic.get disk_hits;
+    disk_misses = Atomic.get disk_misses;
+    disk_evictions = Atomic.get disk_evictions;
+    corrupt_entries = Atomic.get corrupt_entries;
+    peer_hits = Atomic.get peer_hits;
+    peer_misses = Atomic.get peer_misses;
+    peer_failures = Atomic.get peer_failures;
   }
 
 let diff (b : snapshot) (a : snapshot) =
@@ -283,6 +333,13 @@ let diff (b : snapshot) (a : snapshot) =
     stencils_shared = b.stencils_shared - a.stencils_shared;
     stencil_fallbacks = b.stencil_fallbacks - a.stencil_fallbacks;
     dicts_hoisted = b.dicts_hoisted - a.dicts_hoisted;
+    disk_hits = b.disk_hits - a.disk_hits;
+    disk_misses = b.disk_misses - a.disk_misses;
+    disk_evictions = b.disk_evictions - a.disk_evictions;
+    corrupt_entries = b.corrupt_entries - a.corrupt_entries;
+    peer_hits = b.peer_hits - a.peer_hits;
+    peer_misses = b.peer_misses - a.peer_misses;
+    peer_failures = b.peer_failures - a.peer_failures;
   }
 
 let reset () = List.iter (fun c -> Atomic.set c 0) all
@@ -310,6 +367,20 @@ let pp ppf (s : snapshot) =
   Fmt.pf ppf "  misses         : %10d@," s.unit_misses;
   Fmt.pf ppf "  evictions      : %10d@," s.unit_evictions;
   Fmt.pf ppf "  invalidations  : %10d" s.unit_invalidations;
+  if s.disk_hits + s.disk_misses + s.disk_evictions + s.corrupt_entries > 0
+  then begin
+    Fmt.pf ppf "@,disk cache:@,";
+    Fmt.pf ppf "  hits           : %10d@," s.disk_hits;
+    Fmt.pf ppf "  misses         : %10d@," s.disk_misses;
+    Fmt.pf ppf "  evictions      : %10d@," s.disk_evictions;
+    Fmt.pf ppf "  corrupt        : %10d" s.corrupt_entries
+  end;
+  if s.peer_hits + s.peer_misses + s.peer_failures > 0 then begin
+    Fmt.pf ppf "@,peer cache:@,";
+    Fmt.pf ppf "  hits           : %10d@," s.peer_hits;
+    Fmt.pf ppf "  misses         : %10d@," s.peer_misses;
+    Fmt.pf ppf "  failures       : %10d" s.peer_failures
+  end;
   if s.fuzz_generated + s.fuzz_discarded + s.fuzz_shrunk > 0 then begin
     Fmt.pf ppf "@,fuzzing:@,";
     Fmt.pf ppf "  generated      : %10d@," s.fuzz_generated;
@@ -355,4 +426,11 @@ let to_json (s : snapshot) =
       ("stencils_shared", Json.Int s.stencils_shared);
       ("stencil_fallbacks", Json.Int s.stencil_fallbacks);
       ("dicts_hoisted", Json.Int s.dicts_hoisted);
+      ("disk_hits", Json.Int s.disk_hits);
+      ("disk_misses", Json.Int s.disk_misses);
+      ("disk_evictions", Json.Int s.disk_evictions);
+      ("corrupt_entries", Json.Int s.corrupt_entries);
+      ("peer_hits", Json.Int s.peer_hits);
+      ("peer_misses", Json.Int s.peer_misses);
+      ("peer_failures", Json.Int s.peer_failures);
     ]

@@ -52,6 +52,21 @@ type phase =
 
 val phase_label : phase -> string
 
+(** {1 Time source}
+
+    The only clock available is the wall clock, which NTP can step
+    backwards; every duration in the tree is computed from
+    {!now_ns}, which never decreases. *)
+
+(** [monotonize ns] — [ns] pinned to the largest value any caller has
+    ever passed (process-global, domain-safe).  A backwards wall-clock
+    step becomes a plateau, never a negative delta. *)
+val monotonize : int -> int
+
+(** Monotone non-decreasing nanosecond timestamps ([monotonize] over
+    the wall clock).  Deltas between two calls are always ≥ 0. *)
+val now_ns : unit -> int
+
 (** Time a phase: runs the thunk, adds the elapsed wall time to the
     phase's accumulator (also on exceptions), and returns the result. *)
 val time : phase -> (unit -> 'a) -> 'a
@@ -119,6 +134,30 @@ val record_dicts_hoisted : int -> unit
 (** [n] dictionary expressions were hoisted to top-level bindings by
     the specializing backend. *)
 
+val record_disk_hit : unit -> unit
+(** The on-disk unit store served a lookup. *)
+
+val record_disk_miss : unit -> unit
+(** The on-disk unit store was consulted and had no (valid) entry. *)
+
+val record_disk_eviction : unit -> unit
+(** The on-disk store's size-bounded GC removed one entry. *)
+
+val record_corrupt_entry : unit -> unit
+(** A persisted entry failed validation (truncated, corrupt, or from a
+    different store format / compiler build) and was treated as a
+    miss. *)
+
+val record_peer_hit : unit -> unit
+(** A cache peer served a unit over the wire. *)
+
+val record_peer_miss : unit -> unit
+(** A cache peer was asked and did not have the unit. *)
+
+val record_peer_failure : unit -> unit
+(** A cache-peer request failed (connect, I/O, timeout); the lookup
+    degraded silently to local compilation. *)
+
 (** {1 Snapshots} *)
 
 type snapshot = {
@@ -145,6 +184,13 @@ type snapshot = {
   stencils_shared : int;
   stencil_fallbacks : int;
   dicts_hoisted : int;
+  disk_hits : int;
+  disk_misses : int;
+  disk_evictions : int;
+  corrupt_entries : int;
+  peer_hits : int;
+  peer_misses : int;
+  peer_failures : int;
 }
 
 val snapshot : unit -> snapshot

@@ -34,6 +34,7 @@ let () =
       ("diagnostics", Test_diagnostics.suite);
       ("recovery", Test_recovery.suite);
       ("session", Test_session.suite);
+      ("diskcache", Test_diskcache.suite);
       ("cli", Test_cli.suite);
       ("wire-protocol", Test_protocol.suite);
       ("server", Test_server.suite);

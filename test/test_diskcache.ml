@@ -1,0 +1,238 @@
+(* The persistent unit store: blob framing, cold/warm byte-identity
+   through a real session, resilience to garbage in the store,
+   concurrent writers, oldest-access-first GC, and silent degrade when
+   a cache peer is unreachable. *)
+
+open Fg_util
+module C = Fg_core
+
+let fresh_root =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "fgdisk-%d-%d" (Unix.getpid ()) !n)
+    in
+    (* best-effort clean slate; open_store recreates it *)
+    (match Sys.readdir d with
+    | entries ->
+        Array.iter
+          (fun shard ->
+            let sd = Filename.concat d shard in
+            (match Sys.readdir sd with
+            | files ->
+                Array.iter
+                  (fun f -> try Sys.remove (Filename.concat sd f)
+                            with Sys_error _ -> ())
+                  files
+            | exception Sys_error _ -> ());
+            try Unix.rmdir sd with Unix.Unix_error _ -> ())
+          entries
+    | exception Sys_error _ -> ());
+    d
+
+(* ---------------------------------------------------------------- *)
+(* Blob framing                                                      *)
+
+let test_blob_roundtrip () =
+  let body = "payload with \x00 bytes and\nnewlines" in
+  let blob = C.Diskcache.encode_blob body in
+  (match C.Diskcache.decode_blob blob with
+  | Some b -> Alcotest.(check string) "roundtrip" body b
+  | None -> Alcotest.fail "freshly encoded blob must decode");
+  (* a flipped body byte fails the digest *)
+  let corrupt = Bytes.of_string blob in
+  let last = Bytes.length corrupt - 1 in
+  Bytes.set corrupt last
+    (if Bytes.get corrupt last = 'x' then 'y' else 'x');
+  Alcotest.(check bool) "corrupt body rejected" true
+    (C.Diskcache.decode_blob (Bytes.to_string corrupt) = None);
+  (* a foreign stamp (other build / format version) fails outright *)
+  Alcotest.(check bool) "foreign stamp rejected" true
+    (C.Diskcache.decode_blob
+       ("fgcache 999 5.1.0 deadbeef\n"
+       ^ Digest.to_hex (Digest.string body)
+       ^ "\n" ^ body)
+    = None);
+  Alcotest.(check bool) "truncation rejected" true
+    (C.Diskcache.decode_blob (String.sub blob 0 (String.length blob / 2))
+    = None)
+
+let test_get_put () =
+  let d = C.Diskcache.open_store (fresh_root ()) in
+  let key = Digest.string "some unit" in
+  Alcotest.(check bool) "empty store misses" true
+    (C.Diskcache.get d key = None);
+  C.Diskcache.put d key "unit body";
+  Alcotest.(check (option string)) "stored body comes back"
+    (Some "unit body") (C.Diskcache.get d key);
+  let s = C.Diskcache.stats d in
+  Alcotest.(check int) "one hit" 1 s.C.Diskcache.d_hits;
+  Alcotest.(check int) "one miss" 1 s.C.Diskcache.d_misses;
+  Alcotest.(check int) "one entry" 1 s.C.Diskcache.d_entries;
+  (* scribbling over the entry reads as a (counted) corrupt miss and
+     removes the file *)
+  let path = C.Diskcache.entry_path d key in
+  let oc = open_out_bin path in
+  output_string oc "not a blob";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry is a miss" true
+    (C.Diskcache.get d key = None);
+  Alcotest.(check int) "corrupt counted" 1
+    (C.Diskcache.stats d).C.Diskcache.d_corrupt;
+  Alcotest.(check bool) "corrupt entry unlinked" false
+    (Sys.file_exists path)
+
+(* ---------------------------------------------------------------- *)
+(* Through a session                                                 *)
+
+let program =
+  "accumulate[int](cons[int](1, cons[int](2, nil[int]))) + power[int](3, 3)"
+
+let session ?cache_dir () =
+  let module Cfg = C.Session.Config in
+  C.Session.of_config
+    (Cfg.default |> Cfg.with_standard_prelude
+    |> Cfg.with_cache_dir cache_dir)
+
+let rendered s =
+  let report = C.Session.run_full ~file:"<t>" s program in
+  Json.to_string (C.Jsonview.json_of_run_report ~file:"<t>" report)
+
+let test_cold_warm_byte_identity () =
+  let root = fresh_root () in
+  let baseline = rendered (session ()) in
+  let cold = rendered (session ~cache_dir:root ()) in
+  Alcotest.(check string) "cold run matches uncached" baseline cold;
+  let warm_s = session ~cache_dir:root () in
+  let warm = rendered warm_s in
+  Alcotest.(check string) "warm run matches uncached" baseline warm;
+  (* the warm process re-checked nothing: every unit (prelude and
+     program alike) replayed from disk *)
+  let st = C.Session.cache_stats warm_s in
+  Alcotest.(check int) "zero unit re-checks when warm" 0
+    st.C.Unit.s_misses;
+  Alcotest.(check bool) "warm units are hits" true (st.C.Unit.s_hits > 0)
+
+let test_garbage_in_store () =
+  let root = fresh_root () in
+  let baseline = rendered (session ()) in
+  ignore (rendered (session ~cache_dir:root ()));
+  (* scribble over every entry the cold run wrote *)
+  let clobbered = ref 0 in
+  Array.iter
+    (fun shard ->
+      let sd = Filename.concat root shard in
+      if try Sys.is_directory sd with Sys_error _ -> false then
+        Array.iter
+          (fun f ->
+            let oc = open_out_bin (Filename.concat sd f) in
+            output_string oc "garbage garbage garbage";
+            close_out oc;
+            incr clobbered)
+          (Sys.readdir sd))
+    (Sys.readdir root);
+  Alcotest.(check bool) "store had entries to clobber" true (!clobbered > 0);
+  let before = Telemetry.snapshot () in
+  let s = session ~cache_dir:root () in
+  Alcotest.(check string) "compilation survives a garbage store" baseline
+    (rendered s);
+  let d = Telemetry.diff (Telemetry.snapshot ()) before in
+  Alcotest.(check bool) "corrupt entries counted" true
+    (d.Telemetry.corrupt_entries > 0)
+
+(* ---------------------------------------------------------------- *)
+(* Concurrency and GC                                                *)
+
+let test_concurrent_writers () =
+  let root = fresh_root () in
+  let key = Digest.string "contended" in
+  let body = String.concat "" (List.init 64 (fun i -> string_of_int i)) in
+  let writer () =
+    let d = C.Diskcache.open_store root in
+    for _ = 1 to 50 do
+      C.Diskcache.put d key body;
+      (* put skips existing entries; delete occasionally so renames
+         genuinely race *)
+      (try Sys.remove (C.Diskcache.entry_path d key)
+       with Sys_error _ -> ())
+    done;
+    C.Diskcache.put d key body
+  in
+  List.iter Domain.join
+    (List.init 4 (fun _ -> Domain.spawn writer));
+  let d = C.Diskcache.open_store root in
+  Alcotest.(check (option string)) "entry whole after racing writers"
+    (Some body) (C.Diskcache.get d key)
+
+let test_gc_oldest_access_first () =
+  let root = fresh_root () in
+  let d = C.Diskcache.open_store ~max_bytes:2_500 root in
+  let body = String.make 1_000 'u' in
+  let k1 = Digest.string "one" and k2 = Digest.string "two" in
+  let k3 = Digest.string "three" in
+  C.Diskcache.put d k1 body;
+  C.Diskcache.put d k2 body;
+  (* back-date the access stamps so eviction order is forced: k1 is
+     oldest, k2 next, and the entry written below is freshest *)
+  Unix.utimes (C.Diskcache.entry_path d k1) 1000. 1000.;
+  Unix.utimes (C.Diskcache.entry_path d k2) 2000. 2000.;
+  C.Diskcache.put d k3 body;
+  (* 3 × ~1k bodies over a 2.5k bound: the put's sweep must evict
+     exactly the oldest-accessed entry *)
+  Alcotest.(check bool) "oldest-accessed entry evicted" false
+    (Sys.file_exists (C.Diskcache.entry_path d k1));
+  Alcotest.(check bool) "younger entry kept" true
+    (Sys.file_exists (C.Diskcache.entry_path d k2));
+  Alcotest.(check bool) "freshest entry kept" true
+    (Sys.file_exists (C.Diskcache.entry_path d k3));
+  Alcotest.(check bool) "eviction counted" true
+    ((C.Diskcache.stats d).C.Diskcache.d_evictions >= 1)
+
+(* ---------------------------------------------------------------- *)
+(* Peer tier fallback                                                *)
+
+let test_peer_down_fallback () =
+  (* A handler whose only peer never answers must compile everything
+     locally — same result, failures counted, nothing raised. *)
+  let before = Telemetry.snapshot () in
+  let handler =
+    Fg_server.Handler.create
+      ~peers:[ ("dead", `Unix "/tmp/no-such-fgc-peer.sock") ]
+      ()
+  in
+  let status, payload =
+    Fg_server.Handler.handle_safe handler
+      (Fg_server.Protocol.request ~id:1 ~file:"<t>" ~source:program
+         ~prelude:true Fg_server.Protocol.Run)
+  in
+  Alcotest.(check string) "request served despite dead peer" "ok"
+    (Fg_server.Protocol.status_name status);
+  (match Json.of_string payload with
+  | Ok j ->
+      Alcotest.(check (option bool)) "payload ok" (Some true)
+        (Json.bool_field "ok" j)
+  | Error e -> Alcotest.fail e);
+  let d = Telemetry.diff (Telemetry.snapshot ()) before in
+  Alcotest.(check bool) "peer failures recorded" true
+    (d.Telemetry.peer_failures > 0)
+
+let suite =
+  [
+    Alcotest.test_case "blob framing round-trips and rejects" `Quick
+      test_blob_roundtrip;
+    Alcotest.test_case "get/put and corrupt-entry handling" `Quick
+      test_get_put;
+    Alcotest.test_case "cold and warm runs byte-identical" `Quick
+      test_cold_warm_byte_identity;
+    Alcotest.test_case "garbage in the store never breaks compilation"
+      `Quick test_garbage_in_store;
+    Alcotest.test_case "concurrent writers, one whole entry" `Quick
+      test_concurrent_writers;
+    Alcotest.test_case "GC evicts oldest access first" `Quick
+      test_gc_oldest_access_first;
+    Alcotest.test_case "dead cache peer degrades silently" `Quick
+      test_peer_down_fallback;
+  ]

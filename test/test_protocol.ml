@@ -128,6 +128,32 @@ let parse_request s =
   | Ok j -> Protocol.request_of_json j
   | Error e -> Alcotest.failf "test payload is invalid JSON: %s" e
 
+(* The v3 cache kinds: key/data survive the wire, a key is mandatory,
+   and no source is required. *)
+let test_cache_request_roundtrip () =
+  let put =
+    roundtrip_request
+      (Protocol.request ~id:9 ~key:"00ff17" ~data:"deadbeef"
+         Protocol.CachePut)
+  in
+  Alcotest.(check string) "put kind" "cache_put"
+    (Protocol.kind_name put.Protocol.kind);
+  Alcotest.(check string) "put key" "00ff17" put.Protocol.key;
+  Alcotest.(check string) "put data" "deadbeef" put.Protocol.data;
+  let get =
+    roundtrip_request (Protocol.request ~id:3 ~key:"00ff17" Protocol.CacheGet)
+  in
+  Alcotest.(check string) "get key" "00ff17" get.Protocol.key;
+  Alcotest.(check string) "get carries no data" "" get.Protocol.data;
+  (match parse_request "{\"v\":3,\"id\":1,\"kind\":\"cache_get\"}" with
+  | Error (Protocol.Bad_request _) -> ()
+  | _ -> Alcotest.fail "cache_get without a key must be rejected");
+  match
+    parse_request "{\"v\":3,\"id\":1,\"kind\":\"cache_put\",\"key\":\"aa\"}"
+  with
+  | Ok r -> Alcotest.(check string) "put data defaults empty" "" r.Protocol.data
+  | Error _ -> Alcotest.fail "cache_put needs no source"
+
 let test_request_version_mismatch () =
   (match parse_request "{\"v\":999,\"id\":1,\"kind\":\"stats\"}" with
   | Error (Protocol.Bad_version (Some 999)) -> ()
@@ -148,7 +174,7 @@ let test_request_version_mismatch () =
    keep decoding — defaulting to the dictionary backend — and keep
    routing through a handler to the same result as a v2 frame. *)
 let test_v1_frame_decodes_and_routes () =
-  Alcotest.(check int) "wire version is 2" 2 Protocol.version;
+  Alcotest.(check int) "wire version is 3" 3 Protocol.version;
   Alcotest.(check int) "v1 still accepted" 1 Protocol.min_version;
   let v1 = "{\"v\":1,\"id\":7,\"kind\":\"run\",\"source\":\"1 + 1\"}" in
   match parse_request v1 with
@@ -270,6 +296,8 @@ let suite =
     Alcotest.test_case "request version mismatch" `Quick
       test_request_version_mismatch;
     Alcotest.test_case "request bad shapes" `Quick test_request_bad_shapes;
+    Alcotest.test_case "cache request round-trip" `Quick
+      test_cache_request_roundtrip;
     Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
     Alcotest.test_case "error payload shape" `Quick test_error_payload_shape;
     Alcotest.test_case "v1 frame decodes and routes" `Quick

@@ -289,9 +289,39 @@ let test_sustained_batch () =
                 (contains ~needle r.Protocol.r_payload))
             resps))
 
+(* Overload backoff: exponential, capped, jittered, and reproducible
+   from a seed. *)
+let test_backoff () =
+  let open Fg_util in
+  let collect seed n =
+    let rec go rng attempt acc =
+      if attempt = n then List.rev acc
+      else
+        let d, rng = Client.backoff_ms rng ~attempt in
+        go rng (attempt + 1) (d :: acc)
+    in
+    go (Prng.make seed) 0 []
+  in
+  let a = collect 42 12 and a' = collect 42 12 in
+  Alcotest.(check (list int)) "same seed, same delays" a a';
+  (* every delay sits inside its attempt's jitter window, and the
+     ceiling stops growing at the cap *)
+  List.iteri
+    (fun attempt d ->
+      let top = min 200 (2 * (1 lsl min attempt 7)) in
+      Alcotest.(check bool)
+        (Printf.sprintf "attempt %d in [%d, %d] (got %d)" attempt (top / 2)
+           top d)
+        true
+        (d >= max 1 (top / 2) && d <= top))
+    a;
+  (* distinct seeds diverge (the jitter is real) *)
+  Alcotest.(check bool) "different seeds differ" true (collect 1 12 <> a)
+
 let suite =
   [
     Alcotest.test_case "single requests" `Quick test_single_requests;
+    Alcotest.test_case "overload backoff schedule" `Quick test_backoff;
     Alcotest.test_case "deadline timeout" `Quick test_timeout;
     Alcotest.test_case "protocol violations" `Quick test_protocol_violations;
     Alcotest.test_case "overload and retry" `Quick test_overload;

@@ -91,9 +91,30 @@ let test_histogram_json () =
         (Json.int_field "count" (Json.Obj fields))
   | _ -> Alcotest.fail "histogram json should be an object"
 
+(* Regression: phase durations used the raw wall clock, so an NTP step
+   backwards mid-phase recorded a negative duration.  The shared clock
+   is now monotonized (and the accumulator clamps at zero). *)
+let test_monotonic_clock () =
+  let a = Telemetry.now_ns () in
+  (* feeding a past timestamp returns the newest reading ever seen *)
+  Alcotest.(check bool) "backwards step plateaus" true
+    (Telemetry.monotonize (a - 1_000_000_000) >= a);
+  Alcotest.(check bool) "stream never decreases" true
+    (Telemetry.now_ns () >= a);
+  let before = Telemetry.snapshot () in
+  (* simulate a clock excursion inside a timed phase: push the shared
+     clock forward past the phase's start, as a backwards wall step
+     after t0 effectively does *)
+  Telemetry.time Telemetry.Parse (fun () ->
+      ignore (Telemetry.monotonize (Telemetry.now_ns () + 50_000_000)));
+  let d = Telemetry.diff (Telemetry.snapshot ()) before in
+  Alcotest.(check bool) "phase duration never negative" true
+    (d.Telemetry.parse_ns >= 0)
+
 let suite =
   [
     Alcotest.test_case "counters under 4 domains" `Quick test_counters_parallel;
+    Alcotest.test_case "monotonic durations" `Quick test_monotonic_clock;
     Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
     Alcotest.test_case "histogram accuracy" `Quick test_histogram_accuracy;
     Alcotest.test_case "histogram under 4 domains" `Quick

@@ -123,5 +123,67 @@ rm -f "$oneshot" "$cold" "$warm"
 kill -TERM "$serve_pid"
 wait "$serve_pid" || { echo "incremental smoke: daemon exited nonzero"; exit 1; }
 
+echo "== cache smoke (persistent unit store: cold/warm byte-identity)"
+# Run the whole program tree against a fresh --cache-dir twice.  Both
+# passes must print exactly what a cache-less run prints, and the warm
+# pass must re-check nothing for the well-typed corpus: its --stats
+# report shows zero unit-cache misses.  (Error programs re-check by
+# design — failed declarations are never cached.)
+cache_dir=$(mktemp -d /tmp/fgc_cache_XXXXXX)
+trap 'rm -rf "$cache_dir"; kill "$serve_pid" 2>/dev/null || true' EXIT
+plain=$(mktemp) && cold=$(mktemp) && warm=$(mktemp) && wstats=$(mktemp)
+for f in programs/*.fg programs/errors/*.fg programs/fuzz_regressions/*.fg; do
+  "$fgc" run --format=json "$f" > "$plain" 2>/dev/null || true
+  "$fgc" run --format=json --cache-dir "$cache_dir" "$f" > "$cold" 2>/dev/null || true
+  "$fgc" run --format=json --cache-dir "$cache_dir" --stats "$f" > "$warm" 2>"$wstats" || true
+  cmp -s "$plain" "$cold" \
+    || { echo "cache smoke: cold cached run differs from uncached: $f"; exit 1; }
+  cmp -s "$plain" "$warm" \
+    || { echo "cache smoke: warm cached run differs from uncached: $f"; exit 1; }
+  case "$f" in
+  programs/errors/* | programs/fuzz_regressions/*) ;;
+  *)
+    grep -A4 'unit cache:' "$wstats" | grep -q 'misses         :          0' \
+      || { echo "cache smoke: warm run re-checked units: $f"; exit 1; }
+    ;;
+  esac
+done
+rm -f "$plain" "$cold" "$warm" "$wstats"
+
+echo "== farm smoke (peer cache tier: cold daemon fed by a warm peer)"
+# Daemon A owns the warm store; daemon B has no disk of its own and
+# lists A as its only cache peer.  B's served output must be
+# byte-identical to one-shot runs, and B's stats must show peer hits
+# (its units came over the wire, not from re-checking).
+sock_a=$(mktemp -u /tmp/fgc_farm_a_XXXXXX.sock)
+sock_b=$(mktemp -u /tmp/fgc_farm_b_XXXXXX.sock)
+"$fgc" serve --socket "$sock_a" --workers 1 --cache-dir "$cache_dir" 2>/dev/null &
+pid_a=$!
+trap 'rm -rf "$cache_dir"; kill "$pid_a" 2>/dev/null || true; rm -f "$sock_a" "$sock_b"' EXIT
+for _ in $(seq 1 50); do [ -S "$sock_a" ] && break; sleep 0.1; done
+[ -S "$sock_a" ] || { echo "farm smoke: daemon A never bound"; exit 1; }
+"$fgc" client batch programs -p --socket "$sock_a" > /dev/null   # warm A's store
+"$fgc" serve --socket "$sock_b" --workers 1 --cache-peer "unix:$sock_a" 2>/dev/null &
+pid_b=$!
+trap 'rm -rf "$cache_dir"; kill "$pid_a" "$pid_b" 2>/dev/null || true; rm -f "$sock_a" "$sock_b"' EXIT
+for _ in $(seq 1 50); do [ -S "$sock_b" ] && break; sleep 0.1; done
+[ -S "$sock_b" ] || { echo "farm smoke: daemon B never bound"; exit 1; }
+oneshot=$(mktemp) && served=$(mktemp)
+for f in programs/*.fg; do
+  "$fgc" run --format=json -p "$f" > "$oneshot" 2>/dev/null || true
+  "$fgc" client run -p "$f" --socket "$sock_b" > "$served" 2>/dev/null || true
+  cmp -s "$oneshot" "$served" \
+    || { echo "farm smoke: peer-fed output differs from one-shot: $f"; exit 1; }
+done
+rm -f "$oneshot" "$served"
+"$fgc" client stats --socket "$sock_b" \
+  | grep -o '"peer_cache": {"hits": [0-9]*' | grep -qv '"hits": 0' \
+  || { echo "farm smoke: cold daemon reported no peer hits"; exit 1; }
+"$fgc" client shutdown --socket "$sock_a" > /dev/null
+"$fgc" client shutdown --socket "$sock_b" > /dev/null
+wait "$pid_a" || { echo "farm smoke: daemon A exited nonzero"; exit 1; }
+wait "$pid_b" || { echo "farm smoke: daemon B exited nonzero"; exit 1; }
+rm -rf "$cache_dir"
+
 echo "== loadgen smoke (300 requests, byte-identity + 5x bar)"
 LOADGEN_REQUESTS=300 LOADGEN_ONESHOT_SAMPLE=10 dune exec bench/loadgen.exe
