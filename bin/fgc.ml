@@ -566,11 +566,13 @@ let eq_cmd =
 (* fuzz                                                              *)
 
 let fuzz_cmd =
-  let run seed count size mutants backend domains format save_dir stats =
+  let run seed count size mutants backend domains format save_dir stats guided
+      corpus_dir =
     handle_code ~json:(format = `Json) ~stats (fun () ->
         let cfg =
           { C.Fuzz.seed; count; size; mutants;
-            backend = C.Backend.of_string_exn backend }
+            backend = C.Backend.of_string_exn backend;
+            guided = guided || corpus_dir <> None; corpus_dir }
         in
         let report = C.Fuzz.run ?domains cfg in
         let saved =
@@ -584,6 +586,16 @@ let fuzz_cmd =
         | `Text ->
             Fmt.pr "generated %d programs (seed %d, size %d), %d mutants@."
               report.C.Fuzz.r_generated seed size report.C.Fuzz.r_mutants_run;
+            if report.C.Fuzz.r_coverage <> [] then
+              Fmt.pr "coverage: %d decision points (%d hits)@."
+                (Fg_util.Coverage.distinct report.C.Fuzz.r_coverage)
+                (Fg_util.Coverage.total report.C.Fuzz.r_coverage);
+            if report.C.Fuzz.r_config.C.Fuzz.guided then
+              Fmt.pr
+                "corpus: %d entries (%d new, %d candidates mutated from \
+                 corpus)@."
+                report.C.Fuzz.r_corpus_size report.C.Fuzz.r_corpus_added
+                report.C.Fuzz.r_from_corpus;
             List.iter
               (fun (f : C.Fuzz.failure) ->
                 Fmt.pr "FAIL #%d [%s] %s@."
@@ -626,6 +638,20 @@ let fuzz_cmd =
              ~doc:"Write each failure's shrunk counterexample (original \
                    attached in comments) under $(docv).")
   in
+  let guided_flag =
+    Arg.(value & flag
+         & info [ "guided" ]
+             ~doc:"Coverage-guided mode: mutate from a corpus of \
+                   coverage-adding inputs instead of generating blindly, \
+                   and report the decision-point coverage map.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus-dir" ] ~docv:"DIR"
+             ~doc:"On-disk corpus of minimized coverage-adding inputs; \
+                   entries found there seed mutation and new ones are \
+                   written back. Implies $(b,--guided).")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -634,7 +660,8 @@ let fuzz_cmd =
           pretty-print/parse round-trip, and error recovery on corrupted \
           variants; failures are shrunk before reporting")
     Term.(const run $ seed_arg $ count_arg $ size_arg $ mutants_arg
-          $ backend_arg $ domains_arg $ format_arg $ save_arg $ stats_flag)
+          $ backend_arg $ domains_arg $ format_arg $ save_arg $ stats_flag
+          $ guided_flag $ corpus_arg)
 
 (* ---------------------------------------------------------------- *)
 (* serve: the compiler-service daemon                                 *)
@@ -847,7 +874,7 @@ let run_probe address =
 
 let client_cmd =
   let run action files expr socket port host prelude global backend
-      timeout_ms window =
+      timeout_ms window seed count size mutants corpus_dir =
     handle_code (fun () ->
         let address = address_of ~socket ~port ~host in
         let backend = C.Backend.of_string_exn backend in
@@ -870,6 +897,47 @@ let client_cmd =
         | "probe" ->
             run_probe address;
             0
+        | "fuzz-worker" ->
+            (* One round of a distributed guided soak: fuzz locally
+               against the corpus dir, then merge coverage and corpus
+               with the daemon and adopt whatever the fleet has that
+               this worker lacks. *)
+            let dir =
+              match corpus_dir with
+              | Some d -> d
+              | None -> failwith "fuzz-worker: --corpus-dir is required"
+            in
+            let cfg =
+              { C.Fuzz.seed; count; size; mutants; backend;
+                guided = true; corpus_dir = Some dir }
+            in
+            let report = C.Fuzz.run cfg in
+            let have = List.map fst (C.Fuzz.corpus_load ~dir) in
+            let c = Client.connect address in
+            Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+                match
+                  Client.fuzz_batch c ~coverage:report.C.Fuzz.r_coverage
+                    ~corpus_entries:report.C.Fuzz.r_corpus_entries ~have
+                with
+                | None ->
+                    failwith
+                      "fuzz-worker: daemon rejected the fuzz_batch \
+                       (pre-v4 server?)"
+                | Some sync ->
+                    List.iter
+                      (fun (d, s) ->
+                        C.Fuzz.corpus_write ~dir ~digest:d s)
+                      sync.Client.fs_corpus;
+                    Fmt.pr
+                      "fuzz-worker: %d decision points local, %d fleet; \
+                       offered %d corpus entries, adopted %d (fleet \
+                       corpus %d over %d batches)@."
+                      (Fg_util.Coverage.distinct report.C.Fuzz.r_coverage)
+                      (Fg_util.Coverage.distinct sync.Client.fs_coverage)
+                      (List.length report.C.Fuzz.r_corpus_entries)
+                      (List.length sync.Client.fs_corpus)
+                      sync.Client.fs_corpus_size sync.Client.fs_batches;
+                    if report.C.Fuzz.r_failures = [] then 0 else 1)
         | "batch" ->
             let files = expand_paths files in
             if files = [] then failwith "batch: no .fg files to run";
@@ -914,7 +982,8 @@ let client_cmd =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"ACTION"
              ~doc:"One of $(b,run), $(b,check), $(b,translate), \
-                   $(b,batch), $(b,stats), $(b,shutdown), $(b,probe).")
+                   $(b,batch), $(b,stats), $(b,shutdown), $(b,probe), \
+                   $(b,fuzz-worker).")
   in
   let files =
     Arg.(value & pos_right 0 string []
@@ -932,17 +1001,45 @@ let client_cmd =
          & info [ "window" ] ~docv:"N"
              ~doc:"Batch pipelining window (requests in flight at once).")
   in
+  let w_seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"$(b,fuzz-worker): master seed of the local run.")
+  in
+  let w_count =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"N"
+             ~doc:"$(b,fuzz-worker): programs per round.")
+  in
+  let w_size =
+    Arg.(value & opt int 30
+         & info [ "size" ] ~docv:"N"
+             ~doc:"$(b,fuzz-worker): size budget per program.")
+  in
+  let w_mutants =
+    Arg.(value & opt int 0
+         & info [ "mutants" ] ~docv:"N"
+             ~doc:"$(b,fuzz-worker): recovery-oracle mutants per program.")
+  in
+  let w_corpus =
+    Arg.(value & opt (some string) None
+         & info [ "corpus-dir" ] ~docv:"DIR"
+             ~doc:"$(b,fuzz-worker): this worker's on-disk corpus, \
+                   synced with the fleet through the daemon.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Talk to a running $(b,fgc serve) daemon: single requests, \
           streamed batches over one connection, live stats, graceful \
-          shutdown, and a protocol-violation probe.  Payloads printed \
-          for $(b,run) are byte-identical to one-shot \
-          $(b,fgc run --format=json) output")
+          shutdown, a protocol-violation probe, and a $(b,fuzz-worker) \
+          round that merges guided-fuzzing coverage and corpus with the \
+          fleet.  Payloads printed for $(b,run) are byte-identical to \
+          one-shot $(b,fgc run --format=json) output")
     Term.(const run $ action $ files $ expr_arg $ socket_arg $ port_arg
           $ host_arg $ with_prelude_flag $ global_flag $ backend_arg
-          $ timeout_ms $ window)
+          $ timeout_ms $ window $ w_seed $ w_count $ w_size $ w_mutants
+          $ w_corpus)
 
 (* ---------------------------------------------------------------- *)
 (* repl                                                              *)

@@ -17,6 +17,37 @@ module FPrims = Fg_systemf.Prims
 module Smap = Names.Smap
 module Sset = Names.Sset
 
+(* Rule-firing coverage: one stable probe per judgment arm, so the
+   guided fuzzer (and the fleet merging its maps) can tell which
+   static-semantics paths a program exercised.  Hits are single atomic
+   increments — negligible next to the work each arm already does. *)
+let p_let = Coverage.probe "check.let"
+let p_concept = Coverage.probe "check.concept"
+let p_concept_defaults = Coverage.probe "check.concept.defaults"
+let p_using = Coverage.probe "check.using"
+let p_alias = Coverage.probe "check.alias"
+let p_var = Coverage.probe "check.var"
+let p_lit = Coverage.probe "check.lit"
+let p_prim = Coverage.probe "check.prim"
+let p_app = Coverage.probe "check.app.ground"
+let p_app_implicit = Coverage.probe "check.app.implicit"
+let p_abs = Coverage.probe "check.abs"
+let p_tyabs = Coverage.probe "check.tyabs"
+let p_tyabs_where = Coverage.probe "check.tyabs.where"
+let p_tyapp = Coverage.probe "check.tyapp"
+let p_tyapp_where = Coverage.probe "check.tyapp.where"
+let p_tuple = Coverage.probe "check.tuple"
+let p_nth = Coverage.probe "check.nth"
+let p_fix = Coverage.probe "check.fix"
+let p_if = Coverage.probe "check.if"
+let p_member = Coverage.probe "check.member"
+let p_infer = Coverage.probe "check.infer"
+let p_model_ground = Coverage.probe "check.model.ground"
+let p_model_param = Coverage.probe "check.model.param"
+let p_model_named = Coverage.probe "check.model.named"
+let p_model_defaults = Coverage.probe "check.model.defaults"
+let p_recover_poison = Coverage.probe "recover.check.poison"
+
 (** Embed a System F type into FG (primitive type schemes). *)
 let rec ty_of_f : F.ty -> ty = function
   | F.TBase b -> TBase b
@@ -193,6 +224,7 @@ and check_decl_parts (env : Env.t) (e : exp) :
   let loc = e.loc in
   match e.desc with
   | Let (x, rhs, body) ->
+      Coverage.hit p_let;
       let trhs, rhs_elab, rhs' = check env rhs in
       Some
         ( (fun env -> Env.bind_var env x trhs),
@@ -201,11 +233,13 @@ and check_decl_parts (env : Env.t) (e : exp) :
             (tbody, let_ ~loc x rhs_elab body_elab, F.let_ ~loc x rhs' body')
         )
   | ConceptDecl (d, body) ->
+      Coverage.hit p_concept;
       check_concept_decl ~loc env d;
       let env' = Env.bind_concept env d in
       (* Generic validation of default bodies: check each under a proxy
          model of the concept at its own parameters. *)
       if d.c_defaults <> [] then begin
+        Coverage.hit p_concept_defaults;
         let fresh_params = List.map (fun p -> Env.fresh env' p) d.c_params in
         let env_d, _ =
           Types.process_where ~loc env' fresh_params
@@ -255,12 +289,14 @@ and check_decl_parts (env : Env.t) (e : exp) :
           Diag.resolve_error ~code:"FG0403" ~notes ~loc
             "unknown named model '%s'" m
       | Some entry ->
+          Coverage.hit p_using;
           Some
             ( (fun env -> Env.bind_model env entry),
               body,
               fun (tbody, body_elab, body') ->
                 (tbody, using ~loc m body_elab, body') ))
   | TypeAlias (t, ty, body) ->
+      Coverage.hit p_alias;
       Types.wf_ty ~loc env ty;
       if Env.tyvar_in_scope env t then
         Diag.wf_error ~code:"FG0205" ~loc
@@ -282,7 +318,9 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
   match e.desc with
   | Var x -> (
       match Env.lookup_var env x with
-      | Some t -> (t, e, F.var ~loc x)
+      | Some t ->
+          Coverage.hit p_var;
+          (t, e, F.var ~loc x)
       | None ->
           let notes =
             match Strutil.nearest ~candidates:(Env.var_names env) x with
@@ -291,10 +329,17 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
           in
           Diag.type_error ~code:"FG0302" ~notes ~loc "unbound variable '%s'" x
       )
-  | Lit (LInt n) -> (TBase TInt, e, F.int ~loc n)
-  | Lit (LBool b) -> (TBase TBool, e, F.bool ~loc b)
-  | Lit LUnit -> (TBase TUnit, e, F.unit ~loc ())
+  | Lit (LInt n) ->
+      Coverage.hit p_lit;
+      (TBase TInt, e, F.int ~loc n)
+  | Lit (LBool b) ->
+      Coverage.hit p_lit;
+      (TBase TBool, e, F.bool ~loc b)
+  | Lit LUnit ->
+      Coverage.hit p_lit;
+      (TBase TUnit, e, F.unit ~loc ())
   | Prim p ->
+      Coverage.hit p_prim;
       let info = FPrims.lookup_exn ~loc p in
       (ty_of_f info.ty, e, F.prim ~loc p)
   | App (f, args) -> (
@@ -317,8 +362,11 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
         (ret, app ~loc head_elab arg_elabs, F.app ~loc head args')
       in
       match Env.ty_repr ~loc env tf with
-      | TArrow (params, ret) -> finish params ret f_elab f'
+      | TArrow (params, ret) ->
+          Coverage.hit p_app;
+          finish params ret f_elab f'
       | TForall (tvs, _, TArrow (params, _)) as poly ->
+          Coverage.hit p_app_implicit;
           (* Implicit instantiation (Section 6, in the decidable
              restriction): infer the type arguments by first-order
              matching of the parameter types against the argument
@@ -342,6 +390,7 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
             "applied expression has non-function type %s"
             (Pretty.ty_to_string t))
   | Abs (params, body) ->
+      Coverage.hit p_abs;
       (match Names.find_duplicate (List.map fst params) with
       | Some x -> Diag.type_error ~code:"FG0204" ~loc "duplicate parameter '%s'" x
       | None -> ());
@@ -360,6 +409,8 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
         abs ~loc params body_elab,
         F.abs ~loc params' body' )
   | TyAbs (tvs, constrs, body) ->
+      Coverage.hit p_tyabs;
+      if constrs <> [] then Coverage.hit p_tyabs_where;
       let env', plan = Types.process_where ~loc env tvs constrs in
       let tbody, body_elab, body' = check env' body in
       (* Representative selection inside the body may have rewritten
@@ -412,6 +463,7 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
       let ty, f_exp = elaborate_tyapp env ~loc (Env.ty_repr ~loc env tf, f') tys in
       (ty, tyapp ~loc f_elab tys, f_exp)
   | Tuple es ->
+      Coverage.hit p_tuple;
       let checked = List.map (check env) es in
       ( TTuple (List.map (fun (t, _, _) -> t) checked),
         tuple ~loc (List.map (fun (_, a, _) -> a) checked),
@@ -420,6 +472,7 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
       let t0, e0_elab, e0' = check env e0 in
       match Env.ty_repr ~loc env t0 with
       | TTuple ts when k >= 0 && k < List.length ts ->
+          Coverage.hit p_nth;
           (List.nth ts k, nth ~loc e0_elab k, F.nth ~loc e0' k)
       | TTuple ts ->
           Diag.type_error ~loc "projection %d out of bounds for %d-tuple" k
@@ -428,6 +481,7 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
           Diag.type_error ~loc "nth applied to non-tuple type %s"
             (Pretty.ty_to_string t))
   | Fix (x, t, body) ->
+      Coverage.hit p_fix;
       Types.wf_ty ~loc env t;
       let tbody, body_elab, body' = check (Env.bind_var env x t) body in
       require_equal ~loc env ~expected:t ~got:tbody "fix body";
@@ -435,6 +489,7 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
         fix ~loc x t body_elab,
         F.fix ~loc x (Types.translate_ty ~loc env t) body' )
   | If (c, t, f) ->
+      Coverage.hit p_if;
       let tc, c_elab, c' = check env c in
       require_equal ~loc:c.loc env ~expected:(TBase TBool) ~got:tc
         "if condition";
@@ -456,6 +511,7 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
               Diag.type_error ~code:"FG0206" ~loc
                 "concept %s has no member '%s'" c x
           | Some (ty, path) ->
+              Coverage.hit p_member;
               (ty, e, F.nth_path ~loc (Types.model_dict_exp ~loc env fm) path)))
   | Let _ | ConceptDecl _ | ModelDecl _ | Using _ | TypeAlias _ ->
       (* dispatched through check_decl by [check] *)
@@ -477,6 +533,8 @@ and elaborate_tyapp env ~loc ((tf_repr : ty), (f' : F.exp)) (tys : ty list) :
     ty * F.exp =
   match tf_repr with
   | TForall (tvs, constrs, body) ->
+      Coverage.hit p_tyapp;
+      if constrs <> [] then Coverage.hit p_tyapp_where;
       if List.length tvs <> List.length tys then
         Diag.type_error ~code:"FG0304" ~loc
           "type abstraction expects %d type argument(s) but got %d"
@@ -533,6 +591,7 @@ and elaborate_tyapp env ~loc ((tf_repr : ty), (f' : F.exp)) (tys : ty list) :
    instantiation.  Every binder must end up determined. *)
 and infer_ty_args ~loc env (tvs : string list) (params : ty list)
     (actuals : ty list) : ty list =
+  Coverage.hit p_infer;
   let holes = Names.Sset.of_list tvs in
   let bindings : (string, ty) Hashtbl.t = Hashtbl.create 8 in
   let rec go pat actual =
@@ -584,6 +643,8 @@ and check_model_decl env ~loc (d : model_decl) :
     ~expected:(List.length decl.c_params)
     ~got:(List.length d.m_args);
   let parameterized = d.m_params <> [] in
+  Coverage.hit (if parameterized then p_model_param else p_model_ground);
+  if d.m_name <> None then Coverage.hit p_model_named;
   (* Parameter hygiene: every parameter must be determined by the
      modeled types, or resolution could never instantiate it. *)
   (match Names.find_duplicate d.m_params with
@@ -722,6 +783,7 @@ and check_model_decl env ~loc (d : model_decl) :
         && List.mem_assoc x decl.c_defaults)
       decl.c_members
   in
+  if uses_defaults then Coverage.hit p_model_defaults;
   let env_members =
     if parameterized || uses_defaults then Env.bind_model env_eq entry
     else env_eq
@@ -938,6 +1000,7 @@ let check_prefix_recovering ~engine ?(poisoned = Sset.empty) (env : Env.t)
     | Some (env', body, wrap) -> walk env' body (wrap :: acc) poisoned
     | None -> (env, e, acc, poisoned)
     | exception Diag.Error d ->
+        Coverage.hit p_recover_poison;
         if not (is_cascade poisoned d) then Diag.report engine d;
         let poisoned =
           List.fold_left (fun s n -> Sset.add n s) poisoned (decl_poison e)

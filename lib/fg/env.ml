@@ -16,6 +16,13 @@ open Fg_util
 module Smap = Names.Smap
 module Sset = Names.Sset
 
+(* Model-resolution outcomes are prime fuzzing real estate: scoped
+   shadowing, parameterized matching and failed lookups are where
+   coherence bugs live, so each outcome is a coverage point. *)
+let probe_resolve_ground = Coverage.probe "resolve.found.ground"
+let probe_resolve_param = Coverage.probe "resolve.found.param"
+let probe_resolve_none = Coverage.probe "resolve.none"
+
 type model_entry = {
   me_concept : string;
   me_params : string list;
@@ -211,6 +218,14 @@ and lookup_model ?loc ?(depth = 0) env c args : found_model option =
       let r = lookup_model_uncached ?loc ~depth env c args in
       (* only reached when the search terminated (the depth fuse raises
          out of here), so the recorded result is depth-independent *)
+      (* Coverage at the miss site only: cache hits replay a decision
+         already counted, and the fuzzer measures per-program on fresh
+         sessions anyway. *)
+      (match r with
+      | Some fm when fm.fm_entry.me_params = [] ->
+          Coverage.hit probe_resolve_ground
+      | Some _ -> Coverage.hit probe_resolve_param
+      | None -> Coverage.hit probe_resolve_none);
       Hashtbl.replace env.resolve_cache key r;
       r
 

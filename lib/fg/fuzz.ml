@@ -17,12 +17,34 @@ type config = {
   size : int;
   mutants : int;
   backend : Backend.t;
+  guided : bool;
+  corpus_dir : string option;
 }
 
 let default_config =
-  { seed = 0; count = 100; size = 30; mutants = 2; backend = Backend.Dict }
+  {
+    seed = 0;
+    count = 100;
+    size = 30;
+    mutants = 2;
+    backend = Backend.Dict;
+    guided = false;
+    corpus_dir = None;
+  }
 
-type program = { p_index : int; p_ast : Ast.exp; p_source : string }
+(* Where a candidate came from: the blind generator, or a mutation of a
+   corpus entry.  Corpus mutants are not well typed by construction, so
+   the oracles judge them by outcome class instead of by acceptance. *)
+type origin = Gen | Corpus
+
+let origin_name = function Gen -> "generated" | Corpus -> "corpus"
+
+type program = {
+  p_index : int;
+  p_origin : origin;
+  p_ast : Ast.exp;
+  p_source : string;
+}
 
 (* ------------------------------------------------------------------ *)
 (* A mutable handle over a pure PRNG stream, so generation code reads
@@ -1099,7 +1121,7 @@ let generate cfg ~index =
      if the printer emits something unparseable the round-trip oracle
      reports it on the raw AST. *)
   let ast = try Parser.exp_of_string source with _ -> ast0 in
-  { p_index = index; p_ast = ast; p_source = source }
+  { p_index = index; p_origin = Gen; p_ast = ast; p_source = source }
 
 (* ------------------------------------------------------------------ *)
 (* Shrinker. *)
@@ -1197,8 +1219,8 @@ let one_step (e : Ast.exp) : Ast.exp list =
   in
   steps e
 
-let shrink ~still_fails e0 =
-  let evals = ref 1500 in
+let shrink ?(fuel = 1500) ~still_fails e0 =
+  let evals = ref fuel in
   let rec go cur =
     if !evals <= 0 then cur
     else
@@ -1261,6 +1283,7 @@ let oracle_name = function
 
 type failure = {
   f_index : int;
+  f_origin : origin;
   f_oracle : oracle;
   f_message : string;
   f_source : string;
@@ -1273,6 +1296,13 @@ type report = {
   r_generated : int;
   r_mutants_run : int;
   r_failures : failure list;
+  r_coverage : Coverage.map;  (** [] off guided mode *)
+  r_corpus_size : int;
+  r_corpus_added : int;
+  r_from_corpus : int;  (** candidates mutated from corpus entries *)
+  r_corpus_entries : (string * string) list;
+      (** (digest, source) of entries this run admitted — what a fuzz
+          worker offers the fleet *)
 }
 
 let shrink_fuel = 300_000
@@ -1300,6 +1330,7 @@ let roundtrip_failure (p : program) : failure list =
     [
       {
         f_index = p.p_index;
+        f_origin = p.p_origin;
         f_oracle = Roundtrip;
         f_message = msg;
         f_source = p.p_source;
@@ -1339,6 +1370,7 @@ let agreement_failure (p : program) res : failure list =
       [
         {
           f_index = p.p_index;
+          f_origin = p.p_origin;
           f_oracle = Agreement;
           f_message = msg;
           f_source = p.p_source;
@@ -1426,6 +1458,7 @@ let recovery_failures cfg sess mutants_run (p : program) : failure list =
              [
                {
                  f_index = p.p_index;
+                 f_origin = p.p_origin;
                  f_oracle = Recovery;
                  f_message = msg;
                  f_source = src;
@@ -1434,7 +1467,8 @@ let recovery_failures cfg sess mutants_run (p : program) : failure list =
                };
              ]))
 
-let run ?domains cfg =
+let run_blind ?domains (cfg : config) =
+  let before = Coverage.snapshot () in
   let programs = List.init cfg.count (fun i -> generate cfg ~index:i) in
   let scfg = Session.Config.(default |> with_backend cfg.backend) in
   let sess = Session.of_config scfg in
@@ -1459,25 +1493,528 @@ let run ?domains cfg =
     r_generated = List.length programs;
     r_mutants_run = !mutants_run;
     r_failures = failures;
+    (* Blind runs measure a whole-run delta (for coverage comparisons —
+       see tools/ci.sh) but never guide on it; it is surfaced in text
+       output only, so the pinned JSON report shape is unchanged. *)
+    r_coverage = Coverage.diff (Coverage.snapshot ()) before;
+    r_corpus_size = 0;
+    r_corpus_added = 0;
+    r_from_corpus = 0;
+    r_corpus_entries = [];
   }
+
+(* ------------------------------------------------------------------ *)
+(* Corpus mutators.
+
+   Small syntactic edits over a parsed corpus entry: decl splice/drop,
+   type-argument swap, model shadow/unshadow, where-clause add/drop.
+   Mutants need not stay well typed — ill-typed mutants explore the
+   diagnostic and recovery space, and the measurement step classifies
+   each outcome instead of assuming acceptance. *)
+
+(* Body and rebuilder of a declaration-spine node. *)
+let decl_parts (e : Ast.exp) : (Ast.exp * (Ast.exp -> Ast.exp)) option =
+  match e.Ast.desc with
+  | Ast.ConceptDecl (d, b) -> Some (b, fun b' -> Ast.concept_decl d b')
+  | Ast.ModelDecl (d, b) -> Some (b, fun b' -> Ast.model_decl d b')
+  | Ast.Using (n, b) -> Some (b, fun b' -> Ast.using n b')
+  | Ast.TypeAlias (n, t, b) -> Some (b, fun b' -> Ast.type_alias n t b')
+  | Ast.Let (x, e1, b) -> Some (b, fun b' -> Ast.let_ x e1 b')
+  | _ -> None
+
+let spine_length e =
+  let rec go e n =
+    match decl_parts e with Some (b, _) -> go b (n + 1) | None -> n
+  in
+  go e 0
+
+(* Rebuild [e] with every node mapped by [f] (children first handled by
+   the caller's recursion; [f] itself applies to one level). *)
+let map_children f (e : Ast.exp) : Ast.exp =
+  let mk d = { e with Ast.desc = d } in
+  match e.Ast.desc with
+  | Ast.Var _ | Ast.Lit _ | Ast.Prim _ | Ast.Member _ -> e
+  | Ast.App (g, args) -> mk (Ast.App (f g, List.map f args))
+  | Ast.TyApp (g, tys) -> mk (Ast.TyApp (f g, tys))
+  | Ast.Abs (ps, b) -> mk (Ast.Abs (ps, f b))
+  | Ast.TyAbs (ts, cs, b) -> mk (Ast.TyAbs (ts, cs, f b))
+  | Ast.Let (x, e1, b) -> mk (Ast.Let (x, f e1, f b))
+  | Ast.Tuple es -> mk (Ast.Tuple (List.map f es))
+  | Ast.Nth (e1, k) -> mk (Ast.Nth (f e1, k))
+  | Ast.Fix (x, t, b) -> mk (Ast.Fix (x, t, f b))
+  | Ast.If (c, a, b) -> mk (Ast.If (f c, f a, f b))
+  | Ast.ConceptDecl (d, b) ->
+      mk
+        (Ast.ConceptDecl
+           ( { d with
+               Ast.c_defaults =
+                 List.map (fun (m, e) -> (m, f e)) d.Ast.c_defaults },
+             f b ))
+  | Ast.ModelDecl (d, b) ->
+      mk
+        (Ast.ModelDecl
+           ( { d with
+               Ast.m_members =
+                 List.map (fun (m, e) -> (m, f e)) d.Ast.m_members },
+             f b ))
+  | Ast.Using (n, b) -> mk (Ast.Using (n, f b))
+  | Ast.TypeAlias (n, t, b) -> mk (Ast.TypeAlias (n, t, f b))
+
+let rec iter_exp f (e : Ast.exp) =
+  f e;
+  ignore
+    (map_children
+       (fun c ->
+         iter_exp f c;
+         c)
+       e)
+
+(* Drop the [k]-th declaration on the spine (its body floats up). *)
+let mut_decl_drop r ast =
+  let n = spine_length ast in
+  if n = 0 then None
+  else
+    let k = rint r n in
+    let rec go e k =
+      match decl_parts e with
+      | Some (b, rebuild) -> if k = 0 then b else rebuild (go b (k - 1))
+      | None -> e
+    in
+    Some (go ast k)
+
+(* Splice a random declaration from a donor entry's spine onto the
+   front of the target. *)
+let mut_decl_splice r ~donor ast =
+  let n = spine_length donor in
+  if n = 0 then None
+  else
+    let k = rint r n in
+    let rec nth_rebuild e k =
+      match decl_parts e with
+      | Some (b, rebuild) -> if k = 0 then Some rebuild else nth_rebuild b (k - 1)
+      | None -> None
+    in
+    Option.map (fun rebuild -> rebuild ast) (nth_rebuild donor k)
+
+(* Swap one type argument of the [k]-th TyApp site for a random ground
+   type. *)
+let mut_tyarg_swap r ast =
+  let sites = ref 0 in
+  iter_exp
+    (fun e ->
+      match e.Ast.desc with
+      | Ast.TyApp (_, tys) when tys <> [] -> incr sites
+      | _ -> ())
+    ast;
+  if !sites = 0 then None
+  else begin
+    let target = rint r !sites in
+    let ground = rchoose r [ tint; tbool; tlist tint ] in
+    let seen = ref 0 in
+    let rec go e =
+      let e =
+        match e.Ast.desc with
+        | Ast.TyApp (g, tys) when tys <> [] ->
+            let i = !seen in
+            incr seen;
+            if i = target then
+              let j = rint r (List.length tys) in
+              { e with Ast.desc = Ast.TyApp (g, replace_nth tys j ground) }
+            else e
+        | _ -> e
+      in
+      map_children go e
+    in
+    Some (go ast)
+  end
+
+(* Shadow (duplicate in place) or unshadow (drop) a model declaration
+   on the spine — the lexical-scoping stress the paper cares about. *)
+let mut_model_shadow r ast =
+  let models = ref 0 in
+  let rec count e =
+    (match e.Ast.desc with Ast.ModelDecl _ -> incr models | _ -> ());
+    match decl_parts e with Some (b, _) -> count b | None -> ()
+  in
+  count ast;
+  if !models = 0 then None
+  else begin
+    let target = rint r !models in
+    let shadow = rchance r 0.5 in
+    let seen = ref 0 in
+    let rec go e =
+      match e.Ast.desc with
+      | Ast.ModelDecl (d, b) ->
+          let i = !seen in
+          incr seen;
+          if i = target then
+            if shadow then Ast.model_decl d (Ast.model_decl d b)
+            else b
+          else Ast.model_decl d (go b)
+      | _ -> (
+          match decl_parts e with
+          | Some (b, rebuild) -> rebuild (go b)
+          | None -> e)
+    in
+    Some (go ast)
+  end
+
+(* Add or drop a where-clause constraint on the [k]-th TyAbs node. *)
+let mut_where_edit r ast =
+  let sites = ref 0 in
+  iter_exp
+    (fun e -> match e.Ast.desc with Ast.TyAbs _ -> incr sites | _ -> ())
+    ast;
+  if !sites = 0 then None
+  else begin
+    (* Concept names visible anywhere in the entry, for added models. *)
+    let concepts = ref [] in
+    iter_exp
+      (fun e ->
+        match e.Ast.desc with
+        | Ast.ConceptDecl (d, _) -> concepts := d.Ast.c_name :: !concepts
+        | Ast.Member (c, _, _) -> concepts := c :: !concepts
+        | Ast.TyAbs (_, cs, _) ->
+            List.iter
+              (function
+                | Ast.CModel (c, _) -> concepts := c :: !concepts
+                | Ast.CSame _ -> ())
+              cs
+        | _ -> ())
+      ast;
+    let target = rint r !sites in
+    let seen = ref 0 in
+    let changed = ref false in
+    let rec go e =
+      let e =
+        match e.Ast.desc with
+        | Ast.TyAbs (ts, cs, b) ->
+            let i = !seen in
+            incr seen;
+            if i <> target then e
+            else if cs <> [] && rchance r 0.5 then begin
+              (* drop a random constraint *)
+              let j = rint r (List.length cs) in
+              changed := true;
+              { e with
+                Ast.desc =
+                  Ast.TyAbs (ts, List.filteri (fun k _ -> k <> j) cs, b) }
+            end
+            else if ts <> [] && !concepts <> [] then begin
+              let c = rchoose r !concepts in
+              let tv = rchoose r ts in
+              changed := true;
+              { e with
+                Ast.desc =
+                  Ast.TyAbs (ts, cs @ [ Ast.CModel (c, [ Ast.TVar tv ]) ], b)
+              }
+            end
+            else e
+        | _ -> e
+      in
+      map_children go e
+    in
+    let ast' = go ast in
+    if !changed then Some ast' else None
+  end
+
+(* One mutation attempt: pick a mutator by weight and fall through the
+   others if it does not apply to this entry. *)
+let mutate r ~donor ast =
+  let order =
+    rweighted r
+      [
+        (3, [ `Splice; `TyArg; `Shadow; `Where; `Drop ]);
+        (3, [ `TyArg; `Where; `Splice; `Drop; `Shadow ]);
+        (2, [ `Shadow; `Splice; `TyArg; `Drop; `Where ]);
+        (2, [ `Where; `TyArg; `Shadow; `Splice; `Drop ]);
+        (1, [ `Drop; `Splice; `Where; `TyArg; `Shadow ]);
+      ]
+  in
+  let apply = function
+    | `Drop -> mut_decl_drop r ast
+    | `Splice -> mut_decl_splice r ~donor ast
+    | `TyArg -> mut_tyarg_swap r ast
+    | `Shadow -> mut_model_shadow r ast
+    | `Where -> mut_where_edit r ast
+  in
+  List.fold_left
+    (fun acc m -> match acc with Some _ -> acc | None -> apply m)
+    None order
+
+(* ------------------------------------------------------------------ *)
+(* On-disk corpus (diskcache conventions: entries named by content
+   digest, written to a temp file then atomically renamed, so parallel
+   workers and crashes never leave a torn entry). *)
+
+let rec mkdirs d =
+  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
+  else begin
+    mkdirs (Filename.dirname d);
+    try Sys.mkdir d 0o755 with Sys_error _ -> ()
+  end
+
+let corpus_digest source = Digest.to_hex (Digest.string source)
+
+let corpus_write ~dir ~digest source =
+  mkdirs dir;
+  let path = Filename.concat dir (digest ^ ".fg") in
+  if not (Sys.file_exists path) then begin
+    match Filename.temp_file ~temp_dir:dir ".corpus-" ".tmp" with
+    | exception Sys_error _ -> ()
+    | tmp -> (
+        match open_out_bin tmp with
+        | exception Sys_error _ -> ()
+        | oc ->
+            output_string oc source;
+            close_out oc;
+            (try Sys.rename tmp path
+             with Sys_error _ -> ( try Sys.remove tmp with Sys_error _ -> ())))
+  end
+
+let corpus_load ~dir =
+  match Sys.is_directory dir with
+  | exception Sys_error _ -> []
+  | false -> []
+  | true ->
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".fg")
+      |> List.sort String.compare
+      |> List.filter_map (fun f ->
+             match open_in_bin (Filename.concat dir f) with
+             | exception Sys_error _ -> None
+             | ic ->
+                 let n = in_channel_length ic in
+                 let s = really_input_string ic n in
+                 close_in ic;
+                 Some (Filename.remove_extension f, s))
+
+(* ------------------------------------------------------------------ *)
+(* Coverage-guided mode.
+
+   Phase A is strictly sequential: each candidate (mutated from the
+   corpus, or generated when the corpus is dry) runs through a fresh
+   session bracketed by coverage snapshots, so its delta is exact, the
+   corpus-admission decisions are a pure function of (seed, corpus),
+   and the reported coverage map — the union of the per-candidate
+   deltas — is byte-identical whatever [?domains] is.  Phase B then
+   fans the oracles out over domains exactly like blind mode; nothing
+   it does feeds back into the map or the corpus. *)
+
+(* How a candidate's recovering run classified. *)
+type measured =
+  | MWellTyped
+  | MRejected  (* at least one error diagnostic: explored error space *)
+  | MCrash of string
+  | MSilent  (* rejected without a single error diagnostic *)
+
+let measure scfg src =
+  let before = Coverage.snapshot () in
+  let m =
+    let sess = Session.of_config scfg in
+    match Session.run_full ~fuel:shrink_fuel sess src with
+    | exception e -> MCrash (Printexc.to_string e)
+    | { Session.outcome = Some _; _ } -> MWellTyped
+    | { Session.outcome = None; diagnostics } ->
+        if List.exists (fun d -> d.Diag.severity = Diag.Err) diagnostics then
+          MRejected
+        else MSilent
+  in
+  (m, Coverage.diff (Coverage.snapshot ()) before)
+
+(* A candidate whose recovering run crashed or got silently dropped is
+   a recovery-oracle failure whatever its origin. *)
+let guided_bad scfg src =
+  let sess = Session.of_config scfg in
+  match Session.run_full ~fuel:shrink_fuel sess src with
+  | exception _ -> true
+  | { Session.outcome = None; diagnostics } ->
+      not (List.exists (fun d -> d.Diag.severity = Diag.Err) diagnostics)
+  | _ -> false
+
+let guided_failure scfg (p : program) msg =
+  let pred c = guided_bad scfg (Pretty.exp_to_string c) in
+  let shr = try shrink ~still_fails:pred p.p_ast with _ -> p.p_ast in
+  {
+    f_index = p.p_index;
+    f_origin = p.p_origin;
+    f_oracle = Recovery;
+    f_message = msg;
+    f_source = p.p_source;
+    f_shrunk = Pretty.exp_to_string shr;
+    f_shrunk_nodes = Ast.exp_size shr;
+  }
+
+(* Shrink budget for corpus admission: novelty is usually preserved by
+   much smaller programs, but we cannot afford blind-shrinker fuel on
+   every interesting input. *)
+let corpus_shrink_fuel = 96
+
+let run_guided ?domains (cfg : config) =
+  let scfg = Session.Config.(default |> with_backend cfg.backend) in
+  (* In-memory corpus: only entries that re-parse can seed mutations;
+     everything is tracked by digest so fleet merges are idempotent. *)
+  let initial =
+    match cfg.corpus_dir with Some d -> corpus_load ~dir:d | None -> []
+  in
+  let corpus = ref [] in
+  let known = Hashtbl.create 64 in
+  List.iter
+    (fun (digest, src) ->
+      if not (Hashtbl.mem known digest) then begin
+        Hashtbl.replace known digest ();
+        match Parser.exp_of_string src with
+        | exception _ -> ()
+        | ast -> corpus := (digest, src, ast) :: !corpus
+      end)
+    initial;
+  corpus := List.rev !corpus;
+  let fresh = ref [] in
+  let acc = ref [] in
+  let from_corpus = ref 0 in
+  let candidates = ref [] in
+  for i = 0 to cfg.count - 1 do
+    let r = rng_of ~seed:cfg.seed ~index:i in
+    let mutated =
+      if !corpus <> [] && rchance r 0.75 then begin
+        let _, _, base = rchoose r !corpus in
+        let _, _, donor = rchoose r !corpus in
+        match mutate r ~donor base with
+        | None -> None
+        | Some ast0 ->
+            let source = Pretty.exp_to_string ast0 in
+            let ast = try Parser.exp_of_string source with _ -> ast0 in
+            Some { p_index = i; p_origin = Corpus; p_ast = ast; p_source = source }
+      end
+      else None
+    in
+    let p =
+      match mutated with
+      | Some p ->
+          incr from_corpus;
+          p
+      | None -> generate cfg ~index:i
+    in
+    let m, delta = measure scfg p.p_source in
+    let novel =
+      List.filter (fun k -> not (List.mem_assoc k !acc)) (Coverage.keys delta)
+    in
+    acc := Coverage.merge !acc delta;
+    if novel <> [] then begin
+      (* Minimize while the novel decision points stay covered, then
+         admit to the corpus (and persist, when a directory is given). *)
+      let covers src =
+        let _, d = measure scfg src in
+        let ks = Coverage.keys d in
+        List.for_all (fun k -> List.mem k ks) novel
+      in
+      let small =
+        try
+          shrink ~fuel:corpus_shrink_fuel
+            ~still_fails:(fun c -> covers (Pretty.exp_to_string c))
+            p.p_ast
+        with _ -> p.p_ast
+      in
+      let small_src = Pretty.exp_to_string small in
+      let src = if covers small_src then small_src else p.p_source in
+      let digest = corpus_digest src in
+      if not (Hashtbl.mem known digest) then begin
+        Hashtbl.replace known digest ();
+        (match Parser.exp_of_string src with
+        | exception _ -> ()
+        | ast -> corpus := !corpus @ [ (digest, src, ast) ]);
+        fresh := (digest, src) :: !fresh;
+        match cfg.corpus_dir with
+        | Some d -> corpus_write ~dir:d ~digest src
+        | None -> ()
+      end
+    end;
+    candidates := (p, m) :: !candidates
+  done;
+  let programs = List.rev !candidates in
+  (* Phase B: oracles, fanned out like blind mode.  Only candidates the
+     recovering pipeline accepted run the agreement batch. *)
+  let well_typed =
+    List.filter (fun (_, m) -> match m with MWellTyped -> true | _ -> false)
+      programs
+  in
+  let jobs =
+    List.map
+      (fun (p, _) ->
+        (Printf.sprintf "fuzz-%d-%d" cfg.seed p.p_index, p.p_source))
+      well_typed
+  in
+  let batch = Session.run_batch ?domains (Session.of_config scfg) jobs in
+  let agree = Hashtbl.create 32 in
+  List.iter2
+    (fun (p, _) (_, res) -> Hashtbl.replace agree p.p_index res)
+    well_typed batch;
+  let rsess = Session.of_config scfg in
+  let mutants_run = ref 0 in
+  let failures =
+    List.concat
+      (List.map
+         (fun (p, m) ->
+           let classed =
+             match m with
+             | MCrash msg ->
+                 [ guided_failure scfg p ("recovering pipeline crashed: " ^ msg) ]
+             | MSilent ->
+                 [
+                   guided_failure scfg p
+                     "rejected program produced no error diagnostics";
+                 ]
+             | MWellTyped | MRejected -> []
+           in
+           let oracles =
+             match m with
+             | MWellTyped ->
+                 roundtrip_failure p
+                 @ agreement_failure p (Hashtbl.find agree p.p_index)
+             | _ -> []
+           in
+           classed @ oracles @ recovery_failures cfg rsess mutants_run p)
+         programs)
+  in
+  {
+    r_config = cfg;
+    r_generated = List.length programs;
+    r_mutants_run = !mutants_run;
+    r_failures = failures;
+    r_coverage = !acc;
+    r_corpus_size = Hashtbl.length known;
+    r_corpus_added = List.length !fresh;
+    r_from_corpus = !from_corpus;
+    r_corpus_entries = List.rev !fresh;
+  }
+
+let run ?domains cfg =
+  if cfg.guided || cfg.corpus_dir <> None then
+    run_guided ?domains { cfg with guided = true }
+  else run_blind ?domains cfg
 
 (* ------------------------------------------------------------------ *)
 (* Reporting. *)
 
 let failure_to_json f =
   Json.Obj
-    [
-      ("index", Json.Int f.f_index);
-      ("oracle", Json.Str (oracle_name f.f_oracle));
-      ("message", Json.Str f.f_message);
-      ("source", Json.Str f.f_source);
-      ("shrunk", Json.Str f.f_shrunk);
-      ("shrunk_nodes", Json.Int f.f_shrunk_nodes);
-    ]
+    ([ ("index", Json.Int f.f_index);
+       ("oracle", Json.Str (oracle_name f.f_oracle)) ]
+    (* origin appears only for corpus mutants, keeping the pinned
+       blind-mode failure shape unchanged *)
+    @ (match f.f_origin with
+      | Gen -> []
+      | Corpus -> [ ("origin", Json.Str (origin_name f.f_origin)) ])
+    @ [
+        ("message", Json.Str f.f_message);
+        ("source", Json.Str f.f_source);
+        ("shrunk", Json.Str f.f_shrunk);
+        ("shrunk_nodes", Json.Int f.f_shrunk_nodes);
+      ])
 
 let report_to_json r =
   Json.Obj
-    [
+    ([
       ( "fuzz",
         Json.Obj
           ([
@@ -1486,24 +2023,40 @@ let report_to_json r =
              ("size", Json.Int r.r_config.size);
              ("mutants", Json.Int r.r_config.mutants);
            ]
-          (* backend appears only off Dict, keeping the pinned
-             dictionary-backend JSON shape unchanged *)
-          @
-          match r.r_config.backend with
-          | Backend.Dict -> []
-          | b -> [ ("backend", Json.Str (Backend.to_string b)) ]) );
+          (* backend appears only off Dict (and guided only when on),
+             keeping the pinned dictionary-backend JSON shape
+             unchanged *)
+          @ (match r.r_config.backend with
+            | Backend.Dict -> []
+            | b -> [ ("backend", Json.Str (Backend.to_string b)) ])
+          @ if r.r_config.guided then [ ("guided", Json.Bool true) ] else []) );
       ("generated", Json.Int r.r_generated);
       ("mutants_run", Json.Int r.r_mutants_run);
-      ("ok", Json.Bool (r.r_failures = []));
-      ("failures", Json.List (List.map failure_to_json r.r_failures));
     ]
-
-let rec mkdirs d =
-  if d = "" || d = "." || d = "/" || Sys.file_exists d then ()
-  else begin
-    mkdirs (Filename.dirname d);
-    try Sys.mkdir d 0o755 with Sys_error _ -> ()
-  end
+    (* coverage/corpus objects appear only in guided mode, keeping the
+       pinned blind-mode report shape unchanged *)
+    @ (if r.r_config.guided then
+         [
+           ( "coverage",
+             Json.Obj
+               [
+                 ("distinct", Json.Int (Coverage.distinct r.r_coverage));
+                 ("total", Json.Int (Coverage.total r.r_coverage));
+                 ("map", Coverage.to_json r.r_coverage);
+               ] );
+           ( "corpus",
+             Json.Obj
+               [
+                 ("size", Json.Int r.r_corpus_size);
+                 ("added", Json.Int r.r_corpus_added);
+                 ("from_corpus", Json.Int r.r_from_corpus);
+               ] );
+         ]
+       else [])
+    @ [
+        ("ok", Json.Bool (r.r_failures = []));
+        ("failures", Json.List (List.map failure_to_json r.r_failures));
+      ])
 
 let save_failures ~dir r =
   mkdirs dir;
@@ -1523,7 +2076,8 @@ let save_failures ~dir r =
       let oc = open_out path in
       let line fmt = Printf.fprintf oc fmt in
       line "// fuzz counterexample (oracle: %s)\n" (oracle_name f.f_oracle);
-      line "// seed %d, program %d\n" r.r_config.seed f.f_index;
+      line "// seed %d, program %d, origin: %s\n" r.r_config.seed f.f_index
+        (origin_name f.f_origin);
       List.iter
         (fun l -> line "// %s\n" l)
         (String.split_on_char '\n' f.f_message);

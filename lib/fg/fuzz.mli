@@ -1,6 +1,7 @@
 (** Property-based fuzzing: a seeded, deterministic generator of
     well-typed-by-construction System FG programs, a greedy shrinker,
-    and a differential oracle harness over the paper's theorems.
+    a coverage-guided mutation mode, and a differential oracle harness
+    over the paper's theorems.
 
     Every program is built from a {!Fg_util.Prng} stream split from a
     single integer seed — program [i] of a run is a pure function of
@@ -24,6 +25,19 @@
       diagnostics through the recovering pipeline: never crash, never
       succeed.
 
+    {b Guided mode} ([guided = true], implied by [corpus_dir]) turns
+    the run into a coverage search: each candidate — a mutation of a
+    minimized corpus entry (declaration splice/drop, type-argument
+    swap, model shadow/unshadow, where-clause add/drop), or a blind
+    generation when the corpus is dry — is measured against the
+    process-wide {!Fg_util.Coverage} map, and inputs that reach new
+    decision points are minimized and admitted to the corpus.
+    Measurement is strictly sequential, so the reported coverage map
+    and the corpus contents are byte-identical across runs and across
+    domain counts.  Corpus mutants need not be well typed: a rejection
+    carrying error diagnostics is explored error space, and only
+    crashes and silent rejections fail the oracle.
+
     Failures are minimized by a greedy shrinker (declaration deletion
     and subterm replacement, every candidate re-validated through the
     checker and the failing oracle) before being reported. *)
@@ -38,12 +52,24 @@ type config = {
           {!Backend.Dict}, every generated program additionally runs
           the specializer and its typecheck/byte-identity oracle, so a
           fuzz batch doubles as a differential test of stenciling *)
+  guided : bool;  (** coverage-guided mutation instead of blind generation *)
+  corpus_dir : string option;
+      (** on-disk corpus of minimized coverage-adding inputs (entries
+          are [<md5-of-source>.fg], written atomically); implies
+          [guided] *)
 }
 
 val default_config : config
 
+(** Where a candidate came from: the blind generator, or a mutation of
+    a corpus entry. *)
+type origin = Gen | Corpus
+
+val origin_name : origin -> string
+
 type program = {
   p_index : int;  (** position in the run: stream [split_nth seed i] *)
+  p_origin : origin;
   p_ast : Ast.exp;
   p_source : string;  (** pretty-printed concrete syntax *)
 }
@@ -57,6 +83,7 @@ val oracle_name : oracle -> string
 
 type failure = {
   f_index : int;  (** index of the generated program *)
+  f_origin : origin;
   f_oracle : oracle;
   f_message : string;
   f_source : string;  (** the offending source (the mutant, for recovery) *)
@@ -69,25 +96,52 @@ type report = {
   r_generated : int;
   r_mutants_run : int;
   r_failures : failure list;  (** in program order; empty on a clean run *)
+  r_coverage : Fg_util.Coverage.map;
+      (** guided: union of the per-candidate coverage deltas; blind: the
+          whole-run snapshot delta (measured but never guided on, and
+          kept out of the JSON report) *)
+  r_corpus_size : int;  (** distinct corpus entries after the run *)
+  r_corpus_added : int;  (** entries this run admitted *)
+  r_from_corpus : int;  (** candidates that were corpus mutations *)
+  r_corpus_entries : (string * string) list;
+      (** [(digest, source)] of the entries this run admitted — what a
+          fuzz worker offers the fleet via [fuzz_batch] *)
 }
 
-(** Run the whole harness: generate [config.count] programs, check the
-    three oracles (agreement fanned out over [domains] OCaml domains
-    via {!Session.run_batch}), shrink any failures.  Output is
-    independent of [domains].  Does not raise on oracle failures —
-    they come back in the report. *)
+(** Run the whole harness: generate (or, guided, mutate) [config.count]
+    programs, check the three oracles (agreement fanned out over
+    [domains] OCaml domains via {!Session.run_batch}), shrink any
+    failures.  Output — including the guided-mode coverage map and
+    corpus — is independent of [domains].  Does not raise on oracle
+    failures — they come back in the report. *)
 val run : ?domains:int -> config -> report
 
 (** Greedy shrink: repeatedly apply the smallest still-failing
     one-step rewrite (declaration deletion, subterm hoisting, literal
     replacement) until a fixpoint.  [still_fails] must hold of the
-    initial program. *)
-val shrink : still_fails:(Ast.exp -> bool) -> Ast.exp -> Ast.exp
+    initial program.  [fuel] bounds the number of candidate
+    evaluations (default 1500; corpus admission uses a much smaller
+    budget). *)
+val shrink : ?fuel:int -> still_fails:(Ast.exp -> bool) -> Ast.exp -> Ast.exp
+
+(** Load an on-disk corpus: the [(digest, source)] of every [*.fg]
+    entry under [dir], sorted by digest ([] if [dir] is missing). *)
+val corpus_load : dir:string -> (string * string) list
+
+(** Write one corpus entry (atomic temp-file + rename; a no-op when
+    the digest is already present).  Creates [dir] if missing. *)
+val corpus_write : dir:string -> digest:string -> string -> unit
+
+(** The digest naming corpus entries: MD5 hex of the source bytes. *)
+val corpus_digest : string -> string
 
 (** The stable machine-readable shape of a run (see docs/LANGUAGE.md):
     [{"fuzz": {"seed", "count", "size", "mutants"}, "generated",
     "mutants_run", "ok", "failures": [{"index", "oracle", "message",
-    "source", "shrunk", "shrunk_nodes"}]}]. *)
+    "source", "shrunk", "shrunk_nodes"}]}].  Guided runs additionally
+    carry ["coverage"] ([distinct]/[total]/[map]) and ["corpus"]
+    ([size]/[added]/[from_corpus]) objects, ["guided": true] in the
+    config, and an ["origin"] field on corpus-mutant failures. *)
 val report_to_json : report -> Fg_util.Json.t
 
 (** Write each failure's shrunk and original sources under [dir] (as

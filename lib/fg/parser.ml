@@ -616,7 +616,10 @@ let parse_decl_step p : exp -> exp =
    resumes after it) at bracket depth <= 0, or EOF.  Depth goes
    negative when the error was inside brackets the cursor had already
    entered; any closer then re-anchors at the enclosing level. *)
+let p_recover_sync = Fg_util.Coverage.probe "recover.parser.sync"
+
 let synchronize p =
+  Fg_util.Coverage.hit p_recover_sync;
   let depth = ref 0 in
   let stop = ref false in
   while not !stop do

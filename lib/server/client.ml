@@ -230,3 +230,50 @@ let cache_put c ~key ~data =
          ~data:(Strutil.hex_encode data) Protocol.CachePut)
   in
   r.Protocol.r_status = Protocol.Ok_
+
+(* ---------------------------------------------------------------- *)
+(* Fleet fuzzing (v4)                                                *)
+
+type fuzz_sync = {
+  fs_coverage : Coverage.map;
+  fs_corpus : (string * string) list;
+  fs_batches : int;
+  fs_corpus_size : int;
+}
+
+let fuzz_batch c ~coverage ~corpus_entries ~have =
+  let r =
+    request c
+      (Protocol.request ~id:1 ~coverage ~corpus_entries ~have
+         Protocol.FuzzBatch)
+  in
+  if r.Protocol.r_status <> Protocol.Ok_ then None
+  else
+    match Json.of_string r.Protocol.r_payload with
+    | Error _ -> None
+    | Ok j ->
+        let fs_coverage =
+          match Json.mem "coverage" j with
+          | Some cj -> Coverage.of_json cj
+          | None -> []
+        in
+        let fs_corpus =
+          match Json.mem "corpus" j with
+          | Some (Json.Obj kvs) ->
+              List.filter_map
+                (function d, Json.Str s -> Some (d, s) | _ -> None)
+                kvs
+          | _ -> []
+        in
+        let fleet k =
+          match Json.mem "fleet" j with
+          | Some fj -> Option.value ~default:0 (Json.int_field k fj)
+          | None -> 0
+        in
+        Some
+          {
+            fs_coverage;
+            fs_corpus;
+            fs_batches = fleet "batches";
+            fs_corpus_size = fleet "corpus_size";
+          }

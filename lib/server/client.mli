@@ -71,3 +71,24 @@ val run_file :
 
 val cache_get : conn -> key:string -> string option
 val cache_put : conn -> key:string -> data:string -> bool
+
+(** {1 Fleet fuzzing (protocol v4)} *)
+
+(** What one [fuzz_batch] round-trip brings back: the fleet-merged
+    coverage map, the corpus entries this worker lacks, and the fleet
+    counters. *)
+type fuzz_sync = {
+  fs_coverage : Fg_util.Coverage.map;
+  fs_corpus : (string * string) list;  (** [(digest, source)] to adopt *)
+  fs_batches : int;
+  fs_corpus_size : int;
+}
+
+(** Merge this worker's coverage map and corpus offers into the
+    daemon's fleet state; [have] lists digests already held so the
+    reply only carries what is missing.  [None] on a non-[ok] status
+    or an unreadable payload (e.g. a pre-v4 daemon). *)
+val fuzz_batch :
+  conn -> coverage:Fg_util.Coverage.map ->
+  corpus_entries:(string * string) list -> have:string list ->
+  fuzz_sync option

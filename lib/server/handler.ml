@@ -195,19 +195,20 @@ let translate_payload s ~file source =
   | Error d -> C.Jsonview.json_of_failure ~file d
 
 (* Execute one program-shaped request; Stats/Shutdown (answered by the
-   pool) and CacheGet/CachePut (answered directly by the server's
-   reader thread) must not reach here. *)
+   pool) and CacheGet/CachePut/FuzzBatch (answered directly by the
+   server's reader thread) must not reach here. *)
 let handle t (req : Protocol.request) : Protocol.status * string =
   let file = req.file in
   match req.kind with
   | Protocol.Stats | Protocol.Shutdown | Protocol.CacheGet
-  | Protocol.CachePut ->
+  | Protocol.CachePut | Protocol.FuzzBatch ->
       Diag.ice "control request %s reached a worker handler"
         (Protocol.kind_name req.kind)
   | Protocol.FuzzOne ->
       let cfg =
         { C.Fuzz.seed = req.seed; count = 1; size = max 1 req.size;
-          mutants = max 0 req.mutants; backend = req.backend }
+          mutants = max 0 req.mutants; backend = req.backend;
+          guided = false; corpus_dir = None }
       in
       let report = C.Fuzz.run ~domains:1 cfg in
       let status =

@@ -13,11 +13,13 @@ open Fg_util
 (* Version 2 added the optional request field ["backend"] (absent means
    the dictionary backend).  Version 3 added the [cache_get]/[cache_put]
    request kinds with their ["key"]/["data"] fields (the peer tier of
-   the compilation-unit cache).  Frames from older clients are still
-   accepted — every earlier field kept its meaning — so [min_version]
-   stays at 1; only versions outside [min_version .. version] are
-   refused. *)
-let version = 3
+   the compilation-unit cache).  Version 4 added the [fuzz_batch] kind
+   with its ["coverage"]/["corpus"]/["have"] fields (fleet-wide merge of
+   guided-fuzzing coverage maps and corpora).  Frames from older clients
+   are still accepted — every earlier field kept its meaning — so
+   [min_version] stays at 1; only versions outside
+   [min_version .. version] are refused. *)
+let version = 4
 let min_version = 1
 let default_max_frame = 4 * 1024 * 1024
 
@@ -118,6 +120,7 @@ type kind =
   | Shutdown
   | CacheGet
   | CachePut
+  | FuzzBatch
 
 let kind_name = function
   | Check -> "check"
@@ -128,6 +131,7 @@ let kind_name = function
   | Shutdown -> "shutdown"
   | CacheGet -> "cache_get"
   | CachePut -> "cache_put"
+  | FuzzBatch -> "fuzz_batch"
 
 let kind_of_name = function
   | "check" -> Some Check
@@ -138,10 +142,12 @@ let kind_of_name = function
   | "shutdown" -> Some Shutdown
   | "cache_get" -> Some CacheGet
   | "cache_put" -> Some CachePut
+  | "fuzz_batch" -> Some FuzzBatch
   | _ -> None
 
 let all_kinds =
-  [ Check; Run; Translate; FuzzOne; Stats; Shutdown; CacheGet; CachePut ]
+  [ Check; Run; Translate; FuzzOne; Stats; Shutdown; CacheGet; CachePut;
+    FuzzBatch ]
 
 type request = {
   id : int;
@@ -157,14 +163,20 @@ type request = {
   mutants : int;  (** fuzz_one *)
   key : string;  (** cache_get/cache_put: hex portable unit key (v3) *)
   data : string;  (** cache_put: hex unit blob (v3) *)
+  coverage : Coverage.map;  (** fuzz_batch: the worker's coverage map (v4) *)
+  corpus_entries : (string * string) list;
+      (** fuzz_batch: [(digest, source)] corpus entries offered (v4) *)
+  have : string list;
+      (** fuzz_batch: digests the worker already holds, so the server
+          sends back only what is missing (v4) *)
 }
 
 let request ?(file = "<request>") ?(source = "") ?(prelude = false)
     ?(global_models = false) ?(backend = Fg_core.Backend.Dict) ?timeout_ms
-    ?(seed = 0) ?(size = 30) ?(mutants = 0) ?(key = "") ?(data = "") ~id kind
-    =
+    ?(seed = 0) ?(size = 30) ?(mutants = 0) ?(key = "") ?(data = "")
+    ?(coverage = []) ?(corpus_entries = []) ?(have = []) ~id kind =
   { id; kind; file; source; prelude; global_models; backend; timeout_ms;
-    seed; size; mutants; key; data }
+    seed; size; mutants; key; data; coverage; corpus_entries; have }
 
 let request_to_json r =
   Json.Obj
@@ -190,6 +202,11 @@ let request_to_json r =
     match r.kind with
     | CacheGet -> [ ("key", Json.Str r.key) ]
     | CachePut -> [ ("key", Json.Str r.key); ("data", Json.Str r.data) ]
+    | FuzzBatch ->
+        [ ("coverage", Coverage.to_json r.coverage);
+          ("corpus",
+           Json.Obj (List.map (fun (d, s) -> (d, Json.Str s)) r.corpus_entries));
+          ("have", Json.List (List.map (fun d -> Json.Str d) r.have)) ]
     | _ -> [])
 
 type proto_error =
@@ -218,7 +235,9 @@ let request_of_json j =
               let needs_source =
                 match kind with
                 | Check | Run | Translate -> true
-                | FuzzOne | Stats | Shutdown | CacheGet | CachePut -> false
+                | FuzzOne | Stats | Shutdown | CacheGet | CachePut
+                | FuzzBatch ->
+                    false
               in
               let needs_key =
                 match kind with CacheGet | CachePut -> true | _ -> false
@@ -265,6 +284,25 @@ let request_of_json j =
                       Option.value ~default:0 (Json.int_field "mutants" j);
                     key = str "key" "";
                     data = str "data" "";
+                    coverage =
+                      (match Json.mem "coverage" j with
+                      | Some cj -> Coverage.of_json cj
+                      | None -> []);
+                    corpus_entries =
+                      (match Json.mem "corpus" j with
+                      | Some (Json.Obj kvs) ->
+                          List.filter_map
+                            (function
+                              | d, Json.Str s -> Some (d, s) | _ -> None)
+                            kvs
+                      | _ -> []);
+                    have =
+                      (match Json.mem "have" j with
+                      | Some (Json.List l) ->
+                          List.filter_map
+                            (function Json.Str s -> Some s | _ -> None)
+                            l
+                      | _ -> []);
                   })))
 
 (* ---------------------------------------------------------------- *)

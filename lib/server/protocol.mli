@@ -8,20 +8,24 @@
     must be closed.
 
     {b Requests} are JSON objects
-    [{"v": 3, "id": N, "kind": K, ...}] where [K] is one of
+    [{"v": 4, "id": N, "kind": K, ...}] where [K] is one of
     [check | run | translate | fuzz_one | stats | shutdown |
-    cache_get | cache_put]; program kinds carry ["file"], ["source"]
-    and the one-shot driver's flags (["prelude"], ["global_models"],
-    and — since version 2 — an optional ["backend"] of
-    [dict | stencil | hybrid], absent meaning [dict]); the cache kinds
-    (since version 3) carry a hex ["key"] and, for [cache_put], a hex
-    ["data"] blob — the peer tier of the compilation-unit cache; any
-    request may set ["timeout_ms"] to override the server's default
-    deadline.  Any version in [min_version .. version] is accepted:
-    version-1 frames decode and route exactly as before.
+    cache_get | cache_put | fuzz_batch]; program kinds carry ["file"],
+    ["source"] and the one-shot driver's flags (["prelude"],
+    ["global_models"], and — since version 2 — an optional ["backend"]
+    of [dict | stencil | hybrid], absent meaning [dict]); the cache
+    kinds (since version 3) carry a hex ["key"] and, for [cache_put], a
+    hex ["data"] blob — the peer tier of the compilation-unit cache;
+    [fuzz_batch] (since version 4) carries a ["coverage"] map
+    (key → hit-count object), a ["corpus"] object (digest → source)
+    of entries the worker offers, and a ["have"] digest list — the
+    fleet-wide merge point of guided fuzzing; any request may set
+    ["timeout_ms"] to override the server's default deadline.  Any
+    version in [min_version .. version] is accepted: version-1 frames
+    decode and route exactly as before.
 
     {b Responses} are
-    [{"v": 3, "id": N, "status": S, "payload": P}] where [S] is one of
+    [{"v": 4, "id": N, "status": S, "payload": P}] where [S] is one of
     [ok | error | timeout | overload | shutting_down | protocol_error]
     and [P] is the result document as {e pre-rendered JSON text} — for
     [run] requests, byte-identical to what one-shot
@@ -77,6 +81,10 @@ type kind =
   | Shutdown
   | CacheGet  (** v3: probe the server's disk store for a unit blob *)
   | CachePut  (** v3: offer a unit blob to the server's disk store *)
+  | FuzzBatch
+      (** v4: merge a fuzz worker's coverage map and corpus offers into
+          the fleet state; the reply carries the merged map and the
+          corpus entries the worker lacks *)
 
 val kind_name : kind -> string
 val kind_of_name : string -> kind option
@@ -97,13 +105,20 @@ type request = {
   mutants : int;
   key : string;  (** cache_get/cache_put: hex portable unit key (v3) *)
   data : string;  (** cache_put: hex unit blob (v3) *)
+  coverage : Coverage.map;  (** fuzz_batch: the worker's coverage map (v4) *)
+  corpus_entries : (string * string) list;
+      (** fuzz_batch: [(digest, source)] corpus entries offered (v4) *)
+  have : string list;
+      (** fuzz_batch: digests the worker already holds (v4) *)
 }
 
 (** Build a request with the wire defaults filled in. *)
 val request :
   ?file:string -> ?source:string -> ?prelude:bool -> ?global_models:bool ->
   ?backend:Fg_core.Backend.t -> ?timeout_ms:int -> ?seed:int -> ?size:int ->
-  ?mutants:int -> ?key:string -> ?data:string -> id:int -> kind -> request
+  ?mutants:int -> ?key:string -> ?data:string -> ?coverage:Coverage.map ->
+  ?corpus_entries:(string * string) list -> ?have:string list -> id:int ->
+  kind -> request
 
 val request_to_json : request -> Json.t
 

@@ -117,6 +117,25 @@ let force_shutdown conn =
   Mutex.unlock conn.wm
 
 (* ---------------------------------------------------------------- *)
+(* Fleet fuzzing state                                               *)
+
+(* The daemon is the merge point of a distributed guided-fuzzing soak:
+   each [fuzz_batch] folds a worker's coverage map and corpus offers in
+   here and gets back the fleet-wide map plus the entries it lacks.
+   Guarded by a plain mutex — batches are rare (one per worker run)
+   and the merge is cheap, so contention is a non-issue. *)
+type fuzz_state = {
+  fm : Mutex.t;
+  mutable fz_coverage : Coverage.map;  (** merged across all workers *)
+  fz_corpus : (string, string) Hashtbl.t;  (** digest -> source *)
+  mutable fz_batches : int;  (** fuzz_batch requests merged *)
+}
+
+let mk_fuzz_state () =
+  { fm = Mutex.create (); fz_coverage = []; fz_corpus = Hashtbl.create 64;
+    fz_batches = 0 }
+
+(* ---------------------------------------------------------------- *)
 (* The server                                                        *)
 
 type t = {
@@ -125,6 +144,7 @@ type t = {
   disk : Fg_core.Diskcache.t option;
       (** the store behind [cache_dir]: shared by every worker and
           served to peers via [cache_get]/[cache_put] *)
+  fuzz : fuzz_state;
   listen_fd : Unix.file_descr;
   bound : address;  (** with the OS-chosen port resolved *)
   reg_m : Mutex.t;
@@ -151,8 +171,17 @@ let request_shutdown t =
 (* The stats payload: live pool metrics plus the static config, plus
    the process-wide specializer counters (covering every worker's
    stencil/hybrid requests, since telemetry is process-global). *)
-let stats_json cfg disk metrics =
+let stats_json cfg disk fuzz metrics =
   let t = Telemetry.snapshot () in
+  let fz_batches, fz_corpus, fz_distinct, fz_total =
+    Mutex.lock fuzz.fm;
+    let r =
+      ( fuzz.fz_batches, Hashtbl.length fuzz.fz_corpus,
+        Coverage.distinct fuzz.fz_coverage, Coverage.total fuzz.fz_coverage )
+    in
+    Mutex.unlock fuzz.fm;
+    r
+  in
   Pool.metrics_to_json metrics
     ~extra:
       [
@@ -191,6 +220,14 @@ let stats_json cfg disk metrics =
               ("misses", Json.Int t.Telemetry.peer_misses);
               ("failures", Json.Int t.Telemetry.peer_failures);
             ] );
+        ( "fuzz_soak",
+          Json.Obj
+            [
+              ("batches", Json.Int fz_batches);
+              ("corpus_size", Json.Int fz_corpus);
+              ("coverage_distinct", Json.Int fz_distinct);
+              ("coverage_total", Json.Int fz_total);
+            ] );
       ]
 
 let listen_on = function
@@ -223,9 +260,10 @@ let create cfg =
       (Fg_core.Diskcache.open_store ?max_bytes:cfg.cache_max_bytes)
       cfg.cache_dir
   in
+  let fuzz = mk_fuzz_state () in
   let pool =
     Pool.create ?fuel:cfg.fuel ?disk ~peers:cfg.cache_peers
-      ~capacity:cfg.max_queue ~stats_json:(stats_json cfg disk) ()
+      ~capacity:cfg.max_queue ~stats_json:(stats_json cfg disk fuzz) ()
   in
   let listen_fd, bound = listen_on cfg.address in
   Pool.start ~workers:cfg.workers pool;
@@ -233,6 +271,7 @@ let create cfg =
     cfg;
     pool;
     disk;
+    fuzz;
     listen_fd;
     bound;
     reg_m = Mutex.create ();
@@ -289,6 +328,57 @@ let cache_response t (req : Protocol.request) =
               Fg_core.Diskcache.put d key body;
               ok [ ("stored", Json.Bool true) ])
       | _, None -> ok [ ("stored", Json.Bool false) ])
+
+(* Serve one fuzz_batch: fold the worker's coverage map and corpus
+   offers into the fleet state, reply with the merged map and the
+   entries the worker lacks.  Like the cache kinds this runs in the
+   reader thread, never in the pool — a merge is a few list operations
+   and must not wait behind compilation.  The reply's corpus is sorted
+   by digest so a worker fleet converges on identical on-disk corpora
+   regardless of merge order. *)
+let fuzz_response t (req : Protocol.request) =
+  let fs = t.fuzz in
+  Mutex.lock fs.fm;
+  fs.fz_coverage <- Coverage.merge fs.fz_coverage req.Protocol.coverage;
+  List.iter
+    (fun (d, s) ->
+      if not (Hashtbl.mem fs.fz_corpus d) then Hashtbl.add fs.fz_corpus d s)
+    req.Protocol.corpus_entries;
+  fs.fz_batches <- fs.fz_batches + 1;
+  let merged = fs.fz_coverage in
+  let batches = fs.fz_batches in
+  let corpus_size = Hashtbl.length fs.fz_corpus in
+  let missing =
+    Hashtbl.fold
+      (fun d s acc ->
+        if
+          List.mem d req.Protocol.have
+          || List.mem_assoc d req.Protocol.corpus_entries
+        then acc
+        else (d, s) :: acc)
+      fs.fz_corpus []
+  in
+  Mutex.unlock fs.fm;
+  let missing = List.sort (fun (a, _) (b, _) -> compare a b) missing in
+  {
+    Protocol.r_id = req.Protocol.id;
+    r_status = Protocol.Ok_;
+    r_payload =
+      Json.to_string
+        (Json.Obj
+           [
+             ("coverage", Coverage.to_json merged);
+             ( "corpus",
+               Json.Obj (List.map (fun (d, s) -> (d, Json.Str s)) missing) );
+             ( "fleet",
+               Json.Obj
+                 [
+                   ("batches", Json.Int batches);
+                   ("corpus_size", Json.Int corpus_size);
+                   ("coverage_distinct", Json.Int (Coverage.distinct merged));
+                 ] );
+           ]);
+  }
 
 let reject conn (req : Protocol.request) status code msg =
   respond_direct conn
@@ -356,6 +446,11 @@ let handle_frame t conn payload =
           match req.Protocol.kind with
           | Protocol.CacheGet | Protocol.CachePut ->
               let resp = cache_response t req in
+              Pool.record_outcome metrics req.Protocol.kind
+                resp.Protocol.r_status;
+              respond_direct conn resp
+          | Protocol.FuzzBatch ->
+              let resp = fuzz_response t req in
               Pool.record_outcome metrics req.Protocol.kind
                 resp.Protocol.r_status;
               respond_direct conn resp

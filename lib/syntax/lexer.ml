@@ -11,6 +11,9 @@
 
 open Fg_util
 
+(* The guided fuzzer hunts inputs that exercise recovery. *)
+let p_recover_skip = Coverage.probe "recover.lexer.skip"
+
 type t = {
   src : string;
   file : string;
@@ -193,6 +196,7 @@ let tokenize_recovering ~engine ?file src =
         toks := (tok, loc) :: !toks;
         if tok = Token.EOF then continue := false
     | exception Diag.Error d ->
+        Coverage.hit p_recover_skip;
         Diag.report engine d;
         (* Skip the character the scanner tripped on so the loop makes
            progress; at end of input (unterminated comment) the next

@@ -128,6 +128,9 @@ let to_json d =
 let make ?code ?(notes = []) ?(loc = Loc.dummy) ?(severity = Err) phase message
     =
   let code = match code with Some c -> c | None -> default_code phase in
+  (* Every diagnostic construction is a coverage point: the guided
+     fuzzer hunts for inputs that reach codes it has not seen. *)
+  Coverage.hit_key ("diag." ^ code);
   { code; severity; phase; loc; message; notes }
 
 let error ?code ?notes ?loc phase fmt =

@@ -7,6 +7,7 @@ let () =
       ("util", Test_util.suite);
       ("json", Test_json.suite);
       ("telemetry", Test_telemetry.suite);
+      ("coverage", Test_coverage.suite);
       ("syntax", Test_syntax.suite);
       ("unionfind", Test_unionfind.suite);
       ("congruence", Test_congruence.suite);

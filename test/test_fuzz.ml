@@ -158,6 +158,7 @@ let test_save_failures_layout () =
         [
           {
             Fuzz.f_index = 0;
+            f_origin = Fuzz.Gen;
             f_oracle = Fuzz.Agreement;
             f_message = "synthetic";
             f_source = "iadd(1, 2)";
@@ -165,6 +166,11 @@ let test_save_failures_layout () =
             f_shrunk_nodes = 1;
           };
         ];
+      r_coverage = [];
+      r_corpus_size = 0;
+      r_corpus_added = 0;
+      r_from_corpus = 0;
+      r_corpus_entries = [];
     }
   in
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "fg-fuzz-test" in
@@ -178,6 +184,136 @@ let test_save_failures_layout () =
     (Fg_util.Strutil.contains ~needle:"// iadd(1, 2)" contents);
   Sys.remove path
 
+(* Shrinking a corpus-mutated input must not lose the artifact layout:
+   same naming scheme, original still embedded, and the origin recorded
+   in the header so a replayed failure says where the input came from. *)
+let test_save_failures_corpus_origin () =
+  let r =
+    {
+      Fuzz.r_config =
+        { Fuzz.default_config with Fuzz.seed = 4; count = 1; guided = true };
+      r_generated = 1;
+      r_mutants_run = 0;
+      r_failures =
+        [
+          {
+            Fuzz.f_index = 3;
+            f_origin = Fuzz.Corpus;
+            f_oracle = Fuzz.Recovery;
+            f_message = "synthetic corpus-mutant failure";
+            f_source = "iadd(1, 2)";
+            f_shrunk = "1";
+            f_shrunk_nodes = 1;
+          };
+        ];
+      r_coverage = [];
+      r_corpus_size = 1;
+      r_corpus_added = 0;
+      r_from_corpus = 1;
+      r_corpus_entries = [];
+    }
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "fg-fuzz-test" in
+  let paths = Fuzz.save_failures ~dir r in
+  Alcotest.(check int) "one artifact" 1 (List.length paths);
+  let path = List.hd paths in
+  Alcotest.(check string) "artifact name keeps the scheme"
+    "fuzz-4-3-recovery.fg" (Filename.basename path);
+  let contents = read_file path in
+  Alcotest.(check bool) "header records the corpus origin" true
+    (Fg_util.Strutil.contains ~needle:"origin: corpus" contents);
+  Alcotest.(check bool) "artifact embeds the original" true
+    (Fg_util.Strutil.contains ~needle:"// iadd(1, 2)" contents);
+  (* ... and the JSON report carries the origin field for the same
+     failure (generated-origin failures stay field-free, pinned by
+     test_report_json_shape's golden). *)
+  Alcotest.(check bool) "report JSON carries the origin" true
+    (Fg_util.Strutil.contains ~needle:{|"origin": "corpus"|}
+       (Json.to_string (Fuzz.report_to_json r)));
+  Sys.remove path
+
+(* ---------------------------------------------------------------- *)
+(* Guided mode                                                       *)
+
+module Coverage = Fg_util.Coverage
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let fresh_dir tag =
+  let d = Filename.concat (Filename.get_temp_dir_name ()) tag in
+  rm_rf d;
+  d
+
+(* Guided runs are byte-deterministic: same seed into fresh corpus
+   dirs under different domain counts must produce an identical
+   coverage map (to_text), an identical report JSON, and on-disk
+   corpora that agree entry for entry — Phase A measurement is
+   sequential, and the parallel oracle phase never feeds the map. *)
+let test_guided_deterministic () =
+  let d1 = fresh_dir "fg-guided-det-1" and d2 = fresh_dir "fg-guided-det-2" in
+  let cfg dir =
+    { Fuzz.default_config with Fuzz.seed = 21; count = 40; size = 25;
+      mutants = 1; guided = true; corpus_dir = Some dir }
+  in
+  let r1 = Fuzz.run ~domains:1 (cfg d1) in
+  let r2 = Fuzz.run ~domains:4 (cfg d2) in
+  Alcotest.(check string) "coverage map byte-identical across -j"
+    (Coverage.to_text r1.Fuzz.r_coverage)
+    (Coverage.to_text r2.Fuzz.r_coverage);
+  Alcotest.(check string) "report JSON byte-identical across -j"
+    (Json.to_string (Fuzz.report_to_json r1))
+    (Json.to_string (Fuzz.report_to_json r2));
+  Alcotest.(check bool) "the run guided at all" true
+    (r1.Fuzz.r_from_corpus > 0 && r1.Fuzz.r_corpus_added > 0);
+  let e1 = Fuzz.corpus_load ~dir:d1 and e2 = Fuzz.corpus_load ~dir:d2 in
+  Alcotest.(check bool) "corpus is non-empty" true (e1 <> []);
+  Alcotest.(check bool) "corpora byte-identical across -j" true (e1 = e2);
+  Alcotest.(check int) "corpus size reported" (List.length e1)
+    r1.Fuzz.r_corpus_size;
+  rm_rf d1;
+  rm_rf d2
+
+(* Cold reproduction: starting from an {e empty} corpus, a bounded
+   guided run re-reaches every checker/resolution decision point that
+   the pinned regression corpus exercises — the guided search doesn't
+   depend on a warm corpus to find the interesting parts of the
+   checker. *)
+let test_guided_cold_repro () =
+  let scfg = Session.Config.default in
+  let target =
+    Sys.readdir regressions_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".fg")
+    |> List.concat_map (fun f ->
+           let src = read_file (Filename.concat regressions_dir f) in
+           let before = Coverage.snapshot () in
+           let sess = Session.of_config scfg in
+           ignore (Session.run ~file:f sess src);
+           Coverage.keys (Coverage.diff (Coverage.snapshot ()) before))
+    |> List.filter (fun k ->
+           String.starts_with ~prefix:"check." k
+           || String.starts_with ~prefix:"resolve." k)
+    |> List.sort_uniq compare
+  in
+  Alcotest.(check bool) "regressions exercise decision points" true
+    (target <> []);
+  let dir = fresh_dir "fg-guided-cold" in
+  let cfg =
+    { Fuzz.default_config with Fuzz.seed = 2; count = 150; size = 30;
+      mutants = 0; guided = true; corpus_dir = Some dir }
+  in
+  let r = Fuzz.run ~domains:2 cfg in
+  let covered = Coverage.keys r.Fuzz.r_coverage in
+  let missing = List.filter (fun k -> not (List.mem k covered)) target in
+  Alcotest.(check (list string))
+    "every regression decision point re-found from cold" [] missing;
+  rm_rf dir
+
 let suite =
   [
     Alcotest.test_case "regression corpus replays" `Quick test_regressions;
@@ -190,4 +326,10 @@ let suite =
     Alcotest.test_case "report JSON shape" `Quick test_report_json_shape;
     Alcotest.test_case "failure artifact layout" `Quick
       test_save_failures_layout;
+    Alcotest.test_case "corpus-origin artifact layout" `Quick
+      test_save_failures_corpus_origin;
+    Alcotest.test_case "guided run is deterministic" `Quick
+      test_guided_deterministic;
+    Alcotest.test_case "guided cold reproduction" `Quick
+      test_guided_cold_repro;
   ]

@@ -154,6 +154,36 @@ let test_cache_request_roundtrip () =
   | Ok r -> Alcotest.(check string) "put data defaults empty" "" r.Protocol.data
   | Error _ -> Alcotest.fail "cache_put needs no source"
 
+(* The v4 fuzz_batch kind: coverage map, corpus offers and the have
+   list all survive the wire; all three default empty, and a v1 frame
+   naming the kind still decodes. *)
+let test_fuzz_batch_roundtrip () =
+  let coverage = [ ("check.app.ground", 41); ("diag.FG0302", 2) ] in
+  let corpus_entries = [ ("d41d8cd9", "iadd(1, 2)"); ("ffee", "1") ] in
+  let have = [ "aabb"; "ccdd" ] in
+  let r =
+    roundtrip_request
+      (Protocol.request ~id:5 ~coverage ~corpus_entries ~have
+         Protocol.FuzzBatch)
+  in
+  Alcotest.(check string) "kind" "fuzz_batch"
+    (Protocol.kind_name r.Protocol.kind);
+  Alcotest.(check (list (pair string int))) "coverage" coverage
+    r.Protocol.coverage;
+  Alcotest.(check (list (pair string string))) "corpus entries"
+    corpus_entries r.Protocol.corpus_entries;
+  Alcotest.(check (list string)) "have" have r.Protocol.have;
+  (match parse_request "{\"v\":4,\"id\":1,\"kind\":\"fuzz_batch\"}" with
+  | Ok r ->
+      Alcotest.(check (list (pair string int))) "coverage defaults empty" []
+        r.Protocol.coverage;
+      Alcotest.(check (list string)) "have defaults empty" []
+        r.Protocol.have
+  | Error _ -> Alcotest.fail "fuzz_batch needs no source/key");
+  match parse_request "{\"v\":1,\"id\":1,\"kind\":\"fuzz_batch\"}" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "old-version frames naming fuzz_batch decode"
+
 let test_request_version_mismatch () =
   (match parse_request "{\"v\":999,\"id\":1,\"kind\":\"stats\"}" with
   | Error (Protocol.Bad_version (Some 999)) -> ()
@@ -174,7 +204,7 @@ let test_request_version_mismatch () =
    keep decoding — defaulting to the dictionary backend — and keep
    routing through a handler to the same result as a v2 frame. *)
 let test_v1_frame_decodes_and_routes () =
-  Alcotest.(check int) "wire version is 3" 3 Protocol.version;
+  Alcotest.(check int) "wire version is 4" 4 Protocol.version;
   Alcotest.(check int) "v1 still accepted" 1 Protocol.min_version;
   let v1 = "{\"v\":1,\"id\":7,\"kind\":\"run\",\"source\":\"1 + 1\"}" in
   match parse_request v1 with
@@ -298,6 +328,8 @@ let suite =
     Alcotest.test_case "request bad shapes" `Quick test_request_bad_shapes;
     Alcotest.test_case "cache request round-trip" `Quick
       test_cache_request_roundtrip;
+    Alcotest.test_case "fuzz_batch request round-trip" `Quick
+      test_fuzz_batch_roundtrip;
     Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
     Alcotest.test_case "error payload shape" `Quick test_error_payload_shape;
     Alcotest.test_case "v1 frame decodes and routes" `Quick
