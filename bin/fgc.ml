@@ -872,9 +872,49 @@ let run_probe address =
   Fmt.pr "probe ok: garbage JSON, version mismatch and oversized frame \
           all answered correctly@."
 
+(* Human-readable rendering of the stats payload (behind --pretty; the
+   default stays the raw JSON that scripts and CI grep).  Generic over
+   the payload shape: scalars print as one line, flat objects as one
+   key=value line, nested objects (requests, workspace) as a block —
+   so new stats sections show up without touching this printer. *)
+let print_stats_pretty payload =
+  match Json.of_string payload with
+  | Error _ -> print_endline payload
+  | Ok (Json.Obj fields) ->
+      let scalar = function
+        | Json.Obj _ | Json.List _ -> None
+        | Json.Float f -> Some (Fmt.str "%.3f" f)
+        | v -> Some (Json.to_string v)
+      in
+      let flat kvs =
+        String.concat " "
+          (List.filter_map
+             (fun (k, v) -> Option.map (fun s -> k ^ "=" ^ s) (scalar v))
+             kvs)
+      in
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Json.Obj kvs
+            when List.exists
+                   (fun (_, v) -> match v with Json.Obj _ -> true | _ -> false)
+                   kvs ->
+              Fmt.pr "%s:@." k;
+              List.iter
+                (fun (k2, v2) ->
+                  match v2 with
+                  | Json.Obj kvs2 -> Fmt.pr "  %-14s %s@." k2 (flat kvs2)
+                  | v2 -> Fmt.pr "  %-14s %s@." k2 (Json.to_string v2))
+                kvs
+          | Json.Obj kvs -> Fmt.pr "%s: %s@." k (flat kvs)
+          | v -> Fmt.pr "%s: %s@." k (Json.to_string v))
+        fields
+  | Ok _ -> print_endline payload
+
 let client_cmd =
   let run action files expr socket port host prelude global backend
-      timeout_ms window seed count size mutants corpus_dir =
+      timeout_ms window seed count size mutants corpus_dir doc_version
+      offset at del insert pretty =
     handle_code (fun () ->
         let address = address_of ~socket ~port ~host in
         let backend = C.Backend.of_string_exn backend in
@@ -891,6 +931,41 @@ let client_cmd =
                 let r =
                   if action = "stats" then Client.stats c
                   else Client.shutdown c
+                in
+                if action = "stats" && pretty then
+                  print_stats_pretty r.Protocol.r_payload
+                else print_endline r.Protocol.r_payload;
+                exit_of_status r.Protocol.r_status)
+        | "open" | "edit" | "close" | "diag" | "hover" | "def" | "complete"
+          ->
+            let file =
+              match files with
+              | [ f ] -> f
+              | _ -> failwith (action ^ ": give exactly one FILE")
+            in
+            let c = Client.connect address in
+            Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+                let r =
+                  match action with
+                  | "open" ->
+                      let name, source = read_input file in
+                      Client.doc_open c ~version:doc_version ~prelude
+                        ~global_models:global ~backend ~name source
+                  | "edit" -> (
+                      match at with
+                      | Some off ->
+                          Client.doc_change c ~version:doc_version
+                            ~name:file
+                            (`Edits [ (off, del, insert) ])
+                      | None ->
+                          let name, source = read_input file in
+                          Client.doc_change c ~version:doc_version ~name
+                            (`Text source))
+                  | "close" -> Client.doc_close c ~name:file
+                  | "diag" -> Client.doc_diagnostics c ~name:file
+                  | "hover" -> Client.hover c ~name:file ~offset
+                  | "def" -> Client.definition c ~name:file ~offset
+                  | _ -> Client.completion c ~name:file ~offset
                 in
                 print_endline r.Protocol.r_payload;
                 exit_of_status r.Protocol.r_status)
@@ -983,7 +1058,10 @@ let client_cmd =
          & info [] ~docv:"ACTION"
              ~doc:"One of $(b,run), $(b,check), $(b,translate), \
                    $(b,batch), $(b,stats), $(b,shutdown), $(b,probe), \
-                   $(b,fuzz-worker).")
+                   $(b,fuzz-worker), or the workspace actions \
+                   $(b,open), $(b,edit), $(b,close), $(b,diag), \
+                   $(b,hover), $(b,def), $(b,complete) (FILE doubles \
+                   as the document name).")
   in
   let files =
     Arg.(value & pos_right 0 string []
@@ -1027,6 +1105,41 @@ let client_cmd =
              ~doc:"$(b,fuzz-worker): this worker's on-disk corpus, \
                    synced with the fleet through the daemon.")
   in
+  let doc_version =
+    Arg.(value & opt int 1
+         & info [ "doc-version" ] ~docv:"N"
+             ~doc:"$(b,open)/$(b,edit): the document version (edits \
+                   must carry a strictly increasing version).")
+  in
+  let offset =
+    Arg.(value & opt int 0
+         & info [ "offset" ] ~docv:"N"
+             ~doc:"$(b,hover)/$(b,def)/$(b,complete): byte offset in \
+                   the document.")
+  in
+  let at =
+    Arg.(value & opt (some int) None
+         & info [ "at" ] ~docv:"N"
+             ~doc:"$(b,edit): splice position (byte offset).  Without \
+                   $(b,--at), the file's current contents are sent as \
+                   the full new text.")
+  in
+  let del =
+    Arg.(value & opt int 0
+         & info [ "del" ] ~docv:"N"
+             ~doc:"$(b,edit): bytes to delete at $(b,--at).")
+  in
+  let insert =
+    Arg.(value & opt string ""
+         & info [ "insert" ] ~docv:"TEXT"
+             ~doc:"$(b,edit): text to insert at $(b,--at).")
+  in
+  let pretty =
+    Arg.(value & flag
+         & info [ "pretty" ]
+             ~doc:"$(b,stats): render the payload as human-readable \
+                   sections instead of raw JSON.")
+  in
   Cmd.v
     (Cmd.info "client"
        ~doc:
@@ -1039,7 +1152,7 @@ let client_cmd =
     Term.(const run $ action $ files $ expr_arg $ socket_arg $ port_arg
           $ host_arg $ with_prelude_flag $ global_flag $ backend_arg
           $ timeout_ms $ window $ w_seed $ w_count $ w_size $ w_mutants
-          $ w_corpus)
+          $ w_corpus $ doc_version $ offset $ at $ del $ insert $ pretty)
 
 (* ---------------------------------------------------------------- *)
 (* repl                                                              *)

@@ -30,21 +30,9 @@ type state = {
 
 let contains = Fg_util.Strutil.contains
 
-(* Classify by the first lexed token rather than a string prefix: this
-   accepts 'using', tab-indented declarations and 'model<...>' variants
-   uniformly, and never misfires on identifiers like 'letter'.  A line
-   that does not even lex is not a declaration — the expression path
-   will report its error. *)
-let is_decl_start line =
-  match Fg_util.Diag.protect (fun () -> Fg_syntax.Lexer.tokenize line) with
-  | Error _ -> false
-  | Ok toks -> (
-      Array.length toks > 0
-      &&
-      match fst toks.(0) with
-      | Fg_syntax.Token.KW ("concept" | "model" | "type" | "let" | "using") ->
-          true
-      | _ -> false)
+(* One shared decl-boundary scanner (lib/syntax/declscan.ml) serves the
+   REPL, the recovering parser and the workspace document splitter. *)
+let is_decl_start = Fg_syntax.Declscan.is_decl_start
 
 (* A parse failure at end of input means "keep typing" — except the
    one a complete declaration produces (the parser reaching the end

@@ -48,6 +48,39 @@ let p_model_named = Coverage.probe "check.model.named"
 let p_model_defaults = Coverage.probe "check.model.defaults"
 let p_recover_poison = Coverage.probe "recover.check.poison"
 
+(* ------------------------------------------------------------------ *)
+(* Position-index sink                                                 *)
+
+(* The workspace language service needs "what type does the expression
+   at this span have" and "which model did this constrained call
+   resolve to" — information the judgment computes and then folds away.
+   A domain-local sink taps it during checking: [None] (the default
+   everywhere, including batch worker domains) costs one DLS read per
+   node and changes nothing, so cached-unit byte-identity is
+   unaffected.  Domain-local rather than global because worker domains
+   check concurrently; within a domain the workspace serializes its
+   checks. *)
+
+type index_entry =
+  | Itype of Loc.t * ty  (** inferred type of the expression at a span *)
+  | Imodel of Loc.t * string * ty list
+      (** a constraint [C<args>] resolved to a model at this span *)
+
+let index_sink : (index_entry -> unit) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let with_index_sink f thunk =
+  let prev = Domain.DLS.get index_sink in
+  Domain.DLS.set index_sink (Some f);
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set index_sink prev)
+    thunk
+
+let record_index entry =
+  match Domain.DLS.get index_sink with
+  | None -> ()
+  | Some f -> f entry
+
 (** Embed a System F type into FG (primitive type schemes). *)
 let rec ty_of_f : F.ty -> ty = function
   | F.TBase b -> TBase b
@@ -314,6 +347,11 @@ and check_decl_parts (env : Env.t) (e : exp) :
   | _ -> None
 
 and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
+  let ((ty, _, _) as r) = check_exp_desc env e in
+  if not (Fg_util.Loc.is_dummy e.loc) then record_index (Itype (e.loc, ty));
+  r
+
+and check_exp_desc (env : Env.t) (e : exp) : ty * exp * F.exp =
   let loc = e.loc in
   match e.desc with
   | Var x -> (
@@ -512,6 +550,7 @@ and check_exp (env : Env.t) (e : exp) : ty * exp * F.exp =
                 "concept %s has no member '%s'" c x
           | Some (ty, path) ->
               Coverage.hit p_member;
+              record_index (Imodel (loc, c, args));
               (ty, e, F.nth_path ~loc (Types.model_dict_exp ~loc env fm) path)))
   | Let _ | ConceptDecl _ | ModelDecl _ | Using _ | TypeAlias _ ->
       (* dispatched through check_decl by [check] *)
@@ -555,7 +594,7 @@ and elaborate_tyapp env ~loc ((tf_repr : ty), (f' : F.exp)) (tys : ty list) :
           match subst_constr_list s constr with
           | CModel (c, args) -> (
               match Env.lookup_model ~loc env c args with
-              | Some _ -> ()
+              | Some _ -> record_index (Imodel (loc, c, args))
               | None ->
                   Diag.resolve_error ~code:"FG0402"
                     ~notes:(Env.no_model_notes env c) ~loc

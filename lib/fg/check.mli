@@ -39,6 +39,21 @@ val check_result :
     point; the entry points above use [Env.create]). *)
 val check : Env.t -> exp -> ty * exp * F.exp
 
+(** What the workspace position index taps during checking: the
+    inferred type of every (non-dummy-span) expression, and each
+    successful model resolution — at a member access or in an
+    instantiated where clause — with the concept and its ground
+    arguments. *)
+type index_entry =
+  | Itype of Fg_util.Loc.t * ty
+  | Imodel of Fg_util.Loc.t * string * ty list
+
+(** Run [thunk] with [f] installed as this domain's index sink (the
+    previous sink is restored on exit).  With no sink installed —
+    the default on every domain — recording is a no-op, so checking
+    results and cached units are byte-identical either way. *)
+val with_index_sink : (index_entry -> unit) -> (unit -> 'a) -> 'a
+
 (** One declaration node: [Some (extend, body, wrap)] when the
     expression is a declaration form (let / concept / model / using /
     type alias) with body [body].  All of the declaration's own work —

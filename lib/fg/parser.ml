@@ -173,13 +173,18 @@ let rec parse_exp p : exp =
   let merged () = Fg_util.Loc.merge start (P.prev_loc p) in
   match P.peek p with
   | T.KW "let" ->
+      (* Declaration nodes span their own syntax through the trailing
+         "in" — not the body continuation — exactly as the recovering
+         spine parser's [parse_decl_step] builds them, so both parse
+         paths give every declaration the same span (and the same
+         compilation-unit content hash). *)
       P.skip p;
       let x = P.expect_lident p in
       ignore (P.expect p T.EQ);
       let rhs = parse_exp p in
       P.expect_kw p "in";
-      let body = parse_exp p in
-      let_ ~loc:(merged ()) x rhs body
+      let loc = merged () in
+      let_ ~loc x rhs (parse_exp p)
   | T.KW "fun" ->
       P.skip p;
       ignore (P.expect p T.LPAREN);
@@ -219,23 +224,27 @@ let rec parse_exp p : exp =
   | T.KW "concept" ->
       let d = parse_concept_decl p in
       P.expect_kw p "in";
-      concept_decl ~loc:(merged ()) d (parse_exp p)
+      let loc = merged () in
+      concept_decl ~loc d (parse_exp p)
   | T.KW "model" ->
       let d = parse_model_decl p in
       P.expect_kw p "in";
-      model_decl ~loc:(merged ()) d (parse_exp p)
+      let loc = merged () in
+      model_decl ~loc d (parse_exp p)
   | T.KW "type" ->
       P.skip p;
       let t = P.expect_lident p in
       ignore (P.expect p T.EQ);
       let ty = parse_ty p in
       P.expect_kw p "in";
-      type_alias ~loc:(merged ()) t ty (parse_exp p)
+      let loc = merged () in
+      type_alias ~loc t ty (parse_exp p)
   | T.KW "using" ->
       P.skip p;
       let m = P.expect_lident p in
       P.expect_kw p "in";
-      using ~loc:(merged ()) m (parse_exp p)
+      let loc = merged () in
+      using ~loc m (parse_exp p)
   | _ -> parse_or p
 
 and parse_param p =
@@ -244,7 +253,11 @@ and parse_param p =
   let t = parse_ty p in
   (x, t)
 
-and binop ~loc prim_name a b = app ~loc (prim ~loc prim_name) [ a; b ]
+(* The desugared application spans both operands (the operator prim
+   keeps the caller's anchor), so operand spans nest inside it and a
+   position query over the whole [a OP b] lands on the application. *)
+and binop ~loc prim_name a b =
+  app ~loc:(Fg_util.Loc.merge a.loc b.loc) (prim ~loc prim_name) [ a; b ]
 
 and parse_or p =
   let rec go lhs =
@@ -315,11 +328,13 @@ and parse_unary p =
       (* Fold negation of an integer literal into a negative literal, so
          printed negative constants parse back to themselves. *)
       match parse_unary p with
-      | { desc = Lit (LInt n); _ } -> lit ~loc (LInt (-n))
-      | e -> app ~loc (prim ~loc "ineg") [ e ])
+      | { desc = Lit (LInt n); loc = nloc } ->
+          lit ~loc:(Fg_util.Loc.merge loc nloc) (LInt (-n))
+      | e -> app ~loc:(Fg_util.Loc.merge loc e.loc) (prim ~loc "ineg") [ e ])
   | T.BANG | T.KW "not" ->
       P.skip p;
-      app ~loc (prim ~loc "bnot") [ parse_unary p ]
+      let e = parse_unary p in
+      app ~loc:(Fg_util.Loc.merge loc e.loc) (prim ~loc "bnot") [ e ]
   | _ -> parse_postfix p
 
 and parse_postfix p =
@@ -335,12 +350,12 @@ and parse_postfix p =
             args
           end
         in
-        go (app ~loc:e.loc e args)
+        go (app ~loc:(Fg_util.Loc.merge e.loc (P.prev_loc p)) e args)
     | T.LBRACKET ->
         P.skip p;
         let tys = P.sep_list p ~sep:T.COMMA ~elem:parse_ty in
         ignore (P.expect p T.RBRACKET);
-        go (tyapp ~loc:e.loc e tys)
+        go (tyapp ~loc:(Fg_util.Loc.merge e.loc (P.prev_loc p)) e tys)
     | _ -> e
   in
   go (parse_atom p)
@@ -361,15 +376,16 @@ and parse_atom p : exp =
       P.skip p;
       let e = parse_atom p in
       let k = P.expect_int p in
-      nth ~loc e k
+      nth ~loc:(Fg_util.Loc.merge loc (P.prev_loc p)) e k
   | T.KW "tuple" ->
       P.skip p;
       ignore (P.expect p T.LPAREN);
-      if P.eat p T.RPAREN then tuple ~loc []
+      if P.eat p T.RPAREN then
+        tuple ~loc:(Fg_util.Loc.merge loc (P.prev_loc p)) []
       else begin
         let es = P.sep_list p ~sep:T.COMMA ~elem:parse_exp in
         ignore (P.expect p T.RPAREN);
-        tuple ~loc es
+        tuple ~loc:(Fg_util.Loc.merge loc (P.prev_loc p)) es
       end
   | T.LIDENT x ->
       P.skip p;
@@ -378,14 +394,16 @@ and parse_atom p : exp =
       let c, args = parse_concept_app p in
       ignore (P.expect p T.DOT);
       let x = P.expect_lident p in
-      member ~loc c args x
+      member ~loc:(Fg_util.Loc.merge loc (P.prev_loc p)) c args x
   | T.LPAREN ->
       P.skip p;
-      if P.eat p T.RPAREN then unit ~loc ()
+      if P.eat p T.RPAREN then unit ~loc:(Fg_util.Loc.merge loc (P.prev_loc p)) ()
       else begin
         let es = P.sep_list p ~sep:T.COMMA ~elem:parse_exp in
         ignore (P.expect p T.RPAREN);
-        match es with [ e ] -> e | es -> tuple ~loc es
+        match es with
+        | [ e ] -> e
+        | es -> tuple ~loc:(Fg_util.Loc.merge loc (P.prev_loc p)) es
       end
   | _ -> P.error p "expected an expression"
 
@@ -554,10 +572,7 @@ let constr_of_string ?file src =
 (* ------------------------------------------------------------------ *)
 (* Recovering entry point                                              *)
 
-let at_decl_kw p =
-  match P.peek p with
-  | T.KW ("concept" | "model" | "let" | "type" | "using") -> true
-  | _ -> false
+let at_decl_kw p = Fg_syntax.Declscan.is_decl_kw (P.peek p)
 
 (* The name a declaration is about to bind, read off the lookahead
    before parsing commits.  Needed so that a declaration that fails to
@@ -625,8 +640,7 @@ let synchronize p =
   while not !stop do
     match P.peek p with
     | T.EOF -> stop := true
-    | T.KW ("concept" | "model" | "let" | "type" | "using") when !depth <= 0 ->
-        stop := true
+    | t when Fg_syntax.Declscan.is_decl_kw t && !depth <= 0 -> stop := true
     | T.KW "in" when !depth <= 0 ->
         (* The failed declaration's own terminator: what follows is the
            rest of the spine (or the residual body), so resume there. *)

@@ -387,7 +387,7 @@ type run_report = {
   diagnostics : Diag.diagnostic list;
 }
 
-let run_full ?(file = "<program>") ?fuel t source : run_report =
+let run_full_impl ~file ?fuel ?decl_log t source : run_report =
   let engine = Diag.engine () in
   (* Route warnings raised anywhere under this run (the environment's
      sink) into the same engine as the recovered errors. *)
@@ -408,6 +408,7 @@ let run_full ?(file = "<program>") ?fuel t source : run_report =
             Unit.walk ~recover:engine ~poisoned t.cache ~spine:t.spine t.env
               ast)
       in
+      Option.iter (fun r -> r := w.Unit.w_decls) decl_log;
       let poisoned = w.Unit.w_poisoned in
       (* The residual body is checked even when declarations failed, so
          its own independent errors surface in the same invocation;
@@ -431,6 +432,31 @@ let run_full ?(file = "<program>") ?fuel t source : run_report =
         | _ -> None
       in
       { outcome; diagnostics = Diag.diagnostics engine })
+
+let run_full ?(file = "<program>") ?fuel t source : run_report =
+  run_full_impl ~file ?fuel t source
+
+(* The workspace entry point: exactly [run_full] — same recovering
+   parse, same walk, same diagnostics, so its report renders
+   byte-identically — but it also hands back the walked declaration
+   log and every position-index entry recorded while checking.
+   Replayed (cache-hit) declarations record no entries; the caller
+   rebases the entries it saved when their unit was first checked. *)
+type indexed_run = {
+  ix_report : run_report;
+  ix_decls : (Ast.exp * string * Unit.decl_outcome) list;
+  ix_entries : Check.index_entry list;  (** in recording order *)
+}
+
+let run_indexed ?(file = "<program>") ?fuel t source : indexed_run =
+  let entries = ref [] in
+  let decl_log = ref [] in
+  let report =
+    Check.with_index_sink
+      (fun e -> entries := e :: !entries)
+      (fun () -> run_full_impl ~file ?fuel ~decl_log t source)
+  in
+  { ix_report = report; ix_decls = !decl_log; ix_entries = List.rev !entries }
 
 (* ---------------------------------------------------------------- *)
 (* Parallel batch verification                                       *)

@@ -174,6 +174,21 @@ type run_report = {
     success. *)
 val run_full : ?file:string -> ?fuel:int -> t -> string -> run_report
 
+(** {!run_full} plus the raw material a workspace language service
+    needs: the walked declaration log (pairing every program
+    declaration with its unit pkey and hit/checked/failed outcome) and
+    the position-index entries ({!Check.index_entry}) recorded while
+    checking.  The report is computed by the same code path as
+    {!run_full}, so its rendered diagnostics are byte-identical to a
+    plain run of the same source. *)
+type indexed_run = {
+  ix_report : run_report;
+  ix_decls : (Ast.exp * string * Unit.decl_outcome) list;
+  ix_entries : Check.index_entry list;  (** in recording order *)
+}
+
+val run_indexed : ?file:string -> ?fuel:int -> t -> string -> indexed_run
+
 (** Type check only; returns the program's FG type. *)
 val typecheck : ?file:string -> t -> string -> Ast.ty
 

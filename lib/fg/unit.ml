@@ -369,11 +369,21 @@ let disk_store (d : Diskcache.t) =
 (* ---------------------------------------------------------------- *)
 (* The walk                                                           *)
 
+type decl_outcome = Dhit | Dchecked | Dfailed
+
+(* [w_units] only holds successful units (a failed declaration produces
+   none, and after a failure later units bypass the cache), so it
+   cannot be paired back with the program's declarations.  [w_decls]
+   can: one entry per spine declaration of the walked program, in
+   order, with the pkey it was addressed by ("" once recovery has
+   failed) and what happened to it.  The workspace uses this to rebase
+   its position index over replayed declarations. *)
 type walk_result = {
   w_env : Env.t;
   w_residual : Ast.exp;
   w_wrap : triple -> triple;
   w_units : checked list;
+  w_decls : (Ast.exp * string * decl_outcome) list;
   w_poisoned : Sset.t;
 }
 
@@ -415,6 +425,7 @@ let walk ?recover ?(poisoned = Sset.empty) cache ~(spine : checked list) env0
   let env = ref env0 in
   let wraps = ref [] in
   let units = ref [] in
+  let dlog = ref [] in
   let poisoned = ref poisoned in
   let failed = ref false in
   let commit (u : checked) =
@@ -450,6 +461,7 @@ let walk ?recover ?(poisoned = Sset.empty) cache ~(spine : checked list) env0
              fresh-name supply, re-report the recorded warnings once *)
           let sink = !(!env.Env.diag) in
           commit u;
+          dlog := (decl, pkey, Dhit) :: !dlog;
           List.iter (fun d -> Diag.report sink d) u.ck_warnings
       | None -> (
           let diag_cell = !env.Env.diag in
@@ -474,6 +486,7 @@ let walk ?recover ?(poisoned = Sset.empty) cache ~(spine : checked list) env0
                     List.fold_left
                       (fun s n -> Sset.add n s)
                       !poisoned (Check.decl_poison decl);
+                  dlog := (decl, pkey, Dfailed) :: !dlog;
                   failed := true)
           | None ->
               ignore (finish ());
@@ -500,6 +513,7 @@ let walk ?recover ?(poisoned = Sset.empty) cache ~(spine : checked list) env0
               if not !failed then insert cache u;
               env := env';
               wraps := u.ck_wrap :: !wraps;
+              dlog := (decl, pkey, Dchecked) :: !dlog;
               units := u :: !units))
     decls;
   let acc = !wraps in
@@ -508,5 +522,6 @@ let walk ?recover ?(poisoned = Sset.empty) cache ~(spine : checked list) env0
     w_residual = residual;
     w_wrap = (fun res -> List.fold_left (fun res w -> w res) res acc);
     w_units = List.rev !units;
+    w_decls = List.rev !dlog;
     w_poisoned = !poisoned;
   }

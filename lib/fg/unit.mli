@@ -94,6 +94,10 @@ val invalidate : cache -> protect:string list -> seeds:string list -> int
 (** Split a program into its leading declarations and residual body. *)
 val split_spine : exp -> exp list * exp
 
+(** What happened to one declaration during a walk: replayed from the
+    cache, freshly checked, or failed (recovery only). *)
+type decl_outcome = Dhit | Dchecked | Dfailed
+
 type walk_result = {
   w_env : Env.t;  (** environment after the whole spine *)
   w_residual : exp;  (** first non-declaration expression *)
@@ -101,6 +105,11 @@ type walk_result = {
       (** rebuilds the program's triple from the residual's, exactly as
           {!Check.check_prefix} composes declaration wrappers *)
   w_units : checked list;  (** this walk's units, in spine order *)
+  w_decls : (exp * string * decl_outcome) list;
+      (** one entry per walked declaration, in order: the declaration
+          node, the pkey it was addressed by ("" once recovery has
+          failed), and its outcome.  Unlike [w_units] this pairs back
+          with the program's declarations even under recovery. *)
   w_poisoned : Sset.t;  (** recovery: names whose declarations failed *)
 }
 

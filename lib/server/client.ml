@@ -277,3 +277,37 @@ let fuzz_batch c ~coverage ~corpus_entries ~have =
             fs_batches = fleet "batches";
             fs_corpus_size = fleet "corpus_size";
           }
+
+(* ---------------------------------------------------------------- *)
+(* Workspace language service (v5)                                   *)
+
+let doc_open c ?(version = 1) ?(prelude = false) ?(global_models = false)
+    ?(backend = Fg_core.Backend.Dict) ~name source =
+  request c
+    (Protocol.request ~id:1 ~file:name ~source ~prelude ~global_models
+       ~backend ~doc_version:version Protocol.DocOpen)
+
+let doc_change c ~version ~name change =
+  let source, edits =
+    match change with
+    | `Text source -> (Some source, [])
+    | `Edits edits -> (None, edits)
+  in
+  request c
+    (Protocol.request ~id:1 ~file:name ?source ~edits ~doc_version:version
+       Protocol.DocChange)
+
+let doc_close c ~name =
+  request c (Protocol.request ~id:1 ~file:name Protocol.DocClose)
+
+let doc_diagnostics c ~name =
+  request c (Protocol.request ~id:1 ~file:name Protocol.DocDiagnostics)
+
+let hover c ~name ~offset =
+  request c (Protocol.request ~id:1 ~file:name ~offset Protocol.Hover)
+
+let definition c ~name ~offset =
+  request c (Protocol.request ~id:1 ~file:name ~offset Protocol.Definition)
+
+let completion c ~name ~offset =
+  request c (Protocol.request ~id:1 ~file:name ~offset Protocol.Completion)

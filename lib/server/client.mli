@@ -92,3 +92,27 @@ val fuzz_batch :
   conn -> coverage:Fg_util.Coverage.map ->
   corpus_entries:(string * string) list -> have:string list ->
   fuzz_sync option
+
+(** {1 Workspace language service (protocol v5)}
+
+    All calls return the raw response; payloads are the service's
+    rendered JSON documents (a [doc_open]/[doc_change]/
+    [doc_diagnostics] payload is byte-identical to one-shot
+    [fgc run --format=json] of the same text). *)
+
+val doc_open :
+  conn -> ?version:int -> ?prelude:bool -> ?global_models:bool ->
+  ?backend:Fg_core.Backend.t -> name:string -> string -> Protocol.response
+
+(** [change] is [`Text full_source] or [`Edits splices] with each
+    splice [(start, len, text)] in pre-edit byte offsets. *)
+val doc_change :
+  conn -> version:int -> name:string ->
+  [ `Text of string | `Edits of (int * int * string) list ] ->
+  Protocol.response
+
+val doc_close : conn -> name:string -> Protocol.response
+val doc_diagnostics : conn -> name:string -> Protocol.response
+val hover : conn -> name:string -> offset:int -> Protocol.response
+val definition : conn -> name:string -> offset:int -> Protocol.response
+val completion : conn -> name:string -> offset:int -> Protocol.response

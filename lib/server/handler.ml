@@ -195,13 +195,16 @@ let translate_payload s ~file source =
   | Error d -> C.Jsonview.json_of_failure ~file d
 
 (* Execute one program-shaped request; Stats/Shutdown (answered by the
-   pool) and CacheGet/CachePut/FuzzBatch (answered directly by the
-   server's reader thread) must not reach here. *)
+   pool) and CacheGet/CachePut/FuzzBatch plus the workspace kinds
+   (answered directly by the server's reader thread) must not reach
+   here. *)
 let handle t (req : Protocol.request) : Protocol.status * string =
   let file = req.file in
   match req.kind with
   | Protocol.Stats | Protocol.Shutdown | Protocol.CacheGet
-  | Protocol.CachePut | Protocol.FuzzBatch ->
+  | Protocol.CachePut | Protocol.FuzzBatch | Protocol.DocOpen
+  | Protocol.DocChange | Protocol.DocClose | Protocol.DocDiagnostics
+  | Protocol.Hover | Protocol.Definition | Protocol.Completion ->
       Diag.ice "control request %s reached a worker handler"
         (Protocol.kind_name req.kind)
   | Protocol.FuzzOne ->

@@ -15,11 +15,15 @@ open Fg_util
    request kinds with their ["key"]/["data"] fields (the peer tier of
    the compilation-unit cache).  Version 4 added the [fuzz_batch] kind
    with its ["coverage"]/["corpus"]/["have"] fields (fleet-wide merge of
-   guided-fuzzing coverage maps and corpora).  Frames from older clients
-   are still accepted — every earlier field kept its meaning — so
-   [min_version] stays at 1; only versions outside
+   guided-fuzzing coverage maps and corpora).  Version 5 added the
+   workspace language-service kinds — [doc_open] / [doc_change] /
+   [doc_close] / [doc_diagnostics] / [hover] / [definition] /
+   [completion] — with their ["doc_version"] / ["edits"] / ["offset"]
+   fields ([file] doubles as the document name).  Frames from older
+   clients are still accepted — every earlier field kept its meaning —
+   so [min_version] stays at 1; only versions outside
    [min_version .. version] are refused. *)
-let version = 4
+let version = 5
 let min_version = 1
 let default_max_frame = 4 * 1024 * 1024
 
@@ -121,6 +125,13 @@ type kind =
   | CacheGet
   | CachePut
   | FuzzBatch
+  | DocOpen
+  | DocChange
+  | DocClose
+  | DocDiagnostics
+  | Hover
+  | Definition
+  | Completion
 
 let kind_name = function
   | Check -> "check"
@@ -132,6 +143,13 @@ let kind_name = function
   | CacheGet -> "cache_get"
   | CachePut -> "cache_put"
   | FuzzBatch -> "fuzz_batch"
+  | DocOpen -> "doc_open"
+  | DocChange -> "doc_change"
+  | DocClose -> "doc_close"
+  | DocDiagnostics -> "doc_diagnostics"
+  | Hover -> "hover"
+  | Definition -> "definition"
+  | Completion -> "completion"
 
 let kind_of_name = function
   | "check" -> Some Check
@@ -143,11 +161,19 @@ let kind_of_name = function
   | "cache_get" -> Some CacheGet
   | "cache_put" -> Some CachePut
   | "fuzz_batch" -> Some FuzzBatch
+  | "doc_open" -> Some DocOpen
+  | "doc_change" -> Some DocChange
+  | "doc_close" -> Some DocClose
+  | "doc_diagnostics" -> Some DocDiagnostics
+  | "hover" -> Some Hover
+  | "definition" -> Some Definition
+  | "completion" -> Some Completion
   | _ -> None
 
 let all_kinds =
   [ Check; Run; Translate; FuzzOne; Stats; Shutdown; CacheGet; CachePut;
-    FuzzBatch ]
+    FuzzBatch; DocOpen; DocChange; DocClose; DocDiagnostics; Hover;
+    Definition; Completion ]
 
 type request = {
   id : int;
@@ -169,14 +195,23 @@ type request = {
   have : string list;
       (** fuzz_batch: digests the worker already holds, so the server
           sends back only what is missing (v4) *)
+  doc_version : int;
+      (** doc_open/doc_change: the editor's version of the document
+          named by [file] (v5) *)
+  offset : int;  (** hover/definition/completion: byte offset (v5) *)
+  edits : (int * int * string) list;
+      (** doc_change: [(start, len, text)] byte-range splices applied
+          in order; an explicit [source] wins over edits (v5) *)
 }
 
 let request ?(file = "<request>") ?(source = "") ?(prelude = false)
     ?(global_models = false) ?(backend = Fg_core.Backend.Dict) ?timeout_ms
     ?(seed = 0) ?(size = 30) ?(mutants = 0) ?(key = "") ?(data = "")
-    ?(coverage = []) ?(corpus_entries = []) ?(have = []) ~id kind =
+    ?(coverage = []) ?(corpus_entries = []) ?(have = []) ?(doc_version = 0)
+    ?(offset = 0) ?(edits = []) ~id kind =
   { id; kind; file; source; prelude; global_models; backend; timeout_ms;
-    seed; size; mutants; key; data; coverage; corpus_entries; have }
+    seed; size; mutants; key; data; coverage; corpus_entries; have;
+    doc_version; offset; edits }
 
 let request_to_json r =
   Json.Obj
@@ -207,6 +242,20 @@ let request_to_json r =
           ("corpus",
            Json.Obj (List.map (fun (d, s) -> (d, Json.Str s)) r.corpus_entries));
           ("have", Json.List (List.map (fun d -> Json.Str d) r.have)) ]
+    | DocOpen | DocChange ->
+        [ ("doc_version", Json.Int r.doc_version) ]
+        @ (match r.edits with
+          | [] -> []
+          | es ->
+              [ ( "edits",
+                  Json.List
+                    (List.map
+                       (fun (s, l, txt) ->
+                         Json.Obj
+                           [ ("start", Json.Int s); ("len", Json.Int l);
+                             ("text", Json.Str txt) ])
+                       es) ) ])
+    | Hover | Definition | Completion -> [ ("offset", Json.Int r.offset) ]
     | _ -> [])
 
 type proto_error =
@@ -234,13 +283,34 @@ let request_of_json j =
               let bool k = Json.bool_field k j = Some true in
               let needs_source =
                 match kind with
-                | Check | Run | Translate -> true
+                | Check | Run | Translate | DocOpen -> true
                 | FuzzOne | Stats | Shutdown | CacheGet | CachePut
-                | FuzzBatch ->
+                | FuzzBatch | DocChange | DocClose | DocDiagnostics | Hover
+                | Definition | Completion ->
                     false
               in
               let needs_key =
                 match kind with CacheGet | CachePut -> true | _ -> false
+              in
+              let needs_offset =
+                match kind with
+                | Hover | Definition | Completion -> true
+                | _ -> false
+              in
+              let edits =
+                match Json.mem "edits" j with
+                | Some (Json.List l) ->
+                    List.filter_map
+                      (fun ej ->
+                        match
+                          ( Json.int_field "start" ej,
+                            Json.int_field "len" ej,
+                            Json.str_field "text" ej )
+                        with
+                        | Some s, Some len, Some txt -> Some (s, len, txt)
+                        | _ -> None)
+                      l
+                | _ -> []
               in
               let backend =
                 match Json.str_field "backend" j with
@@ -265,6 +335,20 @@ let request_of_json j =
                 Error
                   (Bad_request
                      (Printf.sprintf "kind %S requires a 'key' field" kname))
+              else if needs_offset && Json.int_field "offset" j = None then
+                Error
+                  (Bad_request
+                     (Printf.sprintf "kind %S requires an 'offset' field"
+                        kname))
+              else if
+                kind = DocChange
+                && Json.str_field "source" j = None
+                && edits = []
+              then
+                Error
+                  (Bad_request
+                     "kind \"doc_change\" requires a 'source' field or a \
+                      non-empty 'edits' array")
               else
                 Ok
                   {
@@ -303,6 +387,12 @@ let request_of_json j =
                             (function Json.Str s -> Some s | _ -> None)
                             l
                       | _ -> []);
+                    doc_version =
+                      Option.value ~default:0
+                        (Json.int_field "doc_version" j);
+                    offset =
+                      Option.value ~default:0 (Json.int_field "offset" j);
+                    edits;
                   })))
 
 (* ---------------------------------------------------------------- *)

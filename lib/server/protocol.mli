@@ -19,7 +19,12 @@
     [fuzz_batch] (since version 4) carries a ["coverage"] map
     (key → hit-count object), a ["corpus"] object (digest → source)
     of entries the worker offers, and a ["have"] digest list — the
-    fleet-wide merge point of guided fuzzing; any request may set
+    fleet-wide merge point of guided fuzzing; the workspace kinds
+    (since version 5: [doc_open | doc_change | doc_close |
+    doc_diagnostics | hover | definition | completion]) use ["file"]
+    as the document name and carry ["doc_version"] (open/change),
+    ["source"] or an ["edits"] splice array (change), and a byte
+    ["offset"] (hover/definition/completion); any request may set
     ["timeout_ms"] to override the server's default deadline.  Any
     version in [min_version .. version] is accepted: version-1 frames
     decode and route exactly as before.
@@ -85,6 +90,14 @@ type kind =
       (** v4: merge a fuzz worker's coverage map and corpus offers into
           the fleet state; the reply carries the merged map and the
           corpus entries the worker lacks *)
+  | DocOpen  (** v5: open (and check) a versioned workspace document *)
+  | DocChange
+      (** v5: a new version of an open document, by full text or edits *)
+  | DocClose  (** v5: forget an open document *)
+  | DocDiagnostics  (** v5: the document's current diagnostics *)
+  | Hover  (** v5: inferred type / resolved model at a byte offset *)
+  | Definition  (** v5: defining occurrence of the name at an offset *)
+  | Completion  (** v5: names completable at an offset *)
 
 val kind_name : kind -> string
 val kind_of_name : string -> kind option
@@ -110,6 +123,13 @@ type request = {
       (** fuzz_batch: [(digest, source)] corpus entries offered (v4) *)
   have : string list;
       (** fuzz_batch: digests the worker already holds (v4) *)
+  doc_version : int;
+      (** doc_open/doc_change: the editor's version of the document
+          named by [file] (v5) *)
+  offset : int;  (** hover/definition/completion: byte offset (v5) *)
+  edits : (int * int * string) list;
+      (** doc_change: [(start, len, text)] byte-range splices applied
+          in order; an explicit [source] wins over edits (v5) *)
 }
 
 (** Build a request with the wire defaults filled in. *)
@@ -117,8 +137,9 @@ val request :
   ?file:string -> ?source:string -> ?prelude:bool -> ?global_models:bool ->
   ?backend:Fg_core.Backend.t -> ?timeout_ms:int -> ?seed:int -> ?size:int ->
   ?mutants:int -> ?key:string -> ?data:string -> ?coverage:Coverage.map ->
-  ?corpus_entries:(string * string) list -> ?have:string list -> id:int ->
-  kind -> request
+  ?corpus_entries:(string * string) list -> ?have:string list ->
+  ?doc_version:int -> ?offset:int -> ?edits:(int * int * string) list ->
+  id:int -> kind -> request
 
 val request_to_json : request -> Json.t
 

@@ -145,6 +145,9 @@ type t = {
       (** the store behind [cache_dir]: shared by every worker and
           served to peers via [cache_get]/[cache_put] *)
   fuzz : fuzz_state;
+  ws : Fg_workspace.Workspace.t;
+      (** the workspace language service: open-document state served
+          by the v5 doc/hover/definition/completion kinds *)
   listen_fd : Unix.file_descr;
   bound : address;  (** with the OS-chosen port resolved *)
   reg_m : Mutex.t;
@@ -171,7 +174,7 @@ let request_shutdown t =
 (* The stats payload: live pool metrics plus the static config, plus
    the process-wide specializer counters (covering every worker's
    stencil/hybrid requests, since telemetry is process-global). *)
-let stats_json cfg disk fuzz metrics =
+let stats_json cfg disk fuzz ws metrics =
   let t = Telemetry.snapshot () in
   let fz_batches, fz_corpus, fz_distinct, fz_total =
     Mutex.lock fuzz.fm;
@@ -228,6 +231,7 @@ let stats_json cfg disk fuzz metrics =
               ("coverage_distinct", Json.Int fz_distinct);
               ("coverage_total", Json.Int fz_total);
             ] );
+        ("workspace", Fg_workspace.Workspace.stats_json ws);
       ]
 
 let listen_on = function
@@ -261,9 +265,10 @@ let create cfg =
       cfg.cache_dir
   in
   let fuzz = mk_fuzz_state () in
+  let ws = Fg_workspace.Workspace.create ?fuel:cfg.fuel () in
   let pool =
     Pool.create ?fuel:cfg.fuel ?disk ~peers:cfg.cache_peers
-      ~capacity:cfg.max_queue ~stats_json:(stats_json cfg disk fuzz) ()
+      ~capacity:cfg.max_queue ~stats_json:(stats_json cfg disk fuzz ws) ()
   in
   let listen_fd, bound = listen_on cfg.address in
   Pool.start ~workers:cfg.workers pool;
@@ -272,6 +277,7 @@ let create cfg =
     pool;
     disk;
     fuzz;
+    ws;
     listen_fd;
     bound;
     reg_m = Mutex.create ();
@@ -380,6 +386,71 @@ let fuzz_response t (req : Protocol.request) =
            ]);
   }
 
+(* Serve one workspace request against the daemon's language service.
+   Like the cache and fuzz kinds these run in the reader thread, never
+   in the pool: an editor's hover must not wait behind a queued batch
+   compilation, and the service serializes itself on one internal
+   mutex anyway (a document re-check holds it, but re-checks touch
+   only the dirty declarations, so the hold is short).  Service-level
+   failures (FG0807 unknown document, FG0808 stale version) come back
+   as [Failed] with the standard diagnostics envelope. *)
+let workspace_response t (req : Protocol.request) =
+  let ws = t.ws in
+  let name = req.Protocol.file in
+  let result =
+    try
+      match req.Protocol.kind with
+    | Protocol.DocOpen ->
+        Fg_workspace.Workspace.open_doc ws ~name
+          ~version:req.Protocol.doc_version ~prelude:req.Protocol.prelude
+          ~global_models:req.Protocol.global_models
+          ~backend:req.Protocol.backend req.Protocol.source
+    | Protocol.DocChange ->
+        let change =
+          if req.Protocol.source <> "" then
+            Fg_workspace.Workspace.Full_text req.Protocol.source
+          else
+            Fg_workspace.Workspace.Edits
+              (List.map
+                 (fun (s, l, txt) ->
+                   { Fg_workspace.Workspace.e_start = s; e_len = l;
+                     e_text = txt })
+                 req.Protocol.edits)
+        in
+        Fg_workspace.Workspace.change_doc ws ~name
+          ~version:req.Protocol.doc_version change
+    | Protocol.DocClose -> Fg_workspace.Workspace.close_doc ws ~name
+    | Protocol.DocDiagnostics -> Fg_workspace.Workspace.diagnostics ws ~name
+    | Protocol.Hover ->
+        Fg_workspace.Workspace.hover ws ~name ~offset:req.Protocol.offset
+    | Protocol.Definition ->
+        Fg_workspace.Workspace.definition ws ~name
+          ~offset:req.Protocol.offset
+    | Protocol.Completion ->
+        Fg_workspace.Workspace.completion ws ~name
+          ~offset:req.Protocol.offset
+      | _ -> assert false
+    with Diag.Error d ->
+      (* A check that escapes recovery (e.g. an ill-formed prelude)
+         still answers the frame instead of killing the reader. *)
+      Error
+        { Fg_workspace.Workspace.ws_code = d.Diag.code;
+          ws_msg = d.Diag.message }
+  in
+  match result with
+  | Ok payload ->
+      { Protocol.r_id = req.Protocol.id; r_status = Protocol.Ok_;
+        r_payload = payload }
+  | Error e ->
+      {
+        Protocol.r_id = req.Protocol.id;
+        r_status = Protocol.Failed;
+        r_payload =
+          Protocol.error_payload ~file:name
+            ~code:e.Fg_workspace.Workspace.ws_code "%s"
+            e.Fg_workspace.Workspace.ws_msg;
+      }
+
 let reject conn (req : Protocol.request) status code msg =
   respond_direct conn
     {
@@ -451,6 +522,13 @@ let handle_frame t conn payload =
               respond_direct conn resp
           | Protocol.FuzzBatch ->
               let resp = fuzz_response t req in
+              Pool.record_outcome metrics req.Protocol.kind
+                resp.Protocol.r_status;
+              respond_direct conn resp
+          | Protocol.DocOpen | Protocol.DocChange | Protocol.DocClose
+          | Protocol.DocDiagnostics | Protocol.Hover | Protocol.Definition
+          | Protocol.Completion ->
+              let resp = workspace_response t req in
               Pool.record_outcome metrics req.Protocol.kind
                 resp.Protocol.r_status;
               respond_direct conn resp

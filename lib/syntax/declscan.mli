@@ -1,0 +1,12 @@
+(** Declaration boundary scanning, shared by the REPL, the recovering
+    parser and the workspace document splitter. *)
+
+val decl_keywords : string list
+(** The keywords that can open a top-level declaration. *)
+
+val is_decl_kw : Token.t -> bool
+(** Is this token one of {!decl_keywords}? *)
+
+val is_decl_start : string -> bool
+(** Does this text begin (by its first lexed token) with a declaration
+    keyword?  Text that does not lex is not a declaration. *)

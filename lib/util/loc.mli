@@ -16,8 +16,24 @@ val dummy : t
 val is_dummy : t -> bool
 val make : file:string -> start_pos:pos -> end_pos:pos -> t
 
-(** Start of the first to end of the second; a dummy side is ignored. *)
+val cmp_pos : pos -> pos -> int
+(** Position order: by byte offset, then line, then column. *)
+
+(** Earlier start to later end of the two; a dummy side is ignored.
+    The result is always well-formed when both sides are. *)
 val merge : t -> t -> t
+
+val is_well_formed : t -> bool
+(** start <= end (dummy spans are trivially well-formed). *)
+
+val contains : t -> offset:int -> bool
+(** Byte offset inside the span (zero-width spans cover one byte);
+    dummy spans contain nothing. *)
+
+val nests : parent:t -> child:t -> bool
+(** Child contained in parent, or starting at/after the parent's end
+    (declaration headers span only their own syntax; the body
+    continuation follows them). *)
 
 val pp_pos : pos Fmt.t
 val pp : t Fmt.t

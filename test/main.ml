@@ -44,4 +44,6 @@ let () =
       ("fuzz", Test_fuzz.suite);
       ("scaling-families", Test_genprog.suite);
       ("backend", Test_backend.suite);
+      ("loc", Test_loc.suite);
+      ("workspace", Test_workspace.suite);
     ]

@@ -20,13 +20,13 @@ let test_unbound_tyvar () =
     "golden:1:1-17: ill-formed[FG0207]: unbound type variable 't'"
 
 let test_unknown_concept () =
-  check "Nope<int>.x" "golden:1:1-5: ill-formed[FG0202]: unknown concept 'Nope'"
+  check "Nope<int>.x" "golden:1:1-12: ill-formed[FG0202]: unknown concept 'Nope'"
 
 let test_no_model () =
   check
     {|concept N<t> { m : t; } in
 N<int>.m|}
-    "golden:2:1-2: resolution error[FG0402]: no model of N<int> in scope for \
+    "golden:2:1-9: resolution error[FG0402]: no model of N<int> in scope for \
      member access\n  note: no models of N are in scope"
 
 let test_argument_mismatch () =
@@ -35,19 +35,19 @@ let test_argument_mismatch () =
 
 let test_arity () =
   check "(fun (x : int) => x)(1, 2)"
-    "golden:1:2-20: type error[FG0304]: function expects 1 argument(s) but \
+    "golden:1:2-27: type error[FG0304]: function expects 1 argument(s) but \
      is applied to 2"
 
 let test_same_type_unsatisfied () =
   check "(tfun a b where a == b => fun (x : a) => x)[int, bool](1)"
-    "golden:1:2-43: type error[FG0307]: same-type constraint not satisfied: \
+    "golden:1:2-55: type error[FG0307]: same-type constraint not satisfied: \
      int is not equal to bool"
 
 let test_member_missing () =
   check
     {|concept N<t> { m : t; } in
 model N<int> { } in 0|}
-    "golden:2:1-22: ill-formed[FG0206]: model of N<int> does not define \
+    "golden:2:1-20: ill-formed[FG0206]: model of N<int> does not define \
      member 'm'"
 
 let test_member_wrong_type () =
@@ -67,7 +67,7 @@ model N<int> { m = 2; } in 0|}
   | Ok _ -> Alcotest.fail "expected overlap rejection"
   | Error d ->
       Alcotest.(check string) "overlap message"
-        "golden:3:1-29: resolution error[FG0404]: overlapping model of N<int> \
+        "golden:3:1-27: resolution error[FG0404]: overlapping model of N<int> \
          (global-resolution mode rejects overlapping models anywhere in the \
          program)"
         (Fg_util.Diag.to_string d)
@@ -76,15 +76,15 @@ let test_inference_failure () =
   check
     {|let f = tfun t => fun (n : int) => n in
 f(1)|}
-    "golden:2:1-2: type error[FG0306]: cannot infer type argument 't'; \
+    "golden:2:1-5: type error[FG0306]: cannot infer type argument 't'; \
      instantiate explicitly with [...]"
 
 let test_runtime_error_location () =
   check "car[int](nil[int])"
-    "golden:1:1-4: runtime error[FG0601]: car of empty list"
+    "golden:1:1-19: runtime error[FG0601]: car of empty list"
 
 let test_division_by_zero () =
-  check "1 / 0" "golden:1:1-2: runtime error[FG0601]: division by zero"
+  check "1 / 0" "golden:1:1-6: runtime error[FG0601]: division by zero"
 
 let test_parse_error () =
   check "let x = in 0"
@@ -94,7 +94,7 @@ let test_parse_error () =
 let test_concept_escape_message () =
   check
     {|let f = concept N<t> { m : t; } in tfun t where N<t> => 1 in 0|}
-    "golden:1:9-58: type error[FG0308]: concept N escapes its scope in the \
+    "golden:1:9-35: type error[FG0308]: concept N escapes its scope in the \
      type forall t where N<t>. int of the body"
 
 let suite =

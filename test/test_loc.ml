@@ -1,0 +1,145 @@
+(* Source spans: merge normalization and the nesting invariant.
+
+   [Loc.merge] must produce a well-formed span (earliest start to
+   latest end) regardless of argument order — the recovering parser
+   merges spans in whatever order synchronization visits them, and a
+   backwards span would corrupt the workspace position index.  Over
+   the whole corpus (plain and recovering parses, including the error
+   corpus), every AST node must carry a well-formed span and every
+   parent/child pair must satisfy [Loc.nests]: the child is contained
+   in the parent, or starts at/after the parent's end (declaration
+   headers span only their own syntax; the body continuation follows
+   them). *)
+
+open Fg_util
+open Fg_core
+
+let pos line col offset = { Loc.line; col; offset }
+
+let span ?(file = "t") a b = Loc.make ~file ~start_pos:a ~end_pos:b
+
+(* ------------------------------------------------------------------ *)
+(* merge                                                               *)
+
+let test_merge_normalizes () =
+  let a = span (pos 1 1 0) (pos 1 5 4) in
+  let b = span (pos 1 3 2) (pos 2 1 10) in
+  let m = Loc.merge a b in
+  Alcotest.(check int) "start" 0 m.Loc.start_pos.Loc.offset;
+  Alcotest.(check int) "end" 10 m.Loc.end_pos.Loc.offset;
+  (* order-independent *)
+  let m' = Loc.merge b a in
+  Alcotest.(check int) "start (swapped)" 0 m'.Loc.start_pos.Loc.offset;
+  Alcotest.(check int) "end (swapped)" 10 m'.Loc.end_pos.Loc.offset;
+  Alcotest.(check bool) "well-formed" true (Loc.is_well_formed m)
+
+let test_merge_out_of_order_args () =
+  (* The resync path can merge a later span into an earlier one; the
+     result must still run start-to-end, never end-to-start. *)
+  let early = span (pos 1 1 0) (pos 1 2 1) in
+  let late = span (pos 3 1 20) (pos 3 9 28) in
+  let m = Loc.merge late early in
+  Alcotest.(check bool) "well-formed" true (Loc.is_well_formed m);
+  Alcotest.(check int) "start" 0 m.Loc.start_pos.Loc.offset;
+  Alcotest.(check int) "end" 28 m.Loc.end_pos.Loc.offset
+
+let test_merge_dummy_absorbed () =
+  let a = span (pos 2 1 10) (pos 2 5 14) in
+  Alcotest.(check bool) "left dummy" true (Loc.merge Loc.dummy a = a);
+  Alcotest.(check bool) "right dummy" true (Loc.merge a Loc.dummy = a);
+  Alcotest.(check bool)
+    "both dummy" true
+    (Loc.is_dummy (Loc.merge Loc.dummy Loc.dummy))
+
+let test_contains () =
+  let s = span (pos 1 3 2) (pos 1 8 7) in
+  Alcotest.(check bool) "start in" true (Loc.contains s ~offset:2);
+  Alcotest.(check bool) "mid in" true (Loc.contains s ~offset:5);
+  Alcotest.(check bool) "end out" false (Loc.contains s ~offset:7);
+  Alcotest.(check bool) "before out" false (Loc.contains s ~offset:1);
+  (* zero-width spans cover one byte *)
+  let z = span (pos 1 3 2) (pos 1 3 2) in
+  Alcotest.(check bool) "zero-width covers" true (Loc.contains z ~offset:2);
+  Alcotest.(check bool) "dummy empty" false
+    (Loc.contains Loc.dummy ~offset:0)
+
+(* ------------------------------------------------------------------ *)
+(* The nesting invariant over the corpus                               *)
+
+(* Immediate subexpressions (including declaration member/default
+   bodies), for walking every parent/child span pair. *)
+let children (e : Ast.exp) : Ast.exp list =
+  match e.Ast.desc with
+  | Ast.Var _ | Ast.Lit _ | Ast.Prim _ | Ast.Member _ -> []
+  | Ast.App (f, args) -> f :: args
+  | Ast.Abs (_, b) | Ast.TyAbs (_, _, b) | Ast.TyApp (b, _)
+  | Ast.Nth (b, _) | Ast.Fix (_, _, b) | Ast.Using (_, b)
+  | Ast.TypeAlias (_, _, b) ->
+      [ b ]
+  | Ast.Let (_, rhs, b) -> [ rhs; b ]
+  | Ast.Tuple es -> es
+  | Ast.If (c, a, b) -> [ c; a; b ]
+  | Ast.ConceptDecl (cd, b) -> List.map snd cd.Ast.c_defaults @ [ b ]
+  | Ast.ModelDecl (md, b) -> List.map snd md.Ast.m_members @ [ b ]
+
+let check_spans ~what ast =
+  let rec go (parent : Ast.exp) =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: well-formed %s" what
+         (Loc.to_string parent.Ast.loc))
+      true
+      (Loc.is_well_formed parent.Ast.loc);
+    List.iter
+      (fun (child : Ast.exp) ->
+        if
+          not
+            (Loc.nests ~parent:parent.Ast.loc ~child:child.Ast.loc)
+        then
+          Alcotest.failf "%s: child %s escapes parent %s" what
+            (Loc.to_string child.Ast.loc)
+            (Loc.to_string parent.Ast.loc);
+        go child)
+      (children parent)
+  in
+  go ast
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let corpus dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".fg")
+  |> List.sort String.compare
+  |> List.map (fun f -> Filename.concat dir f)
+
+let test_corpus_nesting () =
+  List.iter
+    (fun path ->
+      let text = read_file path in
+      (* plain parse (well-formed programs only) *)
+      (match Parser.exp_of_string ~file:path text with
+      | ast -> check_spans ~what:(path ^ " (plain)") ast
+      | exception Fg_util.Diag.Error _ -> ());
+      (* recovering parse — must hold even for the error corpus *)
+      let engine = Diag.engine () in
+      let ast, _ = Parser.exp_of_string_recovering ~engine ~file:path text in
+      check_spans ~what:(path ^ " (recovering)") ast)
+    (corpus "../programs" @ corpus "../programs/errors")
+
+let suite =
+  [
+    Alcotest.test_case "merge normalizes to earliest-latest" `Quick
+      test_merge_normalizes;
+    Alcotest.test_case "merge accepts out-of-order arguments" `Quick
+      test_merge_out_of_order_args;
+    Alcotest.test_case "merge absorbs dummy spans" `Quick
+      test_merge_dummy_absorbed;
+    Alcotest.test_case "contains covers [start, end) plus zero-width"
+      `Quick test_contains;
+    Alcotest.test_case "corpus spans well-formed and properly nested"
+      `Quick test_corpus_nesting;
+  ]

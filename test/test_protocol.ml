@@ -204,7 +204,7 @@ let test_request_version_mismatch () =
    keep decoding — defaulting to the dictionary backend — and keep
    routing through a handler to the same result as a v2 frame. *)
 let test_v1_frame_decodes_and_routes () =
-  Alcotest.(check int) "wire version is 4" 4 Protocol.version;
+  Alcotest.(check int) "wire version is 5" 5 Protocol.version;
   Alcotest.(check int) "v1 still accepted" 1 Protocol.min_version;
   let v1 = "{\"v\":1,\"id\":7,\"kind\":\"run\",\"source\":\"1 + 1\"}" in
   match parse_request v1 with

@@ -232,7 +232,8 @@ let test_stats () =
                   Alcotest.(check bool) (k ^ " present") true
                     (Fg_util.Json.mem k j <> None))
                 [ "uptime_ms"; "enqueued"; "queue_depth"; "protocol_errors";
-                  "connections_opened"; "requests"; "latency"; "queue_wait" ];
+                  "connections_opened"; "requests"; "latency"; "queue_wait";
+                  "workspace" ];
               (* the run we just did is visible in the counters *)
               let enqueued =
                 match Fg_util.Json.int_field "enqueued" j with
@@ -240,6 +241,53 @@ let test_stats () =
                 | None -> -1
               in
               Alcotest.(check bool) "enqueued >= 1" true (enqueued >= 1)))
+
+(* The v5 document kinds over a real socket: lifecycle, splice edits,
+   warm/one-shot byte identity, a hover answer, and the FG0807/FG0808
+   service errors with their exit-relevant Failed status. *)
+let test_workspace_kinds () =
+  with_server (fun addr _srv ->
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) (fun () ->
+          let source = "let x = 1 in x + 1" in
+          let r = Client.doc_open c ~name:"w.fg" source in
+          Alcotest.(check string) "open ok" "ok"
+            (Protocol.status_name r.Protocol.r_status);
+          let oneshot = (Client.run_file c ~file:"w.fg" source).Protocol.r_payload in
+          Alcotest.(check string) "open = run bytes" oneshot
+            r.Protocol.r_payload;
+          (* splice the literal: x = 2, so the program now runs to 3 *)
+          let r =
+            Client.doc_change c ~version:2 ~name:"w.fg"
+              (`Edits [ (8, 1, "2") ])
+          in
+          Alcotest.(check string) "change ok" "ok"
+            (Protocol.status_name r.Protocol.r_status);
+          let edited = (Client.run_file c ~file:"w.fg" "let x = 2 in x + 1").Protocol.r_payload in
+          Alcotest.(check string) "edited = run bytes" edited
+            r.Protocol.r_payload;
+          let d = Client.doc_diagnostics c ~name:"w.fg" in
+          Alcotest.(check string) "diag replays last payload" edited
+            d.Protocol.r_payload;
+          let h = Client.hover c ~name:"w.fg" ~offset:13 in
+          Alcotest.(check bool) "hover finds int" true
+            (contains ~needle:"\"type\": \"int\"" h.Protocol.r_payload);
+          (* stale version: refused, document untouched *)
+          let r =
+            Client.doc_change c ~version:2 ~name:"w.fg" (`Text "1")
+          in
+          Alcotest.(check string) "stale is failed" "error"
+            (Protocol.status_name r.Protocol.r_status);
+          Alcotest.(check bool) "stale is FG0808" true
+            (contains ~needle:"FG0808" r.Protocol.r_payload);
+          let r = Client.doc_close c ~name:"w.fg" in
+          Alcotest.(check string) "close ok" "ok"
+            (Protocol.status_name r.Protocol.r_status);
+          let r = Client.doc_diagnostics c ~name:"w.fg" in
+          Alcotest.(check string) "closed is failed" "error"
+            (Protocol.status_name r.Protocol.r_status);
+          Alcotest.(check bool) "closed is FG0807" true
+            (contains ~needle:"FG0807" r.Protocol.r_payload)))
 
 let test_shutdown_drain () =
   let path = next_sock () in
@@ -326,6 +374,8 @@ let suite =
     Alcotest.test_case "protocol violations" `Quick test_protocol_violations;
     Alcotest.test_case "overload and retry" `Quick test_overload;
     Alcotest.test_case "stats endpoint" `Quick test_stats;
+    Alcotest.test_case "workspace document kinds" `Quick
+      test_workspace_kinds;
     Alcotest.test_case "graceful shutdown" `Quick test_shutdown_drain;
     Alcotest.test_case "batch byte-identical to one-shot" `Slow
       test_batch_byte_identical;

@@ -231,5 +231,47 @@ common=$({ ls "$w1"; ls "$w2"; } | sort | uniq -d | wc -l)
 "$fgc" client shutdown --socket "$sock" > /dev/null
 wait "$serve_pid" || { echo "fuzz-coverage: daemon exited nonzero"; exit 1; }
 
+echo "== workspace smoke (v5 document lifecycle, edit/revert byte-identity)"
+# Open every corpus program as a workspace document over the wire, run
+# a scripted single-digit edit and revert it, and require the final
+# doc_diagnostics payload to be byte-identical to a one-shot
+# `fgc run --format=json -p` of the same file.  The warm incremental
+# path must be observationally invisible.
+sock=$(mktemp -u /tmp/fgc_ws_XXXXXX.sock)
+"$fgc" serve --socket "$sock" --workers 1 2>/dev/null &
+serve_pid=$!
+trap 'kill "$serve_pid" 2>/dev/null || true; rm -f "$sock"' EXIT
+for _ in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+[ -S "$sock" ] || { echo "workspace smoke: daemon never bound $sock"; exit 1; }
+oneshot=$(mktemp) && served=$(mktemp)
+for f in programs/*.fg; do
+  "$fgc" client open "$f" -p --socket "$sock" > /dev/null
+  hit=$(grep -obE '[0-9]' "$f" | head -n 1 || true)
+  if [ -n "$hit" ]; then
+    off=${hit%%:*}
+    orig=${hit##*:}
+    rep=7; [ "$orig" = "7" ] && rep=8
+    "$fgc" client edit "$f" --doc-version 2 --at "$off" --del 1 \
+      --insert "$rep" --socket "$sock" > /dev/null
+    "$fgc" client edit "$f" --doc-version 3 --at "$off" --del 1 \
+      --insert "$orig" --socket "$sock" > /dev/null
+  fi
+  "$fgc" run --format=json -p "$f" > "$oneshot" 2>/dev/null || true
+  "$fgc" client diag "$f" --socket "$sock" > "$served" 2>/dev/null || true
+  cmp -s "$oneshot" "$served" \
+    || { echo "workspace smoke: edited+reverted diagnostics differ: $f"; exit 1; }
+  "$fgc" client close "$f" --socket "$sock" > /dev/null
+done
+rm -f "$oneshot" "$served"
+"$fgc" client stats --socket "$sock" | grep -q '"workspace"' \
+  || { echo "workspace smoke: stats payload missing workspace block"; exit 1; }
+"$fgc" client stats --pretty --socket "$sock" | grep -q 'workspace' \
+  || { echo "workspace smoke: pretty stats missing workspace block"; exit 1; }
+"$fgc" client shutdown --socket "$sock" > /dev/null
+wait "$serve_pid" || { echo "workspace smoke: daemon exited nonzero"; exit 1; }
+
+echo "-- editgen: edit-to-diagnostics p95 under the bar"
+EDITGEN_EDITS=6 EDITGEN_P95_MS=200 dune exec bench/editgen.exe
+
 echo "== loadgen smoke (300 requests, byte-identity + 5x bar)"
 LOADGEN_REQUESTS=300 LOADGEN_ONESHOT_SAMPLE=10 dune exec bench/loadgen.exe
