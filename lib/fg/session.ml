@@ -30,6 +30,7 @@ module Config = struct
     unit_cache_capacity : int option;
     cache_dir : string option;
     cache_max_bytes : int option;
+    profile : Profile.t option;
   }
 
   let default =
@@ -41,6 +42,7 @@ module Config = struct
       unit_cache_capacity = None;
       cache_dir = None;
       cache_max_bytes = None;
+      profile = None;
     }
 
   let with_backend backend c = { c with backend }
@@ -52,6 +54,7 @@ module Config = struct
     { c with unit_cache_capacity }
   let with_cache_dir cache_dir c = { c with cache_dir }
   let with_cache_max_bytes cache_max_bytes c = { c with cache_max_bytes }
+  let with_profile profile c = { c with profile }
 end
 
 type spec = {
@@ -296,14 +299,20 @@ let interpret ?file ?fuel t source =
    System F at a type alpha-equal to the translation's and evaluate to
    the same flat value as the direct interpreter.  Either failure is a
    stable diagnostic (FG0502 / FG0503), not a silent divergence. *)
-let specialized ?fuel ~backend ~direct ~translated_steps
+let specialized ?fuel ?profile ~backend ~direct ~translated_steps
     (report : Theorems.report) : spec option =
   match Backend.specialize_mode backend with
   | None -> None
   | Some mode ->
+      (* Guided mode stencils only the instantiations the profile
+         marks hot; with no profile nothing is hot and the translation
+         passes through unchanged. *)
+      let hot =
+        match profile with Some p -> Profile.hot p | None -> fun _ -> false
+      in
       let f_spec, stats =
         Telemetry.time Telemetry.Specialize (fun () ->
-            F.Specialize.specialize ~mode report.Theorems.f_exp)
+            F.Specialize.specialize ~mode ~hot report.Theorems.f_exp)
       in
       Telemetry.record_stencils_created stats.F.Specialize.st_stencils;
       Telemetry.record_stencils_shared stats.F.Specialize.st_shared;
@@ -343,11 +352,16 @@ let specialized ?fuel ~backend ~direct ~translated_steps
 (* Back half of the full pipeline, shared by [run] and [run_full]:
    theorem check, both evaluations, agreement, and — off the Dict
    backend — specialization plus its oracle. *)
-let complete ?fuel ~backend ~source ~ast triple : outcome =
+let complete ?fuel ?profile ~backend ~source ~ast triple : outcome =
   let report =
     Telemetry.time Telemetry.Verify (fun () ->
         Theorems.report_of_elaboration triple)
   in
+  (* Workload profiling: census the translation's ground instantiation
+     sites (any backend, dict included — profiles recorded on the
+     cheap backend guide the expensive one). *)
+  if Profile.collecting () then
+    Profile.record_instantiations (F.Specialize.observe report.Theorems.f_exp);
   let (v_direct, direct_steps), (v_translated, translated_steps) =
     Telemetry.time Telemetry.Eval (fun () ->
         ( Interp.run_program ?fuel report.Theorems.elaborated,
@@ -360,7 +374,9 @@ let complete ?fuel ~backend ~source ~ast triple : outcome =
       "direct interpreter computed %s but the translation computed %s"
       (Interp.flat_to_string direct)
       (Interp.flat_to_string translated);
-  let spec = specialized ?fuel ~backend ~direct ~translated_steps report in
+  let spec =
+    specialized ?fuel ?profile ~backend ~direct ~translated_steps report
+  in
   {
     source;
     ast;
@@ -377,7 +393,8 @@ let complete ?fuel ~backend ~source ~ast triple : outcome =
 
 let run ?file ?fuel t source : outcome =
   let ast, triple = check_source ?file t source in
-  complete ?fuel ~backend:t.cfg.Config.backend ~source ~ast triple
+  complete ?fuel ?profile:t.cfg.Config.profile ~backend:t.cfg.Config.backend
+    ~source ~ast triple
 
 let run_result ?file ?fuel t source =
   Diag.protect (fun () -> run ?file ?fuel t source)
@@ -427,8 +444,8 @@ let run_full_impl ~file ?fuel ?decl_log t source : run_report =
         match triple with
         | Some triple when not (Diag.has_errors engine) ->
             Diag.capture engine (fun () ->
-                complete ?fuel ~backend:t.cfg.Config.backend ~source ~ast
-                  triple)
+                complete ?fuel ?profile:t.cfg.Config.profile
+                  ~backend:t.cfg.Config.backend ~source ~ast triple)
         | _ -> None
       in
       { outcome; diagnostics = Diag.diagnostics engine })

@@ -60,6 +60,12 @@ module Config : sig
     cache_max_bytes : int option;
         (** size bound for the disk store; oldest-accessed entries are
             evicted past it.  [None] = unbounded. *)
+    profile : Profile.t option;
+        (** the workload profile consulted by the {!Backend.Guided}
+            backend (hot instantiations get stenciled, everything else
+            keeps dictionary passing).  Ignored by other backends.
+            Plain data, so configs stay structurally comparable —
+            servers key worker sessions on them. *)
   }
 
   val default : t
@@ -75,6 +81,7 @@ module Config : sig
   val with_unit_cache_capacity : int option -> t -> t
   val with_cache_dir : string option -> t -> t
   val with_cache_max_bytes : int option -> t -> t
+  val with_profile : Profile.t option -> t -> t
 end
 
 (** What the specializing backends add to an outcome: the partially

@@ -13,6 +13,9 @@ module C = Fg_core
 
 type t = {
   fuel : int option;
+  profile : Fg_util.Profile.t option;
+      (** the server's default workload profile, attached to guided
+          sessions when a request ships none of its own *)
   cache : C.Unit.cache;
       (** one compilation-unit cache shared by every session this
           worker owns: bounded memory and unified counters across all
@@ -128,8 +131,12 @@ let peer_store peers =
                 with _ -> peer_fail p)));
   }
 
-let create ?fuel ?disk ?(peers = []) () =
-  let t = { fuel; cache = C.Unit.create_cache (); sessions = [] } in
+let create ?fuel ?disk ?(peers = []) ?unit_cache_capacity ?profile () =
+  let t =
+    { fuel; profile;
+      cache = C.Unit.create_cache ?capacity:unit_cache_capacity ();
+      sessions = [] }
+  in
   let stores =
     (match disk with None -> [] | Some d -> [ C.Unit.disk_store d ])
     @
@@ -146,13 +153,18 @@ let create ?fuel ?disk ?(peers = []) () =
   (match stores with [] -> () | _ -> C.Unit.set_stores t.cache stores);
   t
 
-let config_of ~prelude ~global_models ~backend =
+let config_of ?profile ~prelude ~global_models ~backend () =
   let module Cfg = C.Session.Config in
   let cfg =
     Cfg.default
     |> Cfg.with_resolution
          (if global_models then C.Resolution.Global else C.Resolution.Lexical)
     |> Cfg.with_backend backend
+    (* Only guided sessions are keyed on the profile: other backends
+       ignore it, and folding it into their keys would split otherwise
+       identical warm sessions for nothing. *)
+    |> Cfg.with_profile
+         (if backend = C.Backend.Guided then profile else None)
   in
   if prelude then Cfg.with_standard_prelude cfg else cfg
 
@@ -170,7 +182,7 @@ let warm t =
   ignore
     (session_for t
        (config_of ~prelude:true ~global_models:false
-          ~backend:C.Backend.Dict))
+          ~backend:C.Backend.Dict ()))
 
 (* The check/translate payloads mirror the run payload's envelope
    ({"file", "ok", ..., "diagnostics"}) so clients can switch on the
@@ -211,7 +223,7 @@ let handle t (req : Protocol.request) : Protocol.status * string =
       let cfg =
         { C.Fuzz.seed = req.seed; count = 1; size = max 1 req.size;
           mutants = max 0 req.mutants; backend = req.backend;
-          guided = false; corpus_dir = None }
+          profile = None; guided = false; corpus_dir = None }
       in
       let report = C.Fuzz.run ~domains:1 cfg in
       let status =
@@ -220,10 +232,16 @@ let handle t (req : Protocol.request) : Protocol.status * string =
       in
       (status, Json.to_string (C.Fuzz.report_to_json report))
   | Protocol.Check | Protocol.Run | Protocol.Translate -> (
+      let profile =
+        (* A request's own profile wins over the server default. *)
+        match req.Protocol.profile with
+        | Some _ as p -> p
+        | None -> t.profile
+      in
       let s =
         session_for t
-          (config_of ~prelude:req.prelude ~global_models:req.global_models
-             ~backend:req.backend)
+          (config_of ?profile ~prelude:req.prelude
+             ~global_models:req.global_models ~backend:req.backend ())
       in
       match req.kind with
       | Protocol.Check ->

@@ -22,10 +22,18 @@ type t
     consistent-hash ring keyed by peer name, so every member of a farm
     agrees on placement; a peer that fails is benched for a few
     seconds and retried, and every peer failure degrades silently to
-    local compilation. *)
+    local compilation.
+
+    [unit_cache_capacity] bounds this worker's compilation-unit cache
+    (absent = {!Fg_core.Unit.default_capacity}); the server supplies
+    it when profile-driven auto-sizing picked a different bound.
+    [profile] is the server's default workload profile, consulted by
+    [guided]-backend sessions whose request ships no profile of its
+    own. *)
 val create :
   ?fuel:int -> ?disk:Fg_core.Diskcache.t ->
-  ?peers:(string * Protocol.address) list -> unit -> t
+  ?peers:(string * Protocol.address) list -> ?unit_cache_capacity:int ->
+  ?profile:Fg_util.Profile.t -> unit -> t
 
 (** Eagerly build the standard-prelude session (workers call this at
     startup so the first request doesn't pay the prelude check). *)

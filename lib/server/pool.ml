@@ -7,8 +7,9 @@
       enqueue used by shutdown sentinels);
     - workers are OCaml 5 domains; each owns a {!Handler.t} (and so its
       own warm sessions — checker state never crosses domains);
-    - metrics are [Atomic] counters and {!Telemetry.Histogram}s, safe
-      to bump from any domain and to read from any thread;
+    - metrics are per-domain sharded counters ({!Shardcounter.t},
+      merged on read) and {!Telemetry.Histogram}s, safe to bump from
+      any domain and to read from any thread;
     - backpressure is explicit: {!try_enqueue} never blocks and never
       buffers beyond [capacity] — a full queue is the caller's signal
       to send an overload response. *)
@@ -37,14 +38,14 @@ let backend_index b =
 
 type metrics = {
   started_ns : int;
-  by_kind_status : int Atomic.t array;  (** [n_kinds * n_statuses] grid *)
-  by_backend : int Atomic.t array;
+  by_kind_status : Shardcounter.t array;  (** [n_kinds * n_statuses] grid *)
+  by_backend : Shardcounter.t array;
       (** requests served per translation backend, {!Fg_core.Backend.all}
           order *)
-  queue_depth : int Atomic.t;
-  enqueued : int Atomic.t;
-  protocol_errors : int Atomic.t;
-  connections_opened : int Atomic.t;
+  queue_depth : Shardcounter.t;
+  enqueued : Shardcounter.t;
+  protocol_errors : Shardcounter.t;
+  connections_opened : Shardcounter.t;
   latency : Telemetry.Histogram.t;  (** enqueue → response ready, ns *)
   queue_wait : Telemetry.Histogram.t;  (** enqueue → dequeue, ns *)
 }
@@ -53,25 +54,26 @@ let metrics () =
   {
     started_ns = now_ns ();
     by_kind_status =
-      Array.init (n_kinds * n_statuses) (fun _ -> Atomic.make 0);
+      Array.init (n_kinds * n_statuses) (fun _ -> Shardcounter.create ());
     by_backend =
-      Array.init (List.length Fg_core.Backend.all) (fun _ -> Atomic.make 0);
-    queue_depth = Atomic.make 0;
-    enqueued = Atomic.make 0;
-    protocol_errors = Atomic.make 0;
-    connections_opened = Atomic.make 0;
+      Array.init
+        (List.length Fg_core.Backend.all)
+        (fun _ -> Shardcounter.create ());
+    queue_depth = Shardcounter.create ();
+    enqueued = Shardcounter.create ();
+    protocol_errors = Shardcounter.create ();
+    connections_opened = Shardcounter.create ();
     latency = Telemetry.Histogram.create ();
     queue_wait = Telemetry.Histogram.create ();
   }
 
 let record_outcome m kind status =
-  Atomic.incr m.by_kind_status.((kind_index kind * n_statuses)
-                                + status_index status)
+  Shardcounter.incr
+    m.by_kind_status.((kind_index kind * n_statuses) + status_index status)
 
-let record_backend m b = Atomic.incr m.by_backend.(backend_index b)
-
-let record_protocol_error m = Atomic.incr m.protocol_errors
-let record_connection m = Atomic.incr m.connections_opened
+let record_backend m b = Shardcounter.incr m.by_backend.(backend_index b)
+let record_protocol_error m = Shardcounter.incr m.protocol_errors
+let record_connection m = Shardcounter.incr m.connections_opened
 
 let metrics_to_json ?(extra = []) m =
   let requests =
@@ -81,7 +83,7 @@ let metrics_to_json ?(extra = []) m =
           List.filter_map
             (fun s ->
               let n =
-                Atomic.get
+                Shardcounter.read
                   m.by_kind_status.((kind_index k * n_statuses)
                                     + status_index s)
               in
@@ -95,17 +97,19 @@ let metrics_to_json ?(extra = []) m =
   Json.Obj
     ([
        ("uptime_ms", Json.Int ((now_ns () - m.started_ns) / 1_000_000));
-       ("enqueued", Json.Int (Atomic.get m.enqueued));
-       ("queue_depth", Json.Int (Atomic.get m.queue_depth));
-       ("protocol_errors", Json.Int (Atomic.get m.protocol_errors));
-       ("connections_opened", Json.Int (Atomic.get m.connections_opened));
+       ("enqueued", Json.Int (Shardcounter.read m.enqueued));
+       ("queue_depth", Json.Int (Shardcounter.read m.queue_depth));
+       ("protocol_errors", Json.Int (Shardcounter.read m.protocol_errors));
+       ( "connections_opened",
+         Json.Int (Shardcounter.read m.connections_opened) );
        ("requests", Json.Obj requests);
        ( "backends",
          Json.Obj
            (List.map
               (fun b ->
                 ( Fg_core.Backend.to_string b,
-                  Json.Int (Atomic.get m.by_backend.(backend_index b)) ))
+                  Json.Int (Shardcounter.read m.by_backend.(backend_index b))
+                ))
               Fg_core.Backend.all) );
        ("latency", Telemetry.Histogram.to_json m.latency);
        ("queue_wait", Telemetry.Histogram.to_json m.queue_wait);
@@ -128,6 +132,9 @@ type t = {
   disk : Fg_core.Diskcache.t option;
       (** the daemon's shared on-disk unit store, one per server *)
   peers : (string * Protocol.address) list;  (** the cache peer tier *)
+  unit_cache_capacity : int option;
+      (** per-worker unit-cache bound (auto-sized by the server) *)
+  profile : Profile.t option;  (** the daemon's default workload profile *)
   m : Mutex.t;
   not_empty : Condition.t;
   not_full : Condition.t;
@@ -142,13 +149,16 @@ type t = {
       (** the [stats] payload; the server closes over its own config *)
 }
 
-let create ?fuel ?disk ?(peers = []) ~capacity ~stats_json () =
+let create ?fuel ?disk ?(peers = []) ?unit_cache_capacity ?profile ~capacity
+    ~stats_json () =
   let metrics = metrics () in
   {
     capacity = max 1 capacity;
     fuel;
     disk;
     peers;
+    unit_cache_capacity;
+    profile;
     m = Mutex.create ();
     not_empty = Condition.create ();
     not_full = Condition.create ();
@@ -206,7 +216,63 @@ let stats_payload t =
     | Json.Obj fields -> Json.Obj (fields @ [ ("unit_cache", unit_cache_json t) ])
     | j -> j
   in
-  Json.to_string json
+  (* sort_keys: the stats payload is byte-stable modulo counter values,
+     so two fleets serving the same workload diff cleanly *)
+  Json.to_string (Json.sort_keys json)
+
+(* ---------------------------------------------------------------- *)
+(* Profile material: the positive-count maps and summed cache
+   counters the server folds into a workload profile at drain. *)
+
+let backend_mix t =
+  List.filter_map
+    (fun b ->
+      let n = Shardcounter.read t.metrics.by_backend.(backend_index b) in
+      if n > 0 then Some (Fg_core.Backend.to_string b, n) else None)
+    Fg_core.Backend.all
+
+let request_mix t =
+  List.filter_map
+    (fun k ->
+      let n =
+        List.fold_left
+          (fun acc s ->
+            acc
+            + Shardcounter.read
+                t.metrics.by_kind_status.((kind_index k * n_statuses)
+                                          + status_index s))
+          0 all_statuses
+      in
+      if n > 0 then Some (Protocol.kind_name k, n) else None)
+    Protocol.all_kinds
+
+let unit_cache_totals t =
+  Mutex.lock t.m;
+  let handlers = t.handlers in
+  Mutex.unlock t.m;
+  let stats = List.map Handler.cache_stats handlers in
+  List.fold_left
+    (fun (acc : Fg_core.Unit.stats) (s : Fg_core.Unit.stats) ->
+      {
+        Fg_core.Unit.s_hits = acc.Fg_core.Unit.s_hits + s.Fg_core.Unit.s_hits;
+        s_misses = acc.Fg_core.Unit.s_misses + s.Fg_core.Unit.s_misses;
+        s_evictions =
+          acc.Fg_core.Unit.s_evictions + s.Fg_core.Unit.s_evictions;
+        s_invalidations =
+          acc.Fg_core.Unit.s_invalidations + s.Fg_core.Unit.s_invalidations;
+        s_size = acc.Fg_core.Unit.s_size + s.Fg_core.Unit.s_size;
+        s_capacity =
+          max acc.Fg_core.Unit.s_capacity s.Fg_core.Unit.s_capacity;
+      })
+    {
+      Fg_core.Unit.s_hits = 0;
+      s_misses = 0;
+      s_evictions = 0;
+      s_invalidations = 0;
+      s_size = 0;
+      s_capacity = 0;
+    }
+    stats
 
 let stopping t =
   Mutex.lock t.m;
@@ -287,7 +353,8 @@ let process t handler (job : job) =
 
 let worker_loop t =
   let handler =
-    Handler.create ?fuel:t.fuel ?disk:t.disk ~peers:t.peers ()
+    Handler.create ?fuel:t.fuel ?disk:t.disk ~peers:t.peers
+      ?unit_cache_capacity:t.unit_cache_capacity ?profile:t.profile ()
   in
   Mutex.lock t.m;
   t.handlers <- handler :: t.handlers;
@@ -302,7 +369,7 @@ let worker_loop t =
       Mutex.unlock t.m
     else begin
       let job = Queue.pop t.queue in
-      Atomic.decr t.metrics.queue_depth;
+      Shardcounter.decr t.metrics.queue_depth;
       Condition.signal t.not_full;
       Mutex.unlock t.m;
       process t handler job;
@@ -329,8 +396,8 @@ let try_enqueue t job =
     else if Queue.length t.queue >= t.capacity then `Overload
     else begin
       Queue.push job t.queue;
-      Atomic.incr t.metrics.queue_depth;
-      Atomic.incr t.metrics.enqueued;
+      Shardcounter.incr t.metrics.queue_depth;
+      Shardcounter.incr t.metrics.enqueued;
       Condition.signal t.not_empty;
       `Ok
     end
@@ -348,8 +415,8 @@ let enqueue_wait t job =
     end
     else begin
       Queue.push job t.queue;
-      Atomic.incr t.metrics.queue_depth;
-      Atomic.incr t.metrics.enqueued;
+      Shardcounter.incr t.metrics.queue_depth;
+      Shardcounter.incr t.metrics.enqueued;
       Condition.signal t.not_empty;
       true
     end

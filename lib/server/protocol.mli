@@ -24,7 +24,10 @@
     doc_diagnostics | hover | definition | completion]) use ["file"]
     as the document name and carry ["doc_version"] (open/change),
     ["source"] or an ["edits"] splice array (change), and a byte
-    ["offset"] (hover/definition/completion); any request may set
+    ["offset"] (hover/definition/completion); since version 6 any
+    program kind may carry a ["profile"] object (a canonical
+    {!Fg_util.Profile} document) consulted by the [guided] backend,
+    absent meaning the server's default profile; any request may set
     ["timeout_ms"] to override the server's default deadline.  Any
     version in [min_version .. version] is accepted: version-1 frames
     decode and route exactly as before.
@@ -130,6 +133,9 @@ type request = {
   edits : (int * int * string) list;
       (** doc_change: [(start, len, text)] byte-range splices applied
           in order; an explicit [source] wins over edits (v5) *)
+  profile : Profile.t option;
+      (** a workload profile shipped with the request, consulted by the
+          guided backend; absent means the server's default (v6) *)
 }
 
 (** Build a request with the wire defaults filled in. *)
@@ -139,7 +145,7 @@ val request :
   ?mutants:int -> ?key:string -> ?data:string -> ?coverage:Coverage.map ->
   ?corpus_entries:(string * string) list -> ?have:string list ->
   ?doc_version:int -> ?offset:int -> ?edits:(int * int * string) list ->
-  id:int -> kind -> request
+  ?profile:Profile.t -> id:int -> kind -> request
 
 val request_to_json : request -> Json.t
 

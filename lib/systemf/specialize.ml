@@ -34,7 +34,7 @@ module A = Ast
 module Smap = Names.Smap
 module Sset = Names.Sset
 
-type mode = Stencil | Hybrid
+type mode = Stencil | Hybrid | Guided
 
 type stats = {
   st_stencils : int;
@@ -121,6 +121,7 @@ let peel (rhs : A.exp) : peeled option =
 
 type st = {
   mode : mode;
+  hot : string -> bool;  (* Guided only: is this instantiation key hot? *)
   senv : (string, def) Hashtbl.t;  (* uniquely-named spine defs *)
   gen_bodies : (string, A.exp) Hashtbl.t;  (* generated name -> rhs *)
   memo : (string, string) Hashtbl.t;  (* stencil key -> stencil name *)
@@ -182,6 +183,11 @@ let static_at st ~pos ~bound e =
 
 let ty_key t = Pretty.ty_to_string t
 let exp_key e = Pretty.exp_to_string e
+
+(* The profile key of an instantiation site — shared by the observer
+   census, the guided hot check, and the type-only stencil memo. *)
+let instantiation_key f tys =
+  Printf.sprintf "%s[%s]" f (String.concat "," (List.map ty_key tys))
 
 (* Replace a non-atomic static dictionary argument by a fresh spine
    binding, shared across call sites by rendering. *)
@@ -280,7 +286,15 @@ and try_call st ~pos ~bound ~loc fh tys dargs : A.exp option =
       | Some d when d.d_index < pos -> (
           match peel d.d_rhs with
           | Some p when List.length p.p_tvs = List.length tys && ground tys ->
-              specialize_call st ~pos ~bound ~loc f p tys dargs
+              if st.mode = Guided && not (st.hot (instantiation_key f tys))
+              then begin
+                (* cold under the profile: leave the dictionary call
+                   untouched (checked before atomize, so cold calls
+                   hoist nothing either) *)
+                st.fallbacks <- st.fallbacks + 1;
+                None
+              end
+              else specialize_call st ~pos ~bound ~loc f p tys dargs
           | _ -> None)
       | _ -> None)
   | _ -> None
@@ -427,10 +441,7 @@ and type_only st ~pos ~loc f p sub tys : A.exp option =
       st.fallbacks <- st.fallbacks + 1;
       None
   | None -> (
-      let key =
-        Printf.sprintf "%s[%s]" f
-          (String.concat "," (List.map ty_key tys))
-      in
+      let key = instantiation_key f tys in
       match Hashtbl.find_opt st.memo key with
       | Some name ->
           st.rewritten <- st.rewritten + 1;
@@ -467,19 +478,36 @@ and type_only st ~pos ~loc f p sub tys : A.exp option =
             Some (A.var ~loc name)
           end)
 
-let specialize ~mode (prog : A.exp) : A.exp * stats =
-  let rec spine acc (e : A.exp) =
-    match e.desc with
-    | A.Let (x, r, b) -> spine ((x, r, e.loc) :: acc) b
-    | _ -> (List.rev acc, e)
-  in
+let rec spine acc (e : A.exp) =
+  match e.desc with
+  | A.Let (x, r, b) -> spine ((x, r, e.loc) :: acc) b
+  | _ -> (List.rev acc, e)
+
+(* Register uniquely-named spine defs; shadowed names sit out. *)
+let spine_env entries =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (x, _, _) ->
+      Hashtbl.replace counts x
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts x)))
+    entries;
+  let senv = Hashtbl.create 64 in
+  List.iteri
+    (fun i (x, r, _) ->
+      if Hashtbl.find counts x = 1 then
+        Hashtbl.replace senv x { d_rhs = r; d_index = i })
+    entries;
+  senv
+
+let specialize ~mode ?(hot = fun _ -> false) (prog : A.exp) : A.exp * stats =
   let entries, body = spine [] prog in
   if entries = [] then (prog, zero_stats)
   else begin
     let st =
       {
         mode;
-        senv = Hashtbl.create 64;
+        hot;
+        senv = spine_env entries;
         gen_bodies = Hashtbl.create 64;
         memo = Hashtbl.create 64;
         shapes = Hashtbl.create 64;
@@ -497,18 +525,6 @@ let specialize ~mode (prog : A.exp) : A.exp * stats =
         rewritten = 0;
       }
     in
-    (* Register uniquely-named spine defs; shadowed names sit out. *)
-    let counts = Hashtbl.create 64 in
-    List.iter
-      (fun (x, _, _) ->
-        Hashtbl.replace counts x
-          (1 + Option.value ~default:0 (Hashtbl.find_opt counts x)))
-      entries;
-    List.iteri
-      (fun i (x, r, _) ->
-        if Hashtbl.find counts x = 1 then
-          Hashtbl.replace st.senv x { d_rhs = r; d_index = i })
-      entries;
     let entries' =
       List.mapi
         (fun i (x, r, loc) -> (i, x, rw st ~pos:i ~bound:Sset.empty r, loc))
@@ -539,4 +555,67 @@ let specialize ~mode (prog : A.exp) : A.exp * stats =
         st_hoisted = st.hoisted;
         st_rewritten = st.rewritten;
       } )
+  end
+
+(* ---------------------------------------------------------------- *)
+(* Instantiation census                                               *)
+
+(* Count every call position [specialize] would consider a stencil
+   candidate, without rewriting anything.  Spine registration and the
+   candidacy conditions are shared with [try_call], so the keys a
+   profile accumulates are exactly the keys the guided hot check will
+   be asked about. *)
+let observe (prog : A.exp) : (string * int) list =
+  let entries, body = spine [] prog in
+  if entries = [] then []
+  else begin
+    let senv = spine_env entries in
+    let counts = Hashtbl.create 64 in
+    let candidate ~pos ~bound (fh : A.exp) tys =
+      match fh.desc with
+      | A.Var f when not (Sset.mem f bound) -> (
+          match Hashtbl.find_opt senv f with
+          | Some d when d.d_index < pos -> (
+              match peel d.d_rhs with
+              | Some p
+                when List.length p.p_tvs = List.length tys && ground tys ->
+                  Some f
+              | _ -> None)
+          | _ -> None)
+      | _ -> None
+    in
+    let rec walk ~pos ~bound (e : A.exp) =
+      match e.desc with
+      | A.Var _ | A.Lit _ | A.Prim _ -> ()
+      | A.TyApp (fh, tys) -> (
+          match candidate ~pos ~bound fh tys with
+          | Some f ->
+              let key = instantiation_key f tys in
+              Hashtbl.replace counts key
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          | None -> walk ~pos ~bound fh)
+      | A.App (f, args) ->
+          walk ~pos ~bound f;
+          List.iter (walk ~pos ~bound) args
+      | A.Abs (ps, b) ->
+          let bound' =
+            List.fold_left (fun a (x, _) -> Sset.add x a) bound ps
+          in
+          walk ~pos ~bound:bound' b
+      | A.TyAbs (_, b) -> walk ~pos ~bound b
+      | A.Let (x, r, b) ->
+          walk ~pos ~bound r;
+          walk ~pos ~bound:(Sset.add x bound) b
+      | A.Tuple es -> List.iter (walk ~pos ~bound) es
+      | A.Nth (e0, _) -> walk ~pos ~bound e0
+      | A.Fix (x, _, b) -> walk ~pos ~bound:(Sset.add x bound) b
+      | A.If (c, t, f) ->
+          walk ~pos ~bound c;
+          walk ~pos ~bound t;
+          walk ~pos ~bound f
+    in
+    List.iteri (fun i (_, r, _) -> walk ~pos:i ~bound:Sset.empty r) entries;
+    walk ~pos:(List.length entries) ~bound:Sset.empty body;
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) counts []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   end

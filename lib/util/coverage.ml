@@ -1,79 +1,24 @@
 (* Decision-point coverage map (see the interface).
 
-   Layout: a probe is a small array of shard counters; a hit increments
-   the shard picked by the current domain's id, so parallel batch
-   domains touch different cache lines almost always.  The registry is
-   an immutable string map swapped in with a CAS loop — registration is
-   rare (module init plus first sight of each diagnostic code), hits
-   are the hot path and never touch the registry. *)
+   The sharded-counter mechanics live in Shardcounter — this module is
+   the process-wide probe registry plus the coverage-map codecs layered
+   on top of the shared merge algebra. *)
 
-module Smap = Map.Make (String)
+type probe = Shardcounter.t
 
-let n_shards = 16 (* power of two: shard pick is a mask *)
+let registry = Shardcounter.Registry.create ()
+let probe key = Shardcounter.Registry.find registry key
+let hit = Shardcounter.incr
+let hit_key key = Shardcounter.Registry.hit registry key
 
-type probe = { key : string; shards : int Atomic.t array }
+type map = Shardcounter.map
 
-let make_probe key =
-  { key; shards = Array.init n_shards (fun _ -> Atomic.make 0) }
-
-let registry : probe Smap.t Atomic.t = Atomic.make Smap.empty
-
-let rec probe key =
-  let current = Atomic.get registry in
-  match Smap.find_opt key current with
-  | Some p -> p
-  | None ->
-      let p = make_probe key in
-      if Atomic.compare_and_set registry current (Smap.add key p current)
-      then p
-      else probe key (* lost the race: someone else may have added it *)
-
-let hit p =
-  let shard = (Domain.self () :> int) land (n_shards - 1) in
-  Atomic.incr p.shards.(shard)
-
-let hit_key key = hit (probe key)
-
-type map = (string * int) list
-
-let probe_count p =
-  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 p.shards
-
-let snapshot () =
-  Smap.fold
-    (fun key p acc ->
-      let n = probe_count p in
-      if n > 0 then (key, n) :: acc else acc)
-    (Atomic.get registry) []
-  |> List.rev (* Smap folds ascending; the reversed accumulator is sorted *)
-
-(* Merge two sorted assoc lists with a combining function; entries
-   that combine to <= 0 are dropped, preserving the map invariant. *)
-let rec combine f a b =
-  match (a, b) with
-  | [], rest | rest, [] ->
-      List.filter_map
-        (fun (k, n) ->
-          let n = f n 0 in
-          if n > 0 then Some (k, n) else None)
-        rest
-  | (ka, na) :: ta, (kb, nb) :: tb ->
-      let c = String.compare ka kb in
-      if c < 0 then
-        let n = f na 0 in
-        if n > 0 then (ka, n) :: combine f ta b else combine f ta b
-      else if c > 0 then
-        let n = f 0 nb in
-        if n > 0 then (kb, n) :: combine f a tb else combine f a tb
-      else
-        let n = f na nb in
-        if n > 0 then (ka, n) :: combine f ta tb else combine f ta tb
-
-let merge a b = combine ( + ) a b
-let diff later earlier = combine (fun l e -> l - e) later earlier
-let distinct m = List.length m
-let total m = List.fold_left (fun acc (_, n) -> acc + n) 0 m
-let keys m = List.map fst m
+let snapshot () = Shardcounter.Registry.snapshot registry
+let merge = Shardcounter.merge
+let diff = Shardcounter.diff
+let distinct = Shardcounter.distinct
+let total = Shardcounter.total
+let keys = Shardcounter.keys
 
 let to_text m =
   let b = Buffer.create (16 * List.length m) in
@@ -119,7 +64,4 @@ let of_json = function
       |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   | _ -> []
 
-let reset () =
-  Smap.iter
-    (fun _ p -> Array.iter (fun c -> Atomic.set c 0) p.shards)
-    (Atomic.get registry)
+let reset () = Shardcounter.Registry.reset registry

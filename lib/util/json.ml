@@ -63,6 +63,17 @@ let to_string t =
 
 let pp ppf t = Fmt.string ppf (to_string t)
 
+let rec sort_keys = function
+  | (Null | Bool _ | Int _ | Float _ | Str _) as v -> v
+  | List items -> List (List.map sort_keys items)
+  | Obj fields ->
+      (* Stable sort, so among duplicate keys the original order is
+         kept and the later one wins when read back left-to-right. *)
+      Obj
+        (List.stable_sort
+           (fun (a, _) (b, _) -> String.compare a b)
+           (List.map (fun (k, v) -> (k, sort_keys v)) fields))
+
 (* ---------------------------------------------------------------- *)
 (* Parsing                                                           *)
 

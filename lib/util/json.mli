@@ -21,6 +21,13 @@ val to_string : t -> string
 
 val pp : t Fmt.t
 
+(** Recursively sort every object's fields by key (stable, so
+    duplicate keys keep their relative order).  Applied to stats and
+    profile output so equal payloads render byte-identically for CI
+    diffing; deliberately {e not} applied to run reports, whose field
+    order is pinned by goldens. *)
+val sort_keys : t -> t
+
 (** Parse one JSON document; the whole input must be consumed (trailing
     whitespace allowed).  Nesting is bounded (255 levels) so malformed
     wire frames cannot exhaust the stack; numbers that fit an OCaml

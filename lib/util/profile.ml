@@ -1,0 +1,240 @@
+(* Persistent per-workload profiles (see the interface). *)
+
+module Sset = Set.Make (String)
+
+type cache = {
+  c_hits : int;
+  c_misses : int;
+  c_evictions : int;
+  c_invalidations : int;
+  c_size : int;
+  c_capacity : int;
+}
+
+let cache_zero =
+  {
+    c_hits = 0;
+    c_misses = 0;
+    c_evictions = 0;
+    c_invalidations = 0;
+    c_size = 0;
+    c_capacity = 0;
+  }
+
+type t = {
+  p_programs : int;
+  p_instantiations : Shardcounter.map;
+  p_resolutions : Shardcounter.map;
+  p_backends : Shardcounter.map;
+  p_requests : Shardcounter.map;
+  p_unit_cache : cache;
+}
+
+let empty =
+  {
+    p_programs = 0;
+    p_instantiations = [];
+    p_resolutions = [];
+    p_backends = [];
+    p_requests = [];
+    p_unit_cache = cache_zero;
+  }
+
+let merge_cache a b =
+  {
+    c_hits = a.c_hits + b.c_hits;
+    c_misses = a.c_misses + b.c_misses;
+    c_evictions = a.c_evictions + b.c_evictions;
+    c_invalidations = a.c_invalidations + b.c_invalidations;
+    c_size = a.c_size + b.c_size;
+    c_capacity = max a.c_capacity b.c_capacity;
+  }
+
+let merge a b =
+  {
+    p_programs = a.p_programs + b.p_programs;
+    p_instantiations = Shardcounter.merge a.p_instantiations b.p_instantiations;
+    p_resolutions = Shardcounter.merge a.p_resolutions b.p_resolutions;
+    p_backends = Shardcounter.merge a.p_backends b.p_backends;
+    p_requests = Shardcounter.merge a.p_requests b.p_requests;
+    p_unit_cache = merge_cache a.p_unit_cache b.p_unit_cache;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Canonical serialization                                            *)
+
+let format_version = 1
+
+let map_to_json (m : Shardcounter.map) =
+  Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) m)
+
+let map_of_json = function
+  | Json.Obj fields ->
+      List.filter_map
+        (function
+          | k, Json.Int n when n > 0 && k <> "" -> Some (k, n) | _ -> None)
+        fields
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  | _ -> []
+
+let cache_to_json c =
+  Json.Obj
+    [
+      ("capacity", Json.Int c.c_capacity);
+      ("evictions", Json.Int c.c_evictions);
+      ("hits", Json.Int c.c_hits);
+      ("invalidations", Json.Int c.c_invalidations);
+      ("misses", Json.Int c.c_misses);
+      ("size", Json.Int c.c_size);
+    ]
+
+let cache_of_json j =
+  let f k = Option.value ~default:0 (Json.int_field k j) in
+  {
+    c_hits = f "hits";
+    c_misses = f "misses";
+    c_evictions = f "evictions";
+    c_invalidations = f "invalidations";
+    c_size = f "size";
+    c_capacity = f "capacity";
+  }
+
+let to_json p =
+  (* sort_keys keeps this canonical even if a field is added out of
+     order later *)
+  Json.sort_keys
+  @@ Json.Obj
+       [
+         ("backends", map_to_json p.p_backends);
+         ("fgc_profile", Json.Int format_version);
+         ("instantiations", map_to_json p.p_instantiations);
+         ("programs", Json.Int p.p_programs);
+         ("requests", map_to_json p.p_requests);
+         ("resolutions", map_to_json p.p_resolutions);
+         ("unit_cache", cache_to_json p.p_unit_cache);
+       ]
+
+let of_json j =
+  match j with
+  | Json.Obj _ -> (
+      match Json.int_field "fgc_profile" j with
+      | None -> Error "not a profile: missing \"fgc_profile\" version"
+      | Some v when v <> format_version ->
+          Error (Printf.sprintf "unsupported profile version %d" v)
+      | Some _ ->
+          let m k =
+            match Json.mem k j with Some sub -> map_of_json sub | None -> []
+          in
+          Ok
+            {
+              p_programs =
+                Option.value ~default:0 (Json.int_field "programs" j);
+              p_instantiations = m "instantiations";
+              p_resolutions = m "resolutions";
+              p_backends = m "backends";
+              p_requests = m "requests";
+              p_unit_cache =
+                (match Json.mem "unit_cache" j with
+                | Some sub -> cache_of_json sub
+                | None -> cache_zero);
+            })
+  | _ -> Error "not a profile: expected a JSON object"
+
+let to_string p = Json.to_string (to_json p) ^ "\n"
+
+let load path =
+  let contents =
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg ->
+      Diag.config_error ~code:"FG1003" "cannot read profile %s: %s" path msg
+  in
+  match Json.of_string contents with
+  | Error msg ->
+      Diag.config_error ~code:"FG1003" "profile %s is not JSON: %s" path msg
+  | Ok j -> (
+      match of_json j with
+      | Ok p -> p
+      | Error msg ->
+          Diag.config_error ~code:"FG1003" "profile %s: %s" path msg)
+
+let save path p =
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (to_string p))
+
+(* ---------------------------------------------------------------- *)
+(* The guided-backend decision rule                                   *)
+
+let hot_threshold p =
+  match p.p_instantiations with
+  | [] -> 0
+  | m ->
+      let total = Shardcounter.total m and distinct = Shardcounter.distinct m in
+      max 2 ((total + distinct - 1) / distinct)
+
+let hot p =
+  let threshold = hot_threshold p in
+  if threshold = 0 then fun _ -> false
+  else
+    let set =
+      List.fold_left
+        (fun acc (k, n) -> if n >= threshold then Sset.add k acc else acc)
+        Sset.empty p.p_instantiations
+    in
+    fun key -> Sset.mem key set
+
+(* ---------------------------------------------------------------- *)
+(* Server auto-sizing                                                 *)
+
+type sizing = { sz_unit_cache_capacity : int option; sz_workers : int option }
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let auto_size p ~default_capacity ~workers =
+  let cache = p.p_unit_cache in
+  let capacity =
+    if cache.c_evictions <= 0 then None
+    else
+      let touched = cache.c_size + cache.c_evictions in
+      let sized = min 65536 (max default_capacity (next_pow2 touched)) in
+      if sized > default_capacity then Some sized else None
+  in
+  let load =
+    match Shardcounter.total p.p_requests with 0 -> p.p_programs | n -> n
+  in
+  let w =
+    if load <= 0 then None
+    else
+      let suggested = max 1 (min workers ((load + 63) / 64)) in
+      if suggested < workers then Some suggested else None
+  in
+  { sz_unit_cache_capacity = capacity; sz_workers = w }
+
+(* ---------------------------------------------------------------- *)
+(* Process-global collection                                          *)
+
+let collecting_flag = Atomic.make false
+let set_collecting b = Atomic.set collecting_flag b
+let collecting () = Atomic.get collecting_flag
+let inst_registry = Shardcounter.Registry.create ()
+let res_registry = Shardcounter.Registry.create ()
+
+let record_instantiations m =
+  List.iter (fun (k, n) -> Shardcounter.Registry.add inst_registry k n) m
+
+let record_resolution key = Shardcounter.Registry.hit res_registry key
+
+let collected ~programs ~unit_cache ~backends ~requests () =
+  {
+    p_programs = programs;
+    p_instantiations = Shardcounter.Registry.snapshot inst_registry;
+    p_resolutions = Shardcounter.Registry.snapshot res_registry;
+    p_backends = backends;
+    p_requests = requests;
+    p_unit_cache = unit_cache;
+  }
+
+let reset_collected () =
+  Shardcounter.Registry.reset inst_registry;
+  Shardcounter.Registry.reset res_registry

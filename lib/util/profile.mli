@@ -1,0 +1,145 @@
+(** Persistent per-workload profiles — the feedback half of telemetry.
+
+    A profile summarizes what a workload actually did: which ground
+    instantiations of generic functions were requested (and how
+    often), which concept resolutions fired, how the compilation-unit
+    cache behaved, and which translation backends the requests asked
+    for.  [fgc run --stats --profile-out FILE] and
+    [fgc serve --profile-out FILE] write one; [--profile FILE] feeds
+    it back into the [guided] backend (stencil only the hot
+    instantiations) and into the server's startup auto-sizing.
+
+    The serialized form is canonical: one JSON object, every key in
+    sorted order, every count map a sorted object of positive
+    integers — so two runs over the same workload produce
+    byte-identical files and CI can diff them.  {!merge} is the
+    multi-worker / fleet operation: profiles from many processes sum
+    into one.
+
+    Collection is process-global and off by default: the driver flips
+    {!set_collecting} on when a [--profile-out] destination exists,
+    and the instrumented sites ({!Fg_core} resolution, the session's
+    instantiation observer) record into private sharded-counter
+    registries — the same mechanics as {!Coverage}, but a separate
+    instance, so profile keys never pollute fuzz coverage. *)
+
+(** Compilation-unit cache pressure, as profiled.  [c_size] and
+    [c_capacity] are gauges (entries at snapshot time / configured
+    bound); the rest are event counts. *)
+type cache = {
+  c_hits : int;
+  c_misses : int;
+  c_evictions : int;
+  c_invalidations : int;
+  c_size : int;
+  c_capacity : int;
+}
+
+val cache_zero : cache
+
+type t = {
+  p_programs : int;  (** programs that went through a driver entry point *)
+  p_instantiations : Shardcounter.map;
+      (** ground instantiation sites by key ["f[ty,...]"] — the same
+          key the specializing backend uses, so hotness transfers *)
+  p_resolutions : Shardcounter.map;
+      (** successful concept resolutions by rendered constraint,
+          e.g. ["Eq<list int>"] (counted once per fresh decision, like
+          coverage — cache replays are not re-counted) *)
+  p_backends : Shardcounter.map;  (** requests per translation backend *)
+  p_requests : Shardcounter.map;
+      (** server request mix by wire kind; empty for one-shot runs *)
+  p_unit_cache : cache;
+}
+
+val empty : t
+
+(** Pointwise sum (capacity merges by max — the fleet's largest
+    configured cache). *)
+val merge : t -> t -> t
+
+(** {1 Canonical serialization} *)
+
+(** The canonical JSON object: keys recursively sorted, count maps
+    restricted to positive entries, and a ["fgc_profile"] format
+    version.  Equal profiles render byte-identically. *)
+val to_json : t -> Json.t
+
+(** Lenient inverse of {!to_json}: unknown fields are ignored, absent
+    fields default to empty/zero.  [Error] when the document is not an
+    object or the ["fgc_profile"] version is missing or unsupported. *)
+val of_json : Json.t -> (t, string) result
+
+val to_string : t -> string
+(** [to_string p] is the canonical rendering plus a trailing
+    newline. *)
+
+(** Read a profile file.  Raises the FG1003 configuration diagnostic
+    when the file is unreadable or not a valid profile. *)
+val load : string -> t
+
+(** Write [to_string] atomically enough for CI (temp file + rename
+    would be overkill: profiles are written once, after the workload
+    drains). *)
+val save : string -> t -> unit
+
+(** {1 The guided-backend decision rule}
+
+    An instantiation is {e hot} when its profiled count is at least
+    the mean count over all profiled instantiations, and at least 2.
+    Under a skewed (Zipf-like) workload the head clears the mean and
+    gets stenciled; the long tail stays on dictionary passing. *)
+
+val hot_threshold : t -> int
+(** [max 2 (ceil (total / distinct))]; 0 when no instantiations were
+    profiled (nothing is hot). *)
+
+val hot : t -> string -> bool
+(** [hot p key] — whether the instantiation key clears
+    {!hot_threshold}.  O(log n) per query. *)
+
+(** {1 Server auto-sizing} *)
+
+type sizing = {
+  sz_unit_cache_capacity : int option;
+      (** [None] = keep the configured default *)
+  sz_workers : int option;
+}
+
+(** Deterministic startup sizing from profiled pressure:
+
+    - unit-cache capacity: if the profiled run evicted, grow to the
+      next power of two that would have held the entries it touched
+      ([c_size + c_evictions]), clamped to [[default_capacity, 65536]];
+      no evictions, no change.
+    - workers: one worker per 64 profiled requests (programs, for
+      one-shot profiles), at least 1, never more than the configured
+      [workers] — a nearly idle profile shrinks the pool so the warm
+      unit caches concentrate. *)
+val auto_size : t -> default_capacity:int -> workers:int -> sizing
+
+(** {1 Process-global collection} *)
+
+val set_collecting : bool -> unit
+val collecting : unit -> bool
+
+(** Bulk-record instantiation counts for one program (the session's
+    observer reports per-program sums). *)
+val record_instantiations : Shardcounter.map -> unit
+
+(** Record one successful concept resolution by rendered constraint. *)
+val record_resolution : string -> unit
+
+(** Assemble a profile from everything recorded since the last
+    {!reset_collected}, plus the caller-supplied context (program
+    count, cache pressure, request/backend mix). *)
+val collected :
+  programs:int ->
+  unit_cache:cache ->
+  backends:Shardcounter.map ->
+  requests:Shardcounter.map ->
+  unit ->
+  t
+
+(** Zero the collection registries (tests, and serve restarting). *)
+val reset_collected : unit -> unit

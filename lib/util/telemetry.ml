@@ -1,10 +1,11 @@
 (** Global driver instrumentation (see the interface).
 
-    Everything is an [Atomic.t Stdlib.int]: increments from parallel
-    batch domains interleave without tearing, and reads are single
-    loads.  Wall time is accumulated in integer nanoseconds so the time
-    accumulators share the same atomic representation as the counters
-    (no atomic floats needed). *)
+    Every counter is a {!Shardcounter.t}: increments from parallel
+    batch domains land on per-domain shards (one uncontended atomic
+    add, no shared cache line) and are merged on read.  Wall time is
+    accumulated in integer nanoseconds so the time accumulators share
+    the same representation as the counters (no atomic floats
+    needed). *)
 
 (* ---------------------------------------------------------------- *)
 (* Latency histograms                                                 *)
@@ -97,15 +98,31 @@ module Histogram = struct
     Atomic.set t.sum 0;
     Atomic.set t.max_v 0
 
+  (* Bucket-wise sum into a fresh histogram — the same snapshot/merge
+     shape as the sharded counters: each side is read racily, the
+     result is a consistent standalone value.  Bucket boundaries are a
+     compile-time constant, so merging is exact (no re-bucketing). *)
+  let merge a b =
+    let t = create () in
+    for i = 0 to n_buckets - 1 do
+      Atomic.set t.buckets.(i)
+        (Atomic.get a.buckets.(i) + Atomic.get b.buckets.(i))
+    done;
+    Atomic.set t.count (count a + count b);
+    Atomic.set t.sum (sum a + sum b);
+    Atomic.set t.max_v (max (max_value a) (max_value b));
+    t
+
   (* Rendered in milliseconds on the assumption that observations are
-     nanoseconds — which is what every histogram in the tree records. *)
+     nanoseconds — which is what every histogram in the tree records.
+     Keys are emitted in sorted order (stats output is byte-stable). *)
   let to_json t =
     let ms ns = float_of_int ns /. 1e6 in
     Json.Obj
       [
         ("count", Json.Int (count t));
-        ("mean_ms", Json.Float (mean t /. 1e6));
         ("max_ms", Json.Float (ms (max_value t)));
+        ("mean_ms", Json.Float (mean t /. 1e6));
         ("p50_ms", Json.Float (ms (percentile t 50.)));
         ("p95_ms", Json.Float (ms (percentile t 95.)));
         ("p99_ms", Json.Float (ms (percentile t 99.)));
@@ -124,36 +141,36 @@ let phase_label = function
 (* ---------------------------------------------------------------- *)
 (* The counters                                                      *)
 
-let parse_ns = Atomic.make 0
-let check_ns = Atomic.make 0
-let specialize_ns = Atomic.make 0
-let verify_ns = Atomic.make 0
-let eval_ns = Atomic.make 0
-let cc_rebuilds = Atomic.make 0
-let model_lookups = Atomic.make 0
-let resolve_hits = Atomic.make 0
-let resolve_misses = Atomic.make 0
-let prelude_builds = Atomic.make 0
-let prelude_reuses = Atomic.make 0
-let programs = Atomic.make 0
-let fuzz_generated = Atomic.make 0
-let fuzz_discarded = Atomic.make 0
-let fuzz_shrunk = Atomic.make 0
-let unit_hits = Atomic.make 0
-let unit_misses = Atomic.make 0
-let unit_evictions = Atomic.make 0
-let unit_invalidations = Atomic.make 0
-let stencils_created = Atomic.make 0
-let stencils_shared = Atomic.make 0
-let stencil_fallbacks = Atomic.make 0
-let dicts_hoisted = Atomic.make 0
-let disk_hits = Atomic.make 0
-let disk_misses = Atomic.make 0
-let disk_evictions = Atomic.make 0
-let corrupt_entries = Atomic.make 0
-let peer_hits = Atomic.make 0
-let peer_misses = Atomic.make 0
-let peer_failures = Atomic.make 0
+let parse_ns = Shardcounter.create ()
+let check_ns = Shardcounter.create ()
+let specialize_ns = Shardcounter.create ()
+let verify_ns = Shardcounter.create ()
+let eval_ns = Shardcounter.create ()
+let cc_rebuilds = Shardcounter.create ()
+let model_lookups = Shardcounter.create ()
+let resolve_hits = Shardcounter.create ()
+let resolve_misses = Shardcounter.create ()
+let prelude_builds = Shardcounter.create ()
+let prelude_reuses = Shardcounter.create ()
+let programs = Shardcounter.create ()
+let fuzz_generated = Shardcounter.create ()
+let fuzz_discarded = Shardcounter.create ()
+let fuzz_shrunk = Shardcounter.create ()
+let unit_hits = Shardcounter.create ()
+let unit_misses = Shardcounter.create ()
+let unit_evictions = Shardcounter.create ()
+let unit_invalidations = Shardcounter.create ()
+let stencils_created = Shardcounter.create ()
+let stencils_shared = Shardcounter.create ()
+let stencil_fallbacks = Shardcounter.create ()
+let dicts_hoisted = Shardcounter.create ()
+let disk_hits = Shardcounter.create ()
+let disk_misses = Shardcounter.create ()
+let disk_evictions = Shardcounter.create ()
+let corrupt_entries = Shardcounter.create ()
+let peer_hits = Shardcounter.create ()
+let peer_misses = Shardcounter.create ()
+let peer_failures = Shardcounter.create ()
 
 let all =
   [
@@ -166,7 +183,7 @@ let all =
     peer_misses; peer_failures;
   ]
 
-let bump c = Atomic.incr c
+let bump c = Shardcounter.incr c
 let record_cc_rebuild () = bump cc_rebuilds
 let record_model_lookup () = bump model_lookups
 let record_resolve_hit () = bump resolve_hits
@@ -188,10 +205,8 @@ let record_peer_hit () = bump peer_hits
 let record_peer_miss () = bump peer_misses
 let record_peer_failure () = bump peer_failures
 
-let record_unit_invalidations n =
-  if n > 0 then ignore (Atomic.fetch_and_add unit_invalidations n)
-
-let add c n = if n > 0 then ignore (Atomic.fetch_and_add c n)
+let add c n = if n > 0 then Shardcounter.add c n
+let record_unit_invalidations n = add unit_invalidations n
 let record_stencils_created n = add stencils_created n
 let record_stencils_shared n = add stencils_shared n
 let record_stencil_fallbacks n = add stencil_fallbacks n
@@ -227,9 +242,7 @@ let now_ns () = monotonize (raw_ns ())
 let time phase f =
   let counter = phase_counter phase in
   let t0 = now_ns () in
-  let record () =
-    ignore (Atomic.fetch_and_add counter (max 0 (now_ns () - t0)))
-  in
+  let record () = Shardcounter.add counter (max 0 (now_ns () - t0)) in
   match f () with
   | v ->
       record ();
@@ -276,36 +289,36 @@ type snapshot = {
 
 let snapshot () =
   {
-    parse_ns = Atomic.get parse_ns;
-    check_ns = Atomic.get check_ns;
-    specialize_ns = Atomic.get specialize_ns;
-    verify_ns = Atomic.get verify_ns;
-    eval_ns = Atomic.get eval_ns;
-    cc_rebuilds = Atomic.get cc_rebuilds;
-    model_lookups = Atomic.get model_lookups;
-    resolve_hits = Atomic.get resolve_hits;
-    resolve_misses = Atomic.get resolve_misses;
-    prelude_builds = Atomic.get prelude_builds;
-    prelude_reuses = Atomic.get prelude_reuses;
-    programs = Atomic.get programs;
-    fuzz_generated = Atomic.get fuzz_generated;
-    fuzz_discarded = Atomic.get fuzz_discarded;
-    fuzz_shrunk = Atomic.get fuzz_shrunk;
-    unit_hits = Atomic.get unit_hits;
-    unit_misses = Atomic.get unit_misses;
-    unit_evictions = Atomic.get unit_evictions;
-    unit_invalidations = Atomic.get unit_invalidations;
-    stencils_created = Atomic.get stencils_created;
-    stencils_shared = Atomic.get stencils_shared;
-    stencil_fallbacks = Atomic.get stencil_fallbacks;
-    dicts_hoisted = Atomic.get dicts_hoisted;
-    disk_hits = Atomic.get disk_hits;
-    disk_misses = Atomic.get disk_misses;
-    disk_evictions = Atomic.get disk_evictions;
-    corrupt_entries = Atomic.get corrupt_entries;
-    peer_hits = Atomic.get peer_hits;
-    peer_misses = Atomic.get peer_misses;
-    peer_failures = Atomic.get peer_failures;
+    parse_ns = Shardcounter.read parse_ns;
+    check_ns = Shardcounter.read check_ns;
+    specialize_ns = Shardcounter.read specialize_ns;
+    verify_ns = Shardcounter.read verify_ns;
+    eval_ns = Shardcounter.read eval_ns;
+    cc_rebuilds = Shardcounter.read cc_rebuilds;
+    model_lookups = Shardcounter.read model_lookups;
+    resolve_hits = Shardcounter.read resolve_hits;
+    resolve_misses = Shardcounter.read resolve_misses;
+    prelude_builds = Shardcounter.read prelude_builds;
+    prelude_reuses = Shardcounter.read prelude_reuses;
+    programs = Shardcounter.read programs;
+    fuzz_generated = Shardcounter.read fuzz_generated;
+    fuzz_discarded = Shardcounter.read fuzz_discarded;
+    fuzz_shrunk = Shardcounter.read fuzz_shrunk;
+    unit_hits = Shardcounter.read unit_hits;
+    unit_misses = Shardcounter.read unit_misses;
+    unit_evictions = Shardcounter.read unit_evictions;
+    unit_invalidations = Shardcounter.read unit_invalidations;
+    stencils_created = Shardcounter.read stencils_created;
+    stencils_shared = Shardcounter.read stencils_shared;
+    stencil_fallbacks = Shardcounter.read stencil_fallbacks;
+    dicts_hoisted = Shardcounter.read dicts_hoisted;
+    disk_hits = Shardcounter.read disk_hits;
+    disk_misses = Shardcounter.read disk_misses;
+    disk_evictions = Shardcounter.read disk_evictions;
+    corrupt_entries = Shardcounter.read corrupt_entries;
+    peer_hits = Shardcounter.read peer_hits;
+    peer_misses = Shardcounter.read peer_misses;
+    peer_failures = Shardcounter.read peer_failures;
   }
 
 let diff (b : snapshot) (a : snapshot) =
@@ -342,7 +355,7 @@ let diff (b : snapshot) (a : snapshot) =
     peer_failures = b.peer_failures - a.peer_failures;
   }
 
-let reset () = List.iter (fun c -> Atomic.set c 0) all
+let reset () = List.iter Shardcounter.reset all
 
 let ms ns = float_of_int ns /. 1e6
 
@@ -401,8 +414,10 @@ let pp ppf (s : snapshot) =
   Fmt.pf ppf "@]"
 
 let to_json (s : snapshot) =
-  Json.Obj
-    [
+  (* sort_keys: stats payloads are byte-stable for CI diffing *)
+  Json.sort_keys
+  @@ Json.Obj
+       [
       ("parse_ns", Json.Int s.parse_ns);
       ("check_ns", Json.Int s.check_ns);
       ("specialize_ns", Json.Int s.specialize_ns);

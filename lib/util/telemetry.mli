@@ -37,8 +37,14 @@ module Histogram : sig
 
   val reset : t -> unit
 
-  (** [{"count", "mean_ms", "max_ms", "p50_ms", "p95_ms", "p99_ms"}] —
-      samples are assumed to be nanoseconds. *)
+  (** [merge a b] — a fresh histogram holding both sides' samples
+      (bucket-wise sum; exact, since bucket boundaries are fixed).
+      Reads each side racily, like every snapshot in this module; the
+      multi-worker / fleet merge operation. *)
+  val merge : t -> t -> t
+
+  (** [{"count", "max_ms", "mean_ms", "p50_ms", "p95_ms", "p99_ms"}]
+      (keys sorted) — samples are assumed to be nanoseconds. *)
   val to_json : t -> Json.t
 end
 
@@ -203,5 +209,6 @@ val reset : unit -> unit
 
 val pp : snapshot Fmt.t
 
-(** The snapshot as a flat JSON object (stable key names). *)
+(** The snapshot as a flat JSON object (stable key names, keys in
+    sorted order so equal snapshots render byte-identically). *)
 val to_json : snapshot -> Json.t

@@ -683,16 +683,18 @@ let stats_json t =
   Mutex.lock t.m;
   let docs = Hashtbl.length t.docs in
   Mutex.unlock t.m;
-  Json.Obj
-    [
-      ("docs", Json.Int docs);
-      ("open", Telemetry.Histogram.to_json t.h_open);
-      ("change", Telemetry.Histogram.to_json t.h_change);
-      ("close", Telemetry.Histogram.to_json t.h_close);
-      ("diagnostics", Telemetry.Histogram.to_json t.h_diagnostics);
-      ("hover", Telemetry.Histogram.to_json t.h_hover);
-      ("definition", Telemetry.Histogram.to_json t.h_definition);
-      ("completion", Telemetry.Histogram.to_json t.h_completion);
-    ]
+  (* sort_keys: stats payloads are byte-stable for CI diffing *)
+  Json.sort_keys
+  @@ Json.Obj
+       [
+         ("docs", Json.Int docs);
+         ("open", Telemetry.Histogram.to_json t.h_open);
+         ("change", Telemetry.Histogram.to_json t.h_change);
+         ("close", Telemetry.Histogram.to_json t.h_close);
+         ("diagnostics", Telemetry.Histogram.to_json t.h_diagnostics);
+         ("hover", Telemetry.Histogram.to_json t.h_hover);
+         ("definition", Telemetry.Histogram.to_json t.h_definition);
+         ("completion", Telemetry.Histogram.to_json t.h_completion);
+       ]
 
 let cache_stats t = C.Unit.stats t.cache

@@ -11,7 +11,8 @@
 open Fg_core
 module F = Fg_systemf
 
-let all_backends = [ Backend.Dict; Backend.Stencil; Backend.Hybrid ]
+let all_backends =
+  [ Backend.Dict; Backend.Stencil; Backend.Hybrid; Backend.Guided ]
 
 (* ------------------------------------------------------------------ *)
 (* Backend naming *)

@@ -204,7 +204,7 @@ let test_request_version_mismatch () =
    keep decoding — defaulting to the dictionary backend — and keep
    routing through a handler to the same result as a v2 frame. *)
 let test_v1_frame_decodes_and_routes () =
-  Alcotest.(check int) "wire version is 5" 5 Protocol.version;
+  Alcotest.(check int) "wire version is 6" 6 Protocol.version;
   Alcotest.(check int) "v1 still accepted" 1 Protocol.min_version;
   let v1 = "{\"v\":1,\"id\":7,\"kind\":\"run\",\"source\":\"1 + 1\"}" in
   match parse_request v1 with
@@ -260,6 +260,47 @@ let test_request_backend_field () =
       Alcotest.(check bool) "names the backend" true
         (Astring_contains.contains ~needle:"jit" msg)
   | _ -> Alcotest.fail "unknown backend must be Bad_request"
+
+(* The v6 profile field: a canonical profile object survives the codec
+   round-trip, absence stays absent (and off the wire), and a malformed
+   one is a stable Bad_request. *)
+let test_request_profile_field () =
+  let p =
+    {
+      Fg_util.Profile.empty with
+      Fg_util.Profile.p_programs = 3;
+      p_instantiations = [ ("max[int]", 9); ("min[int]", 1) ];
+    }
+  in
+  let req =
+    Protocol.request ~source:"1" ~backend:Fg_core.Backend.Guided ~profile:p
+      ~id:5 Protocol.Run
+  in
+  let r = roundtrip_request req in
+  (match r.Protocol.profile with
+  | Some q ->
+      Alcotest.(check bool) "profile round-trips" true (q = p);
+      Alcotest.(check string) "guided survives alongside it" "guided"
+        (Fg_core.Backend.to_string r.Protocol.backend)
+  | None -> Alcotest.fail "profile dropped by the codec");
+  (* absent profile stays absent and off the wire *)
+  let bare = Protocol.request ~source:"1" ~id:6 Protocol.Run in
+  Alcotest.(check bool) "absent stays absent" true
+    ((roundtrip_request bare).Protocol.profile = None);
+  (match Protocol.request_to_json bare with
+  | j ->
+      Alcotest.(check bool) "no profile field emitted" true
+        (Fg_util.Json.mem "profile" j = None));
+  (* malformed profile objects are Bad_request, not exceptions *)
+  match
+    parse_request
+      "{\"v\":6,\"id\":1,\"kind\":\"run\",\"source\":\"1\",\
+       \"profile\":{\"programs\":1}}"
+  with
+  | Error (Protocol.Bad_request msg) ->
+      Alcotest.(check bool) "names the profile" true
+        (Astring_contains.contains ~needle:"profile" msg)
+  | _ -> Alcotest.fail "malformed profile must be Bad_request"
 
 let test_request_bad_shapes () =
   let bad s =
@@ -336,4 +377,6 @@ let suite =
       test_v1_frame_decodes_and_routes;
     Alcotest.test_case "request backend field" `Quick
       test_request_backend_field;
+    Alcotest.test_case "request profile field (v6)" `Quick
+      test_request_profile_field;
   ]

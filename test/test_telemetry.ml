@@ -78,6 +78,73 @@ let test_histogram_parallel () =
   Alcotest.(check int) "exact sum" !expected_sum (Telemetry.Histogram.sum h);
   Alcotest.(check int) "exact max" n (Telemetry.Histogram.max_value h)
 
+(* Fleet merge: two histograms whose samples landed in disjoint bucket
+   ranges must combine exactly — fixed bucket boundaries make the merge
+   a bucket-wise sum, not an approximation of an approximation. *)
+let test_histogram_merge () =
+  let a = Telemetry.Histogram.create () in
+  let b = Telemetry.Histogram.create () in
+  for v = 1 to 100 do
+    Telemetry.Histogram.observe a v
+  done;
+  for v = 1_000_000 to 1_000_100 do
+    Telemetry.Histogram.observe b v
+  done;
+  let m = Telemetry.Histogram.merge a b in
+  Alcotest.(check int) "merged count" (100 + 101)
+    (Telemetry.Histogram.count m);
+  Alcotest.(check int) "merged sum"
+    (Telemetry.Histogram.sum a + Telemetry.Histogram.sum b)
+    (Telemetry.Histogram.sum m);
+  Alcotest.(check int) "merged max" 1_000_100
+    (Telemetry.Histogram.max_value m);
+  (* The inputs are untouched... *)
+  Alcotest.(check int) "left input intact" 100 (Telemetry.Histogram.count a);
+  Alcotest.(check int) "right input intact" 101 (Telemetry.Histogram.count b);
+  (* ...and rank statistics straddle the two populations: the low half
+     comes from [a], the high percentiles from [b]. *)
+  Alcotest.(check bool) "p25 from the low range" true
+    (Telemetry.Histogram.percentile m 25. <= 125);
+  Alcotest.(check bool) "p99 from the high range" true
+    (Telemetry.Histogram.percentile m 99. >= 1_000_000);
+  (* Merging with empty is identity on every statistic. *)
+  let e = Telemetry.Histogram.create () in
+  let me = Telemetry.Histogram.merge m e in
+  Alcotest.(check int) "merge with empty: count"
+    (Telemetry.Histogram.count m) (Telemetry.Histogram.count me);
+  Alcotest.(check int) "merge with empty: sum" (Telemetry.Histogram.sum m)
+    (Telemetry.Histogram.sum me);
+  Alcotest.(check int) "merge with empty: max"
+    (Telemetry.Histogram.max_value m) (Telemetry.Histogram.max_value me);
+  (* Merge of two empties stays fully empty (quantiles included). *)
+  let ee = Telemetry.Histogram.merge e (Telemetry.Histogram.create ()) in
+  Alcotest.(check int) "empty merge count" 0 (Telemetry.Histogram.count ee);
+  Alcotest.(check int) "empty merge p99" 0
+    (Telemetry.Histogram.percentile ee 99.)
+
+(* The sharded counters under the same 4-domain hammer as the
+   histograms: one anonymous counter and one registry key bumped from
+   every domain, with reads taken while the increments are racing. *)
+let test_shardcounter_hammer () =
+  let c = Shardcounter.create () in
+  let reg = Shardcounter.Registry.create () in
+  let n_domains = 4 and per_domain = 100_000 in
+  let worker () =
+    for k = 1 to per_domain do
+      Shardcounter.incr c;
+      Shardcounter.Registry.hit reg "hammered";
+      if k mod 16 = 0 then ignore (Shardcounter.read c)
+    done
+  in
+  let domains = List.init n_domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  let n = n_domains * per_domain in
+  Alcotest.(check int) "no lost plain increments" n (Shardcounter.read c);
+  Alcotest.(check (list (pair string int)))
+    "no lost registry increments"
+    [ ("hammered", n) ]
+    (Shardcounter.Registry.snapshot reg)
+
 let test_histogram_json () =
   let h = Telemetry.Histogram.create () in
   Telemetry.Histogram.observe h 2_000_000 (* 2ms in ns *);
@@ -119,5 +186,9 @@ let suite =
     Alcotest.test_case "histogram accuracy" `Quick test_histogram_accuracy;
     Alcotest.test_case "histogram under 4 domains" `Quick
       test_histogram_parallel;
+    Alcotest.test_case "histogram merge (disjoint ranges)" `Quick
+      test_histogram_merge;
+    Alcotest.test_case "sharded counters under 4 domains" `Quick
+      test_shardcounter_hammer;
     Alcotest.test_case "histogram json shape" `Quick test_histogram_json;
   ]

@@ -308,8 +308,8 @@ let test_stats_shape () =
   | Json.Obj fields ->
       Alcotest.(check (list string))
         "stats keys"
-        [ "docs"; "open"; "change"; "close"; "diagnostics"; "hover";
-          "definition"; "completion" ]
+        [ "change"; "close"; "completion"; "definition"; "diagnostics";
+          "docs"; "hover"; "open" ]
         (List.map fst fields);
       (match List.assoc "docs" fields with
       | Json.Int n -> Alcotest.(check int) "docs" 1 n
@@ -320,7 +320,7 @@ let test_stats_shape () =
           | Json.Obj h ->
               Alcotest.(check (list string))
                 (k ^ " histogram keys")
-                [ "count"; "mean_ms"; "max_ms"; "p50_ms"; "p95_ms";
+                [ "count"; "max_ms"; "mean_ms"; "p50_ms"; "p95_ms";
                   "p99_ms" ]
                 (List.map fst h)
           | _ -> Alcotest.failf "%s is not a histogram object" k)
